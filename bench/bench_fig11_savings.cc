@@ -1,0 +1,93 @@
+// Figure 11 — analytic memory/CPU savings of state-slicing (Eq. 4).
+//
+// Prints the three surfaces of Fig. 11 as (rho, s_sigma) grids:
+//   (a) memory saving vs selection pull-up and vs selection push-down,
+//   (b) CPU saving vs selection pull-up for S1 in {0.4, 0.1, 0.025},
+//   (c) CPU saving vs selection push-down for the same S1 values.
+//
+//   $ ./bench/bench_fig11_savings
+#include <cstdio>
+
+#include "src/core/cost_model.h"
+
+using namespace stateslice;
+
+namespace {
+
+constexpr double kRhos[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+constexpr double kSigmas[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                              0.6, 0.7, 0.8, 0.9, 1.0};
+constexpr double kJoinSelectivities[] = {0.4, 0.1, 0.025};
+
+void PrintHeader() {
+  std::printf("%6s", "rho\\Ss");
+  for (double ss : kSigmas) std::printf("%8.2f", ss);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 11(a): memory saving (%%) of State-Slice ===\n");
+  std::printf("--- vs Selection-PullUp: (1-rho)(1-Ss)/2 ---\n");
+  PrintHeader();
+  for (double rho : kRhos) {
+    std::printf("%6.2f", rho);
+    for (double ss : kSigmas) {
+      std::printf("%8.1f", 100 * ComputeSliceSavings(rho, ss, 0.1)
+                               .memory_vs_pullup);
+    }
+    std::printf("\n");
+  }
+  std::printf("--- vs Selection-PushDown: rho/(1+2rho+(1-rho)Ss) ---\n");
+  PrintHeader();
+  for (double rho : kRhos) {
+    std::printf("%6.2f", rho);
+    for (double ss : kSigmas) {
+      std::printf("%8.1f", 100 * ComputeSliceSavings(rho, ss, 0.1)
+                               .memory_vs_pushdown);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Figure 11(b): CPU saving (%%) vs Selection-PullUp ===\n");
+  for (double s1 : kJoinSelectivities) {
+    std::printf("--- join selectivity S1 = %.3f ---\n", s1);
+    PrintHeader();
+    for (double rho : kRhos) {
+      std::printf("%6.2f", rho);
+      for (double ss : kSigmas) {
+        std::printf("%8.1f",
+                    100 * ComputeSliceSavings(rho, ss, s1).cpu_vs_pullup);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n=== Figure 11(c): CPU saving (%%) vs Selection-PushDown ===\n");
+  for (double s1 : kJoinSelectivities) {
+    std::printf("--- join selectivity S1 = %.3f ---\n", s1);
+    PrintHeader();
+    for (double rho : kRhos) {
+      std::printf("%6.2f", rho);
+      for (double ss : kSigmas) {
+        std::printf("%8.1f",
+                    100 * ComputeSliceSavings(rho, ss, s1).cpu_vs_pushdown);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Shape checks the paper calls out in Section 4.3.
+  std::printf("\nshape checks:\n");
+  std::printf("  max memory saving vs pull-up (rho,Ss->0): %.1f%% (paper: "
+              "~50%%)\n",
+              100 * ComputeSliceSavings(0.01, 0.01, 0.1).memory_vs_pullup);
+  std::printf("  max CPU saving vs pull-up (S1=0.4): %.1f%% (paper: "
+              "~100%% of plotted ratio)\n",
+              100 * ComputeSliceSavings(0.01, 0.01, 0.4).cpu_vs_pullup);
+  std::printf("  CPU saving vs push-down at S1=0.4, mid grid: %.1f%% "
+              "(paper: up to ~30%%)\n",
+              100 * ComputeSliceSavings(0.1, 0.9, 0.4).cpu_vs_pushdown);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Lightweight invariant-checking macros.
+//
+// Library code does not use exceptions (see DESIGN.md / style guide); broken
+// invariants are programming errors and abort with a message. These checks
+// stay enabled in release builds: the runtime is a correctness-critical
+// reference implementation and the cost of the branches is negligible next
+// to join probing.
+#ifndef STATESLICE_COMMON_CHECK_H_
+#define STATESLICE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stateslice::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace stateslice::internal
+
+// Aborts the process when `expr` is false.
+#define SLICE_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::stateslice::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                \
+  } while (0)
+
+// Binary comparison checks with slightly better failure messages.
+#define SLICE_CHECK_OP(lhs, op, rhs) SLICE_CHECK((lhs)op(rhs))
+#define SLICE_CHECK_EQ(lhs, rhs) SLICE_CHECK_OP(lhs, ==, rhs)
+#define SLICE_CHECK_NE(lhs, rhs) SLICE_CHECK_OP(lhs, !=, rhs)
+#define SLICE_CHECK_LT(lhs, rhs) SLICE_CHECK_OP(lhs, <, rhs)
+#define SLICE_CHECK_LE(lhs, rhs) SLICE_CHECK_OP(lhs, <=, rhs)
+#define SLICE_CHECK_GT(lhs, rhs) SLICE_CHECK_OP(lhs, >, rhs)
+#define SLICE_CHECK_GE(lhs, rhs) SLICE_CHECK_OP(lhs, >=, rhs)
+
+#endif  // STATESLICE_COMMON_CHECK_H_

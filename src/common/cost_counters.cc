@@ -1,0 +1,48 @@
+#include "src/common/cost_counters.h"
+
+#include <sstream>
+
+namespace stateslice {
+
+uint64_t CostCounters::Total() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts_) total += c;
+  return total;
+}
+
+void CostCounters::Reset() {
+  for (uint64_t& c : counts_) c = 0;
+}
+
+const char* CostCounters::Name(CostCategory category) {
+  switch (category) {
+    case CostCategory::kProbe:
+      return "probe";
+    case CostCategory::kPurge:
+      return "purge";
+    case CostCategory::kRoute:
+      return "route";
+    case CostCategory::kFilter:
+      return "filter";
+    case CostCategory::kUnion:
+      return "union";
+    case CostCategory::kSplit:
+      return "split";
+    case CostCategory::kGate:
+      return "gate";
+    default:
+      return "?";
+  }
+}
+
+std::string CostCounters::DebugString() const {
+  std::ostringstream out;
+  for (int i = 0; i < static_cast<int>(CostCategory::kCategoryCount); ++i) {
+    if (i > 0) out << " ";
+    out << Name(static_cast<CostCategory>(i)) << "=" << counts_[i];
+  }
+  out << " total=" << Total();
+  return out.str();
+}
+
+}  // namespace stateslice

@@ -1,0 +1,60 @@
+// CPU-cost accounting in the paper's own unit: tuple comparisons.
+//
+// Section 3 of the paper estimates CPU cost as "the count of comparisons per
+// time unit", split into probe / purge / route / filter / union categories
+// (Eqs. 1-3). Every operator charges its comparisons to a CostCounters
+// instance owned by the plan, so benchmark binaries can report the measured
+// analogue of the analytic formulas next to wall-clock service rates.
+#ifndef STATESLICE_COMMON_COST_COUNTERS_H_
+#define STATESLICE_COMMON_COST_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stateslice {
+
+// Comparison categories matching the cost items of Eqs. 1-3.
+enum class CostCategory : int {
+  kProbe = 0,    // value comparisons while probing join states
+  kPurge = 1,    // timestamp comparisons during cross-purge
+  kRoute = 2,    // router timestamp checks per joined tuple
+  kFilter = 3,   // tuple-side selection predicate evaluations
+  kUnion = 4,    // merge comparisons in the order-preserving union
+  kSplit = 5,    // split-operator predicate evaluations
+  kGate = 6,     // result-side σ' checks on joined tuples (Fig. 10)
+  kCategoryCount = 7,
+};
+
+// Plain additive counters; single-threaded runtime, so no atomics.
+class CostCounters {
+ public:
+  CostCounters() = default;
+
+  // Charges `n` comparisons to `category`.
+  void Add(CostCategory category, uint64_t n) {
+    counts_[static_cast<int>(category)] += n;
+  }
+
+  uint64_t Get(CostCategory category) const {
+    return counts_[static_cast<int>(category)];
+  }
+
+  // Sum across all categories.
+  uint64_t Total() const;
+
+  // Resets all categories to zero.
+  void Reset();
+
+  // One-line summary like "probe=123 purge=4 ...".
+  std::string DebugString() const;
+
+  // Stable short name of a category (for table headers).
+  static const char* Name(CostCategory category);
+
+ private:
+  uint64_t counts_[static_cast<int>(CostCategory::kCategoryCount)] = {};
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_COMMON_COST_COUNTERS_H_

@@ -1,0 +1,139 @@
+#include "src/common/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace stateslice {
+
+Predicate::Predicate() : impl_(nullptr) {
+  static const std::shared_ptr<const Impl> kTrue = [] {
+    auto impl = std::make_shared<Impl>();
+    impl->fn = [](const Tuple&) { return true; };
+    impl->selectivity = 1.0;
+    impl->is_true = true;
+    impl->description = "true";
+    return impl;
+  }();
+  impl_ = kTrue;
+}
+
+Predicate Predicate::GreaterThan(double threshold) {
+  auto impl = std::make_shared<Impl>();
+  impl->fn = [threshold](const Tuple& t) { return t.value > threshold; };
+  impl->selectivity = std::clamp(1.0 - threshold, 0.0, 1.0);
+  std::ostringstream d;
+  d << "(value > " << threshold << ")";
+  impl->description = d.str();
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::LessThan(double threshold) {
+  auto impl = std::make_shared<Impl>();
+  impl->fn = [threshold](const Tuple& t) { return t.value < threshold; };
+  impl->selectivity = std::clamp(threshold, 0.0, 1.0);
+  std::ostringstream d;
+  d << "(value < " << threshold << ")";
+  impl->description = d.str();
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::Range(double lo, double hi) {
+  auto impl = std::make_shared<Impl>();
+  impl->fn = [lo, hi](const Tuple& t) { return t.value >= lo && t.value < hi; };
+  impl->selectivity = std::clamp(hi - lo, 0.0, 1.0);
+  std::ostringstream d;
+  d << "(" << lo << " <= value < " << hi << ")";
+  impl->description = d.str();
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::WithSelectivity(double selectivity) {
+  return LessThan(std::clamp(selectivity, 0.0, 1.0));
+}
+
+Predicate Predicate::Custom(std::function<bool(const Tuple&)> fn,
+                            double selectivity, std::string description) {
+  auto impl = std::make_shared<Impl>();
+  impl->fn = std::move(fn);
+  impl->selectivity = std::clamp(selectivity, 0.0, 1.0);
+  impl->description = std::move(description);
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::And(const Predicate& x, const Predicate& y) {
+  if (x.IsTrue()) return y;
+  if (y.IsTrue()) return x;
+  auto impl = std::make_shared<Impl>();
+  impl->fn = [x, y](const Tuple& t) { return x.Eval(t) && y.Eval(t); };
+  impl->selectivity = std::clamp(x.selectivity() * y.selectivity(), 0.0, 1.0);
+  impl->description = "(" + x.description() + " AND " + y.description() + ")";
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::Or(const Predicate& x, const Predicate& y) {
+  if (x.IsTrue()) return x;
+  if (y.IsTrue()) return y;
+  auto impl = std::make_shared<Impl>();
+  impl->fn = [x, y](const Tuple& t) { return x.Eval(t) || y.Eval(t); };
+  // Inclusion-exclusion under independence.
+  const double sx = x.selectivity();
+  const double sy = y.selectivity();
+  impl->selectivity = std::clamp(sx + sy - sx * sy, 0.0, 1.0);
+  impl->description = "(" + x.description() + " OR " + y.description() + ")";
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::Not(const Predicate& x) {
+  auto impl = std::make_shared<Impl>();
+  impl->fn = [x](const Tuple& t) { return !x.Eval(t); };
+  impl->selectivity = std::clamp(1.0 - x.selectivity(), 0.0, 1.0);
+  impl->description = "(NOT " + x.description() + ")";
+  return Predicate(std::move(impl));
+}
+
+Predicate Predicate::AnyOf(const std::vector<Predicate>& preds) {
+  if (preds.empty()) {
+    return Custom([](const Tuple&) { return false; }, 0.0, "false");
+  }
+  if (preds.size() == 1) return preds.front();
+  double fail = 1.0;
+  std::string description = "(";
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i].IsTrue()) return preds[i];
+    fail *= 1.0 - preds[i].selectivity();
+    if (i > 0) description += " OR ";
+    description += preds[i].description();
+  }
+  description += ")";
+  auto impl = std::make_shared<Impl>();
+  impl->disjuncts = preds;
+  impl->fn = [preds](const Tuple& t) {
+    for (const Predicate& p : preds) {
+      if (p.Eval(t)) return true;
+    }
+    return false;
+  };
+  impl->selectivity = std::clamp(1.0 - fail, 0.0, 1.0);
+  impl->description = std::move(description);
+  return Predicate(std::move(impl));
+}
+
+bool Predicate::EvalCounted(const Tuple& t, uint64_t* evaluations) const {
+  if (impl_->disjuncts.empty()) {
+    *evaluations = 1;
+    return impl_->fn(t);
+  }
+  uint64_t count = 0;
+  for (const Predicate& p : impl_->disjuncts) {
+    ++count;
+    if (p.Eval(t)) {
+      *evaluations = count;
+      return true;
+    }
+  }
+  *evaluations = count;
+  return false;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,96 @@
+// Selection predicates over tuples.
+//
+// The paper's example predicate is `A.Value > Threshold` with a tunable
+// selectivity Sσ. We model predicates as closed value-range tests plus
+// composable AND/OR/NOT combinators; a predicate knows its analytic
+// selectivity under the workload generator's Uniform(0,1) value model, which
+// the cost model (Eqs. 1-3) consumes.
+#ifndef STATESLICE_COMMON_PREDICATE_H_
+#define STATESLICE_COMMON_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+
+namespace stateslice {
+
+// An immutable, shareable predicate on a tuple's `value` attribute.
+//
+// Predicates are cheap to copy (shared_ptr payload). The default predicate
+// is "true" (selectivity 1.0). Example:
+//   Predicate p = Predicate::GreaterThan(0.7);   // Sσ = 0.3 under U(0,1)
+//   if (p.Eval(tuple)) ...
+class Predicate {
+ public:
+  // Always-true predicate, selectivity 1.
+  Predicate();
+
+  // value > threshold. Under values ~ U(0,1): selectivity = 1 - threshold.
+  static Predicate GreaterThan(double threshold);
+
+  // value < threshold. Under values ~ U(0,1): selectivity = threshold.
+  static Predicate LessThan(double threshold);
+
+  // lo <= value < hi. Under values ~ U(0,1): selectivity = hi - lo.
+  static Predicate Range(double lo, double hi);
+
+  // Predicate with the given target selectivity under U(0,1) values,
+  // implemented as value < selectivity. `selectivity` must be in [0, 1].
+  static Predicate WithSelectivity(double selectivity);
+
+  // Arbitrary test with caller-supplied analytic selectivity (for tests).
+  static Predicate Custom(std::function<bool(const Tuple&)> fn,
+                          double selectivity, std::string description);
+
+  // Logical combinators. Selectivity estimates assume independence for And
+  // and disjointness-free inclusion/exclusion for Or, capped to [0,1].
+  static Predicate And(const Predicate& x, const Predicate& y);
+  static Predicate Or(const Predicate& x, const Predicate& y);
+  static Predicate Not(const Predicate& x);
+
+  // Disjunction of many predicates; identity element is "false" when the
+  // list is empty. Used for the chain-input filters of Section 6.1 whose
+  // condition is cond_i OR cond_{i+1} OR ... OR cond_N.
+  static Predicate AnyOf(const std::vector<Predicate>& preds);
+
+  // Evaluates the predicate on `t`.
+  bool Eval(const Tuple& t) const { return impl_->fn(t); }
+
+  // Evaluates the predicate and reports how many member-predicate
+  // evaluations it took: 1 for simple predicates, the short-circuit OR
+  // count for AnyOf disjunctions. This is the unit the σ'_i inter-slice
+  // filters charge (Section 6.1's lineage optimization exists precisely to
+  // avoid repeating these evaluations).
+  bool EvalCounted(const Tuple& t, uint64_t* evaluations) const;
+
+  // Analytic selectivity under the workload's U(0,1) value model.
+  double selectivity() const { return impl_->selectivity; }
+
+  // True if this is the trivial always-true predicate.
+  bool IsTrue() const { return impl_->is_true; }
+
+  // Human-readable form, e.g. "(value > 0.7)".
+  const std::string& description() const { return impl_->description; }
+
+ private:
+  struct Impl {
+    std::function<bool(const Tuple&)> fn;
+    double selectivity = 1.0;
+    bool is_true = false;
+    std::string description;
+    // Flat member list for AnyOf disjunctions (empty for simple
+    // predicates); EvalCounted short-circuits over it.
+    std::vector<Predicate> disjuncts;
+  };
+  explicit Predicate(std::shared_ptr<const Impl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_COMMON_PREDICATE_H_

@@ -1,0 +1,57 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace stateslice {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // Avoid the all-zero state (cannot happen with splitmix64, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's multiply-shift; slight modulo bias is irrelevant for workloads.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(NextU64()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+double Rng::NextExponential(double rate) {
+  // Inverse-CDF; (1 - u) avoids log(0).
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace stateslice

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generators for the synthetic workloads.
+//
+// Every experiment in this repository is seeded; two runs with the same seed
+// produce identical streams, so the equivalence property tests can compare
+// result multisets across plan shapes bit-for-bit.
+#ifndef STATESLICE_COMMON_RANDOM_H_
+#define STATESLICE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace stateslice {
+
+// xoshiro256**-based generator with a splitmix64 seeding routine. We roll our
+// own (tiny) generator instead of <random> engines so that streams are
+// reproducible across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound) using rejection-free Lemire reduction.
+  // `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Exponentially distributed value with the given rate (events per tick
+  // unit of `scale`); used for Poisson inter-arrival times.
+  double NextExponential(double rate);
+
+  // Forks an independent generator; the child is seeded from this stream so
+  // that adding consumers does not perturb existing sequences.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_COMMON_RANDOM_H_

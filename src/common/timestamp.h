@@ -1,0 +1,44 @@
+// Virtual-time primitives used throughout the stateslice library.
+//
+// The paper (Section 2) assumes tuple timestamps have a global ordering based
+// on the system clock. We simulate that clock: all timestamps and window
+// lengths are expressed in integer *ticks*. One second of paper time equals
+// `kTicksPerSecond` ticks, which gives sub-millisecond resolution for the
+// Poisson arrival processes used by the workload generator while keeping the
+// arithmetic exact (no floating-point timestamps anywhere in the runtime).
+#ifndef STATESLICE_COMMON_TIMESTAMP_H_
+#define STATESLICE_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+
+namespace stateslice {
+
+// A point in virtual time, in ticks since the start of the run.
+using TimePoint = int64_t;
+
+// A span of virtual time, in ticks. Window sizes are Durations.
+using Duration = int64_t;
+
+// Resolution of the virtual clock. 10^6 ticks per second = microseconds.
+inline constexpr int64_t kTicksPerSecond = 1'000'000;
+
+// Converts seconds of paper time (e.g. "WINDOW 60 min" = 3600 s) to ticks.
+constexpr Duration SecondsToTicks(double seconds) {
+  return static_cast<Duration>(seconds * kTicksPerSecond);
+}
+
+// Converts ticks back to (fractional) seconds, for reporting only.
+constexpr double TicksToSeconds(Duration ticks) {
+  return static_cast<double>(ticks) / kTicksPerSecond;
+}
+
+// Sentinel meaning "no timestamp yet" / "minus infinity" for watermarks.
+inline constexpr TimePoint kMinTime = INT64_MIN;
+
+// Sentinel meaning "plus infinity"; used as the end window of an unbounded
+// slice and as the final punctuation that flushes downstream merges.
+inline constexpr TimePoint kMaxTime = INT64_MAX;
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_COMMON_TIMESTAMP_H_

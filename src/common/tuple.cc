@@ -1,0 +1,46 @@
+#include "src/common/tuple.h"
+
+#include <sstream>
+
+namespace stateslice {
+
+std::string Tuple::DebugId() const {
+  std::ostringstream out;
+  out << (side == StreamSide::kA ? 'a' : 'b') << seq;
+  return out.str();
+}
+
+std::string Tuple::DebugString() const {
+  std::ostringstream out;
+  out << DebugId() << "(t=" << timestamp << ",k=" << key << ",v=" << value;
+  if (role == TupleRole::kMale) out << ",m";
+  if (role == TupleRole::kFemale) out << ",f";
+  out << ")";
+  return out.str();
+}
+
+std::string JoinResult::DebugString() const {
+  std::ostringstream out;
+  out << "(" << a.DebugId() << "," << b.DebugId() << ")@" << timestamp();
+  return out.str();
+}
+
+TimePoint EventTime(const Event& event) {
+  if (const Tuple* t = std::get_if<Tuple>(&event)) return t->timestamp;
+  if (const JoinResult* r = std::get_if<JoinResult>(&event)) {
+    return r->timestamp();
+  }
+  return std::get<Punctuation>(event).watermark;
+}
+
+bool SameTuple(const Tuple& x, const Tuple& y) {
+  return x.side == y.side && x.seq == y.seq;
+}
+
+std::string JoinPairKey(const JoinResult& r) {
+  std::ostringstream out;
+  out << r.a.DebugId() << "|" << r.b.DebugId();
+  return out.str();
+}
+
+}  // namespace stateslice

@@ -1,0 +1,107 @@
+// Stream tuples, joined results, punctuations, and the Event variant that
+// flows through operator queues.
+//
+// Tuples are small value types: the runtime copies them freely. A tuple's
+// identity for testing/trace purposes is (stream_id, seq). The `lineage`
+// bitmask implements the tuple-lineage idea of Section 6.1 of the paper:
+// bit q is set iff the tuple satisfies the selection predicate of query q,
+// so downstream routing never re-evaluates predicates.
+#ifndef STATESLICE_COMMON_TUPLE_H_
+#define STATESLICE_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/timestamp.h"
+
+namespace stateslice {
+
+// Identifies which input stream a tuple belongs to. A binary join has
+// streams A and B; the ids generalize to more streams for future use.
+enum class StreamSide : uint8_t { kA = 0, kB = 1 };
+
+// Returns the opposite side (A<->B).
+constexpr StreamSide Opposite(StreamSide side) {
+  return side == StreamSide::kA ? StreamSide::kB : StreamSide::kA;
+}
+
+// Role tag for the male/female reference-copy discipline of the sliced
+// binary window join (paper Fig. 9):
+//  - kMale tuples perform cross-purge + probe and then propagate down the
+//    chain;
+//  - kFemale tuples only insert into the slice state, and move down the
+//    chain when purged.
+// Regular (non-sliced) operators ignore the role and treat every tuple as
+// kBoth (a single arrival performing purge+probe+insert, paper Fig. 1).
+enum class TupleRole : uint8_t { kBoth = 0, kMale = 1, kFemale = 2 };
+
+// Maximum number of queries whose predicate satisfaction can be tracked in
+// the lineage bitmask of a tuple.
+inline constexpr int kMaxQueries = 64;
+
+// A single stream tuple.
+struct Tuple {
+  TimePoint timestamp = 0;   // arrival time at the system (global order)
+  int64_t key = 0;           // equi-join attribute (e.g. LocationId)
+  double value = 0.0;        // attribute referenced by selections (A.Value)
+  uint32_t seq = 0;          // per-stream sequence number (identity/testing)
+  StreamSide side = StreamSide::kA;
+  TupleRole role = TupleRole::kBoth;
+  // Query-satisfaction bitmask (Section 6.1 lineage): bit q set iff this
+  // tuple passes query q's selection on its stream. Sources set all bits;
+  // chain-input filters narrow it. Tuples with lineage == 0 are dropped.
+  uint64_t lineage = ~uint64_t{0};
+
+  // Human-readable id like "a3" / "b1" used by traces and test failures.
+  std::string DebugId() const;
+  std::string DebugString() const;
+};
+
+// The output of joining one tuple from A with one from B. Per the paper's
+// semantics (Section 2) the result timestamp is max(Ta, Tb).
+struct JoinResult {
+  Tuple a;
+  Tuple b;
+
+  TimePoint timestamp() const {
+    return a.timestamp > b.timestamp ? a.timestamp : b.timestamp;
+  }
+  // Lineage of a joined tuple: queries that accept both constituents.
+  uint64_t lineage() const { return a.lineage & b.lineage; }
+  std::string DebugString() const;
+};
+
+// A punctuation [26] asserting that no event with timestamp < `watermark`
+// will follow on this queue. The union operator uses punctuations emitted by
+// the last slice's male tuples to perform its order-preserving merge
+// (paper Section 4.3).
+struct Punctuation {
+  TimePoint watermark = kMinTime;
+};
+
+// Everything that can travel through an operator queue.
+using Event = std::variant<Tuple, JoinResult, Punctuation>;
+
+// Returns the timestamp carried by any event kind.
+TimePoint EventTime(const Event& event);
+
+// Convenience predicates for tests and operators.
+inline bool IsTuple(const Event& e) { return std::holds_alternative<Tuple>(e); }
+inline bool IsJoinResult(const Event& e) {
+  return std::holds_alternative<JoinResult>(e);
+}
+inline bool IsPunctuation(const Event& e) {
+  return std::holds_alternative<Punctuation>(e);
+}
+
+// Equality on tuple identity (stream, seq) — used by equivalence tests.
+bool SameTuple(const Tuple& x, const Tuple& y);
+
+// Canonical string key "a3|b7" identifying a join pair regardless of the
+// processing order; equivalence tests compare result multisets with it.
+std::string JoinPairKey(const JoinResult& r);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_COMMON_TUPLE_H_

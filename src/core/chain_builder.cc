@@ -1,0 +1,24 @@
+#include "src/core/chain_builder.h"
+
+#include "src/core/cpu_opt.h"
+
+namespace stateslice {
+
+ChainPlan BuildMemOptChain(const std::vector<ContinuousQuery>& queries) {
+  ChainPlan plan;
+  plan.spec = BuildChainSpec(queries);
+  plan.partition = MemOptPartition(plan.spec);
+  return plan;
+}
+
+ChainPlan BuildCpuOptChain(const std::vector<ContinuousQuery>& queries,
+                           const ChainCostParams& params) {
+  ChainPlan plan;
+  plan.spec = BuildChainSpec(queries);
+  const ChainCostModel model(queries, plan.spec, params);
+  plan.partition = BuildCpuOptPartition(model);
+  ValidatePartition(plan.spec, plan.partition);
+  return plan;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,31 @@
+// Chain builders: Mem-Opt (Section 5.1) and CPU-Opt (Section 5.2) slicing
+// decisions for a query workload, as partition specs consumed by the shared
+// plan builder.
+#ifndef STATESLICE_CORE_CHAIN_BUILDER_H_
+#define STATESLICE_CORE_CHAIN_BUILDER_H_
+
+#include <vector>
+
+#include "src/core/chain_spec.h"
+#include "src/core/cost_model.h"
+#include "src/query/query.h"
+
+namespace stateslice {
+
+// A fully-resolved chain plan: the boundary structure plus the partition.
+struct ChainPlan {
+  ChainSpec spec;
+  ChainPartition partition;
+};
+
+// One slice per distinct window — provably minimal state memory
+// (Theorems 3 and 4).
+ChainPlan BuildMemOptChain(const std::vector<ContinuousQuery>& queries);
+
+// Dijkstra-optimal merge pattern under the generalized CPU cost model.
+ChainPlan BuildCpuOptChain(const std::vector<ContinuousQuery>& queries,
+                           const ChainCostParams& params);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_CORE_CHAIN_BUILDER_H_

@@ -1,0 +1,91 @@
+#include "src/core/chain_spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+int ChainSpec::QueriesAtOrBeyond(int k) const {
+  int count = 0;
+  for (int b : query_boundary) {
+    if (b >= k) ++count;
+  }
+  return count;
+}
+
+std::string ChainSpec::DebugString() const {
+  std::ostringstream out;
+  out << "boundaries[";
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    if (i > 0) out << ",";
+    if (kind == WindowKind::kTime) {
+      out << TicksToSeconds(boundaries[i]) << "s";
+    } else {
+      out << boundaries[i];
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+ChainSpec BuildChainSpec(const std::vector<ContinuousQuery>& queries) {
+  ValidateQueries(queries);
+  ChainSpec spec;
+  spec.kind = queries[0].window.kind;
+  std::vector<int64_t> extents;
+  extents.reserve(queries.size());
+  for (const ContinuousQuery& q : queries) extents.push_back(q.window.extent);
+  std::sort(extents.begin(), extents.end());
+  extents.erase(std::unique(extents.begin(), extents.end()), extents.end());
+  spec.boundaries = std::move(extents);
+
+  spec.query_boundary.resize(queries.size());
+  spec.queries_at_boundary.assign(spec.boundaries.size(), {});
+  for (const ContinuousQuery& q : queries) {
+    const auto it = std::lower_bound(spec.boundaries.begin(),
+                                     spec.boundaries.end(), q.window.extent);
+    SLICE_CHECK(it != spec.boundaries.end());
+    SLICE_CHECK_EQ(*it, q.window.extent);
+    const int k = static_cast<int>(it - spec.boundaries.begin());
+    spec.query_boundary[q.id] = k;
+    spec.queries_at_boundary[k].push_back(q.id);
+  }
+  return spec;
+}
+
+std::string ChainPartition::DebugString() const {
+  std::ostringstream out;
+  out << "slices_end_at[";
+  for (size_t i = 0; i < slice_end_boundaries.size(); ++i) {
+    if (i > 0) out << ",";
+    out << slice_end_boundaries[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+ChainPartition MemOptPartition(const ChainSpec& spec) {
+  ChainPartition partition;
+  partition.slice_end_boundaries.resize(spec.boundaries.size());
+  for (size_t i = 0; i < spec.boundaries.size(); ++i) {
+    partition.slice_end_boundaries[i] = static_cast<int>(i);
+  }
+  return partition;
+}
+
+void ValidatePartition(const ChainSpec& spec,
+                       const ChainPartition& partition) {
+  SLICE_CHECK(!partition.slice_end_boundaries.empty());
+  int prev = -1;
+  for (int end : partition.slice_end_boundaries) {
+    SLICE_CHECK_GT(end, prev);
+    SLICE_CHECK_LT(end, spec.num_boundaries());
+    prev = end;
+  }
+  SLICE_CHECK_EQ(partition.slice_end_boundaries.back(),
+                 spec.num_boundaries() - 1);
+}
+
+}  // namespace stateslice

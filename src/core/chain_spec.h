@@ -1,0 +1,69 @@
+// ChainSpec: the window-boundary structure shared by all chain builders.
+//
+// Given N queries sorted by window length (Section 5), the distinct window
+// extents w_1 < w_2 < ... < w_m become the candidate slice boundaries. A
+// concrete chain is a partition of [0, w_m) into consecutive slices whose
+// ends are a subset of the boundaries that must include w_m (the directed
+// graph v_0 -> v_m of Fig. 14: every path is a chain variant).
+#ifndef STATESLICE_CORE_CHAIN_SPEC_H_
+#define STATESLICE_CORE_CHAIN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/operators/window_spec.h"
+#include "src/query/query.h"
+
+namespace stateslice {
+
+// Boundary structure extracted from a query workload.
+struct ChainSpec {
+  WindowKind kind = WindowKind::kTime;
+  // Distinct window extents, ascending. boundaries[k] is the paper's
+  // w_{k+1}; the implicit w_0 = 0 is *not* stored.
+  std::vector<int64_t> boundaries;
+  // query id -> index into `boundaries` of its window.
+  std::vector<int> query_boundary;
+  // boundary index -> ids of queries registered exactly at that window.
+  std::vector<std::vector<int>> queries_at_boundary;
+
+  int num_boundaries() const { return static_cast<int>(boundaries.size()); }
+
+  // Number of queries whose window is >= boundaries[k] (they consume the
+  // results of every slice ending at or before that boundary).
+  int QueriesAtOrBeyond(int k) const;
+
+  std::string DebugString() const;
+};
+
+// Builds the boundary structure. Queries must pass ValidateQueries.
+ChainSpec BuildChainSpec(const std::vector<ContinuousQuery>& queries);
+
+// A concrete slicing: the ascending boundary indices where slices end.
+// Mem-Opt uses every boundary (Section 5.1); CPU-Opt may skip (merge)
+// boundaries (Section 5.2). The last entry is always num_boundaries()-1.
+struct ChainPartition {
+  std::vector<int> slice_end_boundaries;
+
+  int num_slices() const {
+    return static_cast<int>(slice_end_boundaries.size());
+  }
+
+  // Start boundary index of slice s (-1 for the first slice, meaning w_0=0).
+  int SliceStartBoundary(int s) const {
+    return s == 0 ? -1 : slice_end_boundaries[s - 1];
+  }
+
+  std::string DebugString() const;
+};
+
+// The all-boundaries partition (one slice per distinct window).
+ChainPartition MemOptPartition(const ChainSpec& spec);
+
+// Validates that `partition` is a legal path v_0 -> v_m for `spec`.
+void ValidatePartition(const ChainSpec& spec, const ChainPartition& partition);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_CORE_CHAIN_SPEC_H_

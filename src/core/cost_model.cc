@@ -1,0 +1,167 @@
+#include "src/core/cost_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+// ------------------------------------------------- two-query model (Eq. 1-3)
+
+CostEstimate PullUpCost(const TwoQueryParams& p) {
+  const double l = p.lambda;
+  CostEstimate c;
+  c.memory_tuples = 2 * l * p.w2;
+  c.memory_kb = c.memory_tuples * p.tuple_kb;
+  // Eq. 1: probe + purge + route + filter.
+  c.cpu_per_sec = 2 * l * l * p.w2 + 2 * l + 2 * l * l * p.w2 * p.s1 +
+                  2 * l * l * p.w2 * p.s1;
+  return c;
+}
+
+CostEstimate PushDownCost(const TwoQueryParams& p) {
+  const double l = p.lambda;
+  CostEstimate c;
+  c.memory_tuples = (2 - p.s_sigma) * l * p.w1 + (1 + p.s_sigma) * l * p.w2;
+  c.memory_kb = c.memory_tuples * p.tuple_kb;
+  // Eq. 2: split + probe(join1) + probe(join2) + purge + route + union.
+  c.cpu_per_sec = l + 2 * (1 - p.s_sigma) * l * l * p.w1 +
+                  2 * p.s_sigma * l * l * p.w2 + 3 * l +
+                  2 * p.s_sigma * l * l * p.w2 * p.s1 +
+                  2 * l * l * p.w1 * p.s1;
+  return c;
+}
+
+CostEstimate StateSliceCost(const TwoQueryParams& p) {
+  const double l = p.lambda;
+  CostEstimate c;
+  c.memory_tuples = 2 * l * p.w1 + (1 + p.s_sigma) * l * (p.w2 - p.w1);
+  c.memory_kb = c.memory_tuples * p.tuple_kb;
+  // Eq. 3: probe(slice1) + filter(σA) + probe(slice2) + purge + union +
+  // filter(σ'A).
+  c.cpu_per_sec = 2 * l * l * p.w1 + l +
+                  2 * l * l * p.s_sigma * (p.w2 - p.w1) + 4 * l + 2 * l +
+                  2 * l * l * p.s1 * p.w1;
+  return c;
+}
+
+SliceSavings ComputeSliceSavings(double rho, double s_sigma, double s1) {
+  SLICE_CHECK_GT(rho, 0.0);
+  SLICE_CHECK_LT(rho, 1.0);
+  SliceSavings s;
+  // Eq. 4, exactly as printed in the paper.
+  s.memory_vs_pullup = (1 - rho) * (1 - s_sigma) / 2;
+  s.memory_vs_pushdown = rho / (1 + 2 * rho + (1 - rho) * s_sigma);
+  s.cpu_vs_pullup =
+      ((1 - rho) * (1 - s_sigma) + (2 - rho) * s1) / (1 + 2 * s1);
+  s.cpu_vs_pushdown =
+      s_sigma * s1 /
+      (rho * (1 - s_sigma) + s_sigma + s_sigma * s1 + rho * s1);
+  return s;
+}
+
+// ------------------------------------------------ N-query chain model (§5.2)
+
+ChainCostModel::ChainCostModel(const std::vector<ContinuousQuery>& queries,
+                               const ChainSpec& spec,
+                               const ChainCostParams& params)
+    : spec_(spec), params_(params) {
+  const int m = spec_.num_boundaries();
+  disjunction_selectivity_.assign(m + 1, 0.0);
+  // disjunction_selectivity_[k] = selectivity of OR of σ_A over queries
+  // with boundary >= k (the filter feeding a slice that starts at boundary
+  // k-1). Computed from the predicates' analytic selectivities under
+  // independence — identical to how the paper composes Sσ terms.
+  for (int k = m; k >= 0; --k) {
+    if (k == m) {
+      disjunction_selectivity_[k] = 0.0;
+      continue;
+    }
+    double pass = disjunction_selectivity_[k + 1];
+    for (int q : spec_.queries_at_boundary[k]) {
+      const double sq = queries[q].selection_a.selectivity();
+      // OR under independence: 1 - (1-pass)(1-sq).
+      pass = 1.0 - (1.0 - pass) * (1.0 - sq);
+    }
+    disjunction_selectivity_[k] = pass;
+  }
+}
+
+double ChainCostModel::BoundarySeconds(int k) const {
+  if (k < 0) return 0.0;
+  SLICE_CHECK_LT(k, spec_.num_boundaries());
+  if (spec_.kind == WindowKind::kTime) {
+    return TicksToSeconds(spec_.boundaries[k]);
+  }
+  // Count windows: express extent in "seconds of arrivals" so rates cancel
+  // consistently (extent tuples / per-stream rate).
+  return static_cast<double>(spec_.boundaries[k]) / params_.lambda_a;
+}
+
+double ChainCostModel::EffectiveRateA(int i) const {
+  const double d = disjunction_selectivity_[i + 1];
+  // Queries without selections make the disjunction true (selectivity 1).
+  return params_.lambda_a * d;
+}
+
+double ChainCostModel::EdgeCpuCost(int i, int j) const {
+  SLICE_CHECK_LT(i, j);
+  SLICE_CHECK_LT(j, spec_.num_boundaries());
+  const double span = BoundarySeconds(j) - BoundarySeconds(i);
+  const double la = EffectiveRateA(i);
+  const double lb = params_.lambda_b;
+
+  // Probe: every arriving B tuple scans the A state (λa·span tuples) and
+  // vice versa (nested-loop model of Section 3).
+  const double probe = lb * (la * span) + la * (lb * span);
+  // Cross-purge: one comparison per arriving tuple at this slice.
+  const double purge = la + lb;
+  // Routing: a merged slice spanning interior boundaries re-introduces a
+  // router whose profile table has one entry per interior boundary
+  // (Fig. 13(b)); cost per joined result is proportional to that fanout.
+  const double result_rate = 2.0 * la * lb * span * params_.s1;
+  const double interior = static_cast<double>(j - i - 1);
+  const double route = result_rate * interior;
+  // System overhead: queue transfers + scheduling per tuple per operator
+  // (the C_sys term of Section 5.2). The paper's edge cost is exactly
+  // purge + route + sys (probe is partition-independent without
+  // selections); union punctuation handling is excluded from the
+  // optimizer's objective, as in the paper.
+  const double sys = params_.c_sys * (la + lb);
+
+  return probe + purge + route + sys;
+}
+
+double ChainCostModel::EdgeMemoryKb(int i, int j) const {
+  SLICE_CHECK_LT(i, j);
+  SLICE_CHECK_LT(j, spec_.num_boundaries());
+  const double span = BoundarySeconds(j) - BoundarySeconds(i);
+  const double la = EffectiveRateA(i);
+  const double lb = params_.lambda_b;
+  return (la + lb) * span * params_.tuple_kb;
+}
+
+double ChainCostModel::PartitionCpuCost(const ChainPartition& p) const {
+  double total = 0.0;
+  int start = -1;
+  for (int end : p.slice_end_boundaries) {
+    total += EdgeCpuCost(start, end);
+    start = end;
+  }
+  // Entry filtering (lineage stamping) is partition-independent: one
+  // evaluation pass per A tuple.
+  total += params_.lambda_a;
+  return total;
+}
+
+double ChainCostModel::PartitionMemoryKb(const ChainPartition& p) const {
+  double total = 0.0;
+  int start = -1;
+  for (int end : p.slice_end_boundaries) {
+    total += EdgeMemoryKb(start, end);
+    start = end;
+  }
+  return total;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,116 @@
+// The paper's analytic cost model.
+//
+// Section 3 derives closed-form state-memory (Cm) and CPU (Cp) costs for the
+// two-query running example under the three sharing strategies (Eqs. 1-3)
+// and the relative savings of state-slicing (Eq. 4, plotted in Fig. 11).
+// Sections 5.2/6.2 generalize the CPU cost to arbitrary chain partitions;
+// ChainEdgeCost implements the per-edge cost l_{i,j} of the shortest-path
+// formulation (Fig. 14).
+//
+// Units: memory in KB (Cm) and in tuples; CPU in comparisons per second.
+#ifndef STATESLICE_CORE_COST_MODEL_H_
+#define STATESLICE_CORE_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/chain_spec.h"
+#include "src/query/query.h"
+
+namespace stateslice {
+
+// Parameters of the two-query analysis (Table 1).
+struct TwoQueryParams {
+  double lambda = 20.0;    // per-stream rate λ (λA = λB), tuples/sec
+  double w1 = 10.0;        // Q1 window, seconds (0 < w1 < w2)
+  double w2 = 60.0;        // Q2 window, seconds
+  double s_sigma = 0.5;    // selectivity of σA (Q2's filter)
+  double s1 = 0.1;         // join selectivity
+  double tuple_kb = 0.1;   // Mt, KB per tuple
+};
+
+// One strategy's predicted costs.
+struct CostEstimate {
+  double memory_kb = 0.0;
+  double memory_tuples = 0.0;
+  double cpu_per_sec = 0.0;
+};
+
+// Eq. 1 — naive sharing with selection pull-up (Fig. 3).
+CostEstimate PullUpCost(const TwoQueryParams& p);
+
+// Eq. 2 — stream partition with selection push-down (Fig. 4).
+CostEstimate PushDownCost(const TwoQueryParams& p);
+
+// Eq. 3 — state-slice chain (Fig. 10).
+CostEstimate StateSliceCost(const TwoQueryParams& p);
+
+// Eq. 4 — relative savings of state-slicing, as plotted in Fig. 11.
+// rho = w1/w2 in (0, 1).
+struct SliceSavings {
+  double memory_vs_pullup = 0.0;    // (Cm1-Cm3)/Cm1
+  double memory_vs_pushdown = 0.0;  // (Cm2-Cm3)/Cm2
+  double cpu_vs_pullup = 0.0;       // (Cp1-Cp3)/Cp1  (λ terms omitted)
+  double cpu_vs_pushdown = 0.0;     // (Cp2-Cp3)/Cp2  (λ terms omitted)
+};
+SliceSavings ComputeSliceSavings(double rho, double s_sigma, double s1);
+
+// ---------------------------------------------------------------------
+// Generalized N-query chain costs (Sections 5.2 and 6.2).
+// ---------------------------------------------------------------------
+
+// Environment for chain-cost evaluation.
+struct ChainCostParams {
+  double lambda_a = 20.0;  // stream A rate, tuples/sec
+  double lambda_b = 20.0;  // stream B rate, tuples/sec
+  double s1 = 0.1;         // join selectivity
+  // Per-operator, per-tuple system overhead in comparison units (queue
+  // moves + scheduling context, Section 5.2's C_sys). The default keeps
+  // uniform window distributions unmerged at the paper's rates (matching
+  // Fig. 19(a)) while letting tightly packed windows merge; calibrate with
+  // bench_chain_scaling for other runtimes.
+  double c_sys = 2.0;
+  double tuple_kb = 0.1;   // Mt for memory estimates
+};
+
+// Precomputed per-boundary quantities for a workload.
+class ChainCostModel {
+ public:
+  ChainCostModel(const std::vector<ContinuousQuery>& queries,
+                 const ChainSpec& spec, const ChainCostParams& params);
+
+  // CPU cost per second of one merged sliced join covering boundary
+  // indices (i, j] — the edge length l_{i,j} of the DAG of Fig. 14.
+  // i ranges over -1..m-2 (-1 = the w_0 = 0 node), j over i+1..m-1.
+  double EdgeCpuCost(int i, int j) const;
+
+  // State-memory (KB) of that merged slice.
+  double EdgeMemoryKb(int i, int j) const;
+
+  // Total CPU (per second) of a chain partition: sum of edge costs plus
+  // partition-independent terms (entry filtering).
+  double PartitionCpuCost(const ChainPartition& partition) const;
+
+  // Total state memory (KB) of a chain partition.
+  double PartitionMemoryKb(const ChainPartition& partition) const;
+
+  // Effective A-tuple rate entering a slice whose start boundary is i
+  // (i.e. after the disjunctive filter of queries with boundary > i).
+  double EffectiveRateA(int i) const;
+
+  const ChainSpec& spec() const { return spec_; }
+  const ChainCostParams& params() const { return params_; }
+
+ private:
+  double BoundarySeconds(int k) const;  // w_{k+1} in seconds; k = -1 -> 0
+
+  ChainSpec spec_;  // by value: the model may outlive the caller's spec
+  ChainCostParams params_;
+  // disjunction_selectivity_[k] = selectivity of OR{cond_q : boundary(q)
+  // >= k}; index m means "no queries" (0).
+  std::vector<double> disjunction_selectivity_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_CORE_COST_MODEL_H_

@@ -1,0 +1,95 @@
+#include "src/core/cpu_opt.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+ChainOptimizationResult ShortestChainPath(int num_boundaries,
+                                          const ChainEdgeCostFn& edge_cost) {
+  SLICE_CHECK_GT(num_boundaries, 0);
+  // Nodes 0..m map to boundary indices -1..m-1 (node k = boundary k-1).
+  const int m = num_boundaries;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(m + 1, inf);
+  std::vector<int> prev(m + 1, -1);
+  dist[0] = 0.0;
+
+  using Entry = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  heap.push({0.0, 0});
+  std::vector<bool> done(m + 1, false);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    if (u == m) break;
+    for (int v = u + 1; v <= m; ++v) {
+      const double w = edge_cost(u - 1, v - 1);
+      SLICE_CHECK_GE(w, 0.0);  // Dijkstra requires non-negative edges
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        prev[v] = u;
+        heap.push({dist[v], v});
+      }
+    }
+  }
+  SLICE_CHECK(dist[m] < inf);
+
+  ChainOptimizationResult result;
+  result.total_edge_cost = dist[m];
+  std::vector<int> nodes;
+  for (int v = m; v != 0; v = prev[v]) {
+    SLICE_CHECK_GE(prev[v], 0);
+    nodes.push_back(v);
+  }
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    result.partition.slice_end_boundaries.push_back(*it - 1);
+  }
+  return result;
+}
+
+ChainOptimizationResult BruteForceChainPath(int num_boundaries,
+                                            const ChainEdgeCostFn& edge_cost) {
+  SLICE_CHECK_GT(num_boundaries, 0);
+  SLICE_CHECK_LE(num_boundaries, 20);
+  const int m = num_boundaries;
+  ChainOptimizationResult best;
+  best.total_edge_cost = std::numeric_limits<double>::infinity();
+  // Every subset of interior boundaries {0..m-2} defines a partition.
+  const uint32_t subsets = m >= 1 ? (uint32_t{1} << (m - 1)) : 1;
+  for (uint32_t mask = 0; mask < subsets; ++mask) {
+    ChainPartition partition;
+    for (int k = 0; k < m - 1; ++k) {
+      if (mask & (uint32_t{1} << k)) {
+        partition.slice_end_boundaries.push_back(k);
+      }
+    }
+    partition.slice_end_boundaries.push_back(m - 1);
+    double cost = 0.0;
+    int start = -1;
+    for (int end : partition.slice_end_boundaries) {
+      cost += edge_cost(start, end);
+      start = end;
+    }
+    if (cost < best.total_edge_cost) {
+      best.total_edge_cost = cost;
+      best.partition = std::move(partition);
+    }
+  }
+  return best;
+}
+
+ChainPartition BuildCpuOptPartition(const ChainCostModel& model) {
+  const auto result = ShortestChainPath(
+      model.spec().num_boundaries(),
+      [&model](int i, int j) { return model.EdgeCpuCost(i, j); });
+  return result.partition;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,45 @@
+// CPU-optimal chain construction (Section 5.2).
+//
+// All possible merge patterns of a sliced-join chain form the paths of a
+// DAG over nodes v_0..v_m (v_k = window boundary w_k, Fig. 14); the edge
+// (v_i, v_j) is a merged sliced join covering (w_i, w_j] with CPU cost
+// l_{i,j} (Lemma 2 makes edge costs independent). The CPU-optimal chain is
+// the shortest v_0 -> v_m path; the paper uses Dijkstra's algorithm for an
+// O(N^2) optimization including edge-cost evaluation.
+#ifndef STATESLICE_CORE_CPU_OPT_H_
+#define STATESLICE_CORE_CPU_OPT_H_
+
+#include <functional>
+
+#include "src/core/chain_spec.h"
+#include "src/core/cost_model.h"
+
+namespace stateslice {
+
+// Edge-cost callback: cost of a merged slice covering boundaries (i, j]
+// where i in [-1, m-2] (-1 is the w_0 = 0 node) and j in (i, m-1].
+using ChainEdgeCostFn = std::function<double(int i, int j)>;
+
+// Outcome of a chain optimization.
+struct ChainOptimizationResult {
+  ChainPartition partition;
+  double total_edge_cost = 0.0;
+};
+
+// Dijkstra shortest path over the boundary DAG with `num_boundaries` + 1
+// nodes. Runs in O(m^2) including edge evaluation.
+ChainOptimizationResult ShortestChainPath(int num_boundaries,
+                                          const ChainEdgeCostFn& edge_cost);
+
+// Exhaustive enumeration of all 2^(m-1) partitions; used by tests to verify
+// Dijkstra's optimality. num_boundaries must be <= 20.
+ChainOptimizationResult BruteForceChainPath(int num_boundaries,
+                                            const ChainEdgeCostFn& edge_cost);
+
+// Convenience wrapper: CPU-optimal partition for a workload under the
+// generalized cost model (Sections 5.2/6.2, including selections).
+ChainPartition BuildCpuOptPartition(const ChainCostModel& model);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_CORE_CPU_OPT_H_

@@ -1,0 +1,68 @@
+// Online migration of a state-slicing chain (Section 5.3).
+//
+// A running chain needs maintenance when queries enter/leave the system or
+// when statistics suggest re-optimizing the merge pattern. The two
+// primitives are:
+//
+//  - SplitSlice: shrink slice J_i's end window to w' and insert a new slice
+//    J' = [w', w_i) to its right. No state is moved: J_i's next male purge
+//    (with the new, smaller window) migrates tuples into J' through the
+//    connecting queue, exactly as the paper describes — the system pause is
+//    effectively zero.
+//
+//  - MergeSlices: concatenate the states of two adjacent slices into one
+//    slice [w_{i-1}, w_{i+1}) after the in-between queue has been drained,
+//    re-introducing a router for the interior boundary (Fig. 13(b)).
+//
+// On top of the primitives, AddQuery/RemoveQuery implement query churn for
+// chains built without selections (the setting in which Section 5.3
+// presents migration). The ChainMigrator operates between executor feed
+// steps, when the plan is quiescent.
+#ifndef STATESLICE_CORE_MIGRATION_H_
+#define STATESLICE_CORE_MIGRATION_H_
+
+#include <vector>
+
+#include "src/core/shared_plan_builder.h"
+
+namespace stateslice {
+
+// Mutates a BuiltPlan produced by BuildStateSlicePlan. All operations
+// require: (1) the plan is quiescent (all queues empty — run the scheduler
+// to quiescence first), and (2) the chain was built without selections and
+// without lineage (CHECK-enforced).
+class ChainMigrator {
+ public:
+  explicit ChainMigrator(BuiltPlan* built);
+
+  // Splits slice `slice_index` at `boundary` (ticks; strictly inside the
+  // slice's range). The new right-hand slice serves the same queries as the
+  // old slice's downstream consumers. Returns the index of the new slice.
+  int SplitSlice(int slice_index, Duration boundary);
+
+  // Merges slice `slice_index` with `slice_index + 1` (both must exist).
+  // Result edges of both slices are preserved through a new router with a
+  // branch at the interior boundary. Returns the merged slice's index.
+  int MergeSlices(int slice_index);
+
+  // Registers a new selection-free query with window `window` while the
+  // plan runs: splits a slice if `window` is not an existing slice end,
+  // then wires a union over the covering slice prefix to fresh sinks.
+  // The query starts receiving results produced from now on. Returns the
+  // new query id.
+  int AddQuery(WindowSpec window, const std::string& name);
+
+  // Unregisters query `query_id`: detaches its result edges and sinks.
+  // The slices it used remain (call MergeSlices to compact afterwards, as
+  // the paper suggests).
+  void RemoveQuery(int query_id);
+
+ private:
+  void CheckQuiescent() const;
+
+  BuiltPlan* built_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_CORE_MIGRATION_H_

@@ -1,0 +1,59 @@
+#include "src/core/selection_pushdown.h"
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+Predicate SliceInputPredicate(const std::vector<ContinuousQuery>& queries,
+                              const ChainSpec& spec, int first_boundary) {
+  std::vector<Predicate> parts;
+  for (int k = first_boundary; k < spec.num_boundaries(); ++k) {
+    for (int q : spec.queries_at_boundary[k]) {
+      if (queries[q].selection_a.IsTrue()) {
+        // A selection-free query needs every tuple: the disjunction is true.
+        return Predicate();
+      }
+      parts.push_back(queries[q].selection_a);
+    }
+  }
+  SLICE_CHECK(!parts.empty());  // last boundary always has queries
+  return Predicate::AnyOf(parts);
+}
+
+uint64_t LineageMaskAtOrBeyond(const ChainSpec& spec, int first_boundary) {
+  uint64_t mask = 0;
+  for (size_t q = 0; q < spec.query_boundary.size(); ++q) {
+    if (spec.query_boundary[q] >= first_boundary) {
+      mask |= uint64_t{1} << q;
+    }
+  }
+  return mask;
+}
+
+bool NeedsResultGate(const std::vector<ContinuousQuery>& queries,
+                     const std::vector<int>& consumers, int query_id) {
+  if (queries[query_id].selection_a.IsTrue()) return false;
+  // If this query is the only consumer, the slice's input filter was its
+  // own predicate, so results are pre-filtered (Fig. 10, slice 2 -> Q2).
+  if (consumers.size() == 1 && consumers[0] == query_id) return false;
+  // Several queries sharing one predicate object also need no gate.
+  for (int other : consumers) {
+    if (queries[other].selection_a.description() !=
+        queries[query_id].selection_a.description()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> SliceConsumers(const ChainSpec& spec, int end_boundary) {
+  std::vector<int> consumers;
+  for (size_t q = 0; q < spec.query_boundary.size(); ++q) {
+    if (spec.query_boundary[q] >= end_boundary) {
+      consumers.push_back(static_cast<int>(q));
+    }
+  }
+  return consumers;
+}
+
+}  // namespace stateslice

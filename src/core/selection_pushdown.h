@@ -1,0 +1,48 @@
+// Selection push-down into a sliced-join chain (Section 6).
+//
+// Pure decision functions shared by the plan builder:
+//  - the disjunctive predicate cond_i OR ... OR cond_N feeding each slice
+//    (Fig. 15);
+//  - whether a query's output path from a given slice needs a σ'-style
+//    result gate (Fig. 10: Q2 gates slice 1's results but not slice 2's,
+//    whose inputs were already filtered by exactly Q2's predicate);
+//  - the lineage bitmask of queries at or beyond a boundary (Section 6.1).
+#ifndef STATESLICE_CORE_SELECTION_PUSHDOWN_H_
+#define STATESLICE_CORE_SELECTION_PUSHDOWN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/predicate.h"
+#include "src/core/chain_spec.h"
+#include "src/query/query.h"
+
+namespace stateslice {
+
+// Disjunction of σ_A over all queries whose window boundary index is >=
+// first_boundary — the filter placed before the slice that starts at
+// boundary first_boundary-1. Returns the trivial true predicate when any
+// such query has no selection.
+Predicate SliceInputPredicate(const std::vector<ContinuousQuery>& queries,
+                              const ChainSpec& spec, int first_boundary);
+
+// Bitmask with bit q set for every query with boundary >= first_boundary;
+// the LineageFilter form of the same disjunction.
+uint64_t LineageMaskAtOrBeyond(const ChainSpec& spec, int first_boundary);
+
+// True if query `query_id`'s output edge from a slice whose *consumers* are
+// `consumers` (query ids of every query reading that slice's results) needs
+// a result gate for the query's σ_A. No gate is needed when the query has
+// no selection, or when the slice is consumed by queries whose σ_A
+// disjunction equals the query's own predicate (i.e. the slice's inputs
+// were filtered by exactly this predicate, Fig. 10's slice 2).
+bool NeedsResultGate(const std::vector<ContinuousQuery>& queries,
+                     const std::vector<int>& consumers, int query_id);
+
+// Query ids consuming the results of a slice that ends at boundary
+// `end_boundary` (all queries with window boundary >= end_boundary).
+std::vector<int> SliceConsumers(const ChainSpec& spec, int end_boundary);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_CORE_SELECTION_PUSHDOWN_H_

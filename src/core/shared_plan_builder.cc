@@ -1,0 +1,534 @@
+#include "src/core/shared_plan_builder.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/selection_pushdown.h"
+#include "src/operators/router.h"
+#include "src/operators/selection.h"
+#include "src/operators/sliding_window_join.h"
+#include "src/operators/split.h"
+
+namespace stateslice {
+namespace {
+
+// Creates the per-query sinks and returns the operator every result edge of
+// query q should ultimately feed. Both sink flavors receive the same edge
+// via output-port broadcast.
+void AttachSinks(QueryPlan* plan, Operator* producer, int out_port,
+                 const ContinuousQuery& q, const BuildOptions& options,
+                 BuiltPlan* built) {
+  auto* counting =
+      plan->AddOperator(std::make_unique<CountingSink>(q.name + ".sink"));
+  EventQueue* cq = plan->Connect(producer, out_port, counting, 0);
+  built->sinks[q.id] = counting;
+  built->sink_edges[q.id].push_back(SinkEdge{producer, out_port, cq,
+                                             counting});
+  if (options.collect_results) {
+    auto* collecting = plan->AddOperator(
+        std::make_unique<CollectingSink>(q.name + ".collect"));
+    EventQueue* xq = plan->Connect(producer, out_port, collecting, 0);
+    built->collectors[q.id] = collecting;
+    built->sink_edges[q.id].push_back(SinkEdge{producer, out_port, xq,
+                                               collecting});
+  }
+}
+
+BuiltPlan NewBuiltPlan(const std::vector<ContinuousQuery>& queries,
+                       const BuildOptions& options) {
+  BuiltPlan built;
+  built.plan = std::make_unique<QueryPlan>();
+  built.queries = queries;
+  built.options = options;
+  built.sinks.assign(queries.size(), nullptr);
+  built.collectors.assign(queries.size(), nullptr);
+  built.sink_edges.assign(queries.size(), {});
+  built.merges.assign(queries.size(), nullptr);
+  return built;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- unshared
+
+BuiltPlan BuildUnsharedPlans(const std::vector<ContinuousQuery>& queries,
+                             const BuildOptions& options) {
+  ValidateQueries(queries);
+  BuiltPlan built = NewBuiltPlan(queries, options);
+  QueryPlan* plan = built.plan.get();
+
+  auto* fanout = plan->AddOperator(std::make_unique<Fanout>("fanout"));
+  built.entry = plan->AddEntryQueue("entry", fanout, 0);
+
+  for (const ContinuousQuery& q : queries) {
+    Operator* upstream = fanout;
+    int upstream_port = Fanout::kOutPort;
+    if (!q.selection_a.IsTrue()) {
+      auto* sel = plan->AddOperator(std::make_unique<Selection>(
+          q.name + ".sigmaA", q.selection_a, StreamSide::kA));
+      plan->Connect(upstream, upstream_port, sel, 0);
+      upstream = sel;
+      upstream_port = Selection::kOutPort;
+    }
+    if (!q.selection_b.IsTrue()) {
+      auto* sel = plan->AddOperator(std::make_unique<Selection>(
+          q.name + ".sigmaB", q.selection_b, StreamSide::kB));
+      plan->Connect(upstream, upstream_port, sel, 0);
+      upstream = sel;
+      upstream_port = Selection::kOutPort;
+    }
+    SlidingWindowJoin::Options jopt;
+    jopt.condition = options.condition;
+    auto* join = plan->AddOperator(std::make_unique<SlidingWindowJoin>(
+        q.name + ".join", q.window, q.window, jopt));
+    plan->Connect(upstream, upstream_port, join, 0);
+    AttachSinks(plan, join, SlidingWindowJoin::kResultPort, q, options,
+                &built);
+  }
+  plan->Start();
+  return built;
+}
+
+// ---------------------------------------------------------------- pull-up
+
+BuiltPlan BuildPullUpPlan(const std::vector<ContinuousQuery>& queries,
+                          const BuildOptions& options) {
+  ValidateQueries(queries);
+  BuiltPlan built = NewBuiltPlan(queries, options);
+  QueryPlan* plan = built.plan.get();
+  const ChainSpec spec = BuildChainSpec(queries);
+  const int last = spec.num_boundaries() - 1;
+
+  // One join at the largest window; no early filtering (selection pull-up).
+  SlidingWindowJoin::Options jopt;
+  jopt.condition = options.condition;
+  auto* join = plan->AddOperator(std::make_unique<SlidingWindowJoin>(
+      "join.pullup", WindowSpec{spec.kind, spec.boundaries[last]},
+      WindowSpec{spec.kind, spec.boundaries[last]}, jopt));
+  built.entry = plan->AddEntryQueue("entry", join, 0);
+
+  // Router: one profile-table branch per query below the largest window;
+  // queries at the largest window ride the unconditional "all" edge
+  // (Fig. 3). Port numbering: branch ports 0..k-1, all-port k.
+  std::vector<Router::Branch> branches;
+  std::vector<int> branch_query;  // branch index -> query id
+  std::vector<int> all_queries;
+  for (const ContinuousQuery& q : queries) {
+    if (spec.query_boundary[q.id] == last) {
+      all_queries.push_back(q.id);
+    } else {
+      branches.push_back(Router::Branch{
+          .max_distance = q.window.extent,
+          .port = static_cast<int>(branches.size()),
+      });
+      branch_query.push_back(q.id);
+    }
+  }
+  const int all_port = static_cast<int>(branches.size());
+  auto* router = plan->AddOperator(
+      std::make_unique<Router>("router", branches, all_port));
+  plan->Connect(join, SlidingWindowJoin::kResultPort, router, 0);
+
+  auto wire_query = [&](const ContinuousQuery& q, int router_port) {
+    Operator* upstream = router;
+    int upstream_port = router_port;
+    if (!q.selection_a.IsTrue()) {
+      auto* gate = plan->AddOperator(std::make_unique<ResultGate>(
+          q.name + ".gateA", q.selection_a, StreamSide::kA));
+      plan->Connect(upstream, upstream_port, gate, 0);
+      upstream = gate;
+      upstream_port = ResultGate::kOutPort;
+    }
+    if (!q.selection_b.IsTrue()) {
+      auto* gate = plan->AddOperator(std::make_unique<ResultGate>(
+          q.name + ".gateB", q.selection_b, StreamSide::kB));
+      plan->Connect(upstream, upstream_port, gate, 0);
+      upstream = gate;
+      upstream_port = ResultGate::kOutPort;
+    }
+    AttachSinks(plan, upstream, upstream_port, q, options, &built);
+  };
+  for (size_t b = 0; b < branch_query.size(); ++b) {
+    wire_query(queries[branch_query[b]], static_cast<int>(b));
+  }
+  for (int q : all_queries) {
+    wire_query(queries[q], all_port);
+  }
+  plan->Start();
+  return built;
+}
+
+// --------------------------------------------------------------- push-down
+
+BuiltPlan BuildPushDownPlan(const std::vector<ContinuousQuery>& queries,
+                            const BuildOptions& options) {
+  ValidateQueries(queries);
+  BuiltPlan built = NewBuiltPlan(queries, options);
+  QueryPlan* plan = built.plan.get();
+
+  // Partition queries into selection-free (F) and filtered (S). All
+  // filtered queries must share one predicate — the paper's experimental
+  // setting for this strategy (heterogeneous predicates would need m*n
+  // partitioned joins, which Section 3.2 argues against).
+  std::vector<int> plain, filtered;
+  for (const ContinuousQuery& q : queries) {
+    SLICE_CHECK(q.selection_b.IsTrue());  // strategy models σ on A only
+    if (q.selection_a.IsTrue()) {
+      plain.push_back(q.id);
+    } else {
+      filtered.push_back(q.id);
+    }
+  }
+  for (size_t i = 1; i < filtered.size(); ++i) {
+    SLICE_CHECK(queries[filtered[i]].selection_a.description() ==
+                queries[filtered[0]].selection_a.description());
+  }
+
+  if (filtered.empty() || plain.empty()) {
+    // Degenerate partitions: a single join suffices. With no selections
+    // this equals pull-up; with only filtered queries, push the shared σ
+    // below one shared join.
+    BuiltPlan single = BuildPullUpPlan(queries, options);
+    if (!filtered.empty() && plain.empty()) {
+      // Prepend the shared selection by rebuilding with a filter entry.
+      // (Cheap construction path; plans are built once per run.)
+      BuiltPlan redo = NewBuiltPlan(queries, options);
+      QueryPlan* p2 = redo.plan.get();
+      auto* sel = p2->AddOperator(std::make_unique<Selection>(
+          "sigmaA.shared", queries[filtered[0]].selection_a, StreamSide::kA));
+      redo.entry = p2->AddEntryQueue("entry", sel, 0);
+      // Strip selections: inputs are pre-filtered.
+      std::vector<ContinuousQuery> stripped = queries;
+      for (ContinuousQuery& q : stripped) q.selection_a = Predicate();
+      const ChainSpec spec = BuildChainSpec(stripped);
+      const int last = spec.num_boundaries() - 1;
+      SlidingWindowJoin::Options jopt;
+      jopt.condition = options.condition;
+      auto* join = p2->AddOperator(std::make_unique<SlidingWindowJoin>(
+          "join.filtered", WindowSpec{spec.kind, spec.boundaries[last]},
+          WindowSpec{spec.kind, spec.boundaries[last]}, jopt));
+      p2->Connect(sel, Selection::kOutPort, join, 0);
+      std::vector<Router::Branch> branches;
+      std::vector<int> branch_query;
+      std::vector<int> all_queries;
+      for (const ContinuousQuery& q : stripped) {
+        if (spec.query_boundary[q.id] == last) {
+          all_queries.push_back(q.id);
+        } else {
+          branches.push_back(Router::Branch{
+              q.window.extent, static_cast<int>(branches.size())});
+          branch_query.push_back(q.id);
+        }
+      }
+      const int all_port = static_cast<int>(branches.size());
+      auto* router = p2->AddOperator(
+          std::make_unique<Router>("router", branches, all_port));
+      p2->Connect(join, SlidingWindowJoin::kResultPort, router, 0);
+      for (size_t b = 0; b < branch_query.size(); ++b) {
+        AttachSinks(p2, router, static_cast<int>(b),
+                    queries[branch_query[b]], options, &redo);
+      }
+      for (int q : all_queries) {
+        AttachSinks(p2, router, all_port, queries[q], options, &redo);
+      }
+      p2->Start();
+      return redo;
+    }
+    return single;
+  }
+
+  const Predicate sigma = queries[filtered[0]].selection_a;
+  int64_t w_plain = 0;   // largest window among selection-free queries
+  int64_t w_all = 0;     // largest window overall
+  for (int q : plain) w_plain = std::max(w_plain, queries[q].window.extent);
+  for (const ContinuousQuery& q : queries) {
+    w_all = std::max(w_all, q.window.extent);
+  }
+  const WindowKind kind = queries[0].window.kind;
+
+  // Split stream A on σ; B broadcasts to both partitions (Fig. 4).
+  auto* split = plan->AddOperator(
+      std::make_unique<Split>("split.sigmaA", sigma, StreamSide::kA));
+  built.entry = plan->AddEntryQueue("entry", split, 0);
+
+  SlidingWindowJoin::Options jopt;
+  jopt.condition = options.condition;
+  jopt.punctuate_results = true;  // unions downstream need watermarks
+
+  // join_false serves only the selection-free queries' σ-false tuples.
+  auto* join_false = plan->AddOperator(std::make_unique<SlidingWindowJoin>(
+      "join.sigma_false", WindowSpec{kind, w_plain},
+      WindowSpec{kind, w_plain}, jopt));
+  plan->Connect(split, Split::kRestPort, join_false, 0);
+
+  // join_true serves everything that passed σ, at the overall max window.
+  auto* join_true = plan->AddOperator(std::make_unique<SlidingWindowJoin>(
+      "join.sigma_true", WindowSpec{kind, w_all}, WindowSpec{kind, w_all},
+      jopt));
+  plan->Connect(split, Split::kMatchPort, join_true, 0);
+
+  // Router over join_true's results: one branch per query below w_all, an
+  // "all" edge for queries at w_all.
+  std::vector<Router::Branch> branches;
+  std::vector<int> branch_query;
+  std::vector<int> all_queries;
+  for (const ContinuousQuery& q : queries) {
+    if (q.window.extent == w_all) {
+      all_queries.push_back(q.id);
+    } else {
+      branches.push_back(Router::Branch{q.window.extent,
+                                        static_cast<int>(branches.size())});
+      branch_query.push_back(q.id);
+    }
+  }
+  const int all_port = static_cast<int>(branches.size());
+  auto* router_true = plan->AddOperator(
+      std::make_unique<Router>("router.sigma_true", branches, all_port));
+  plan->Connect(join_true, SlidingWindowJoin::kResultPort, router_true, 0);
+
+  // Router over join_false's results for the selection-free queries.
+  std::vector<Router::Branch> branches_f;
+  std::vector<int> branch_query_f;
+  std::vector<int> all_queries_f;
+  for (int qid : plain) {
+    const ContinuousQuery& q = queries[qid];
+    if (q.window.extent == w_plain) {
+      all_queries_f.push_back(qid);
+    } else {
+      branches_f.push_back(Router::Branch{
+          q.window.extent, static_cast<int>(branches_f.size())});
+      branch_query_f.push_back(qid);
+    }
+  }
+  const int all_port_f = static_cast<int>(branches_f.size());
+  auto* router_false = plan->AddOperator(std::make_unique<Router>(
+      "router.sigma_false", branches_f, all_port_f));
+  plan->Connect(join_false, SlidingWindowJoin::kResultPort, router_false, 0);
+
+  auto true_port_of = [&](int qid) {
+    for (size_t b = 0; b < branch_query.size(); ++b) {
+      if (branch_query[b] == qid) return static_cast<int>(b);
+    }
+    return all_port;
+  };
+  auto false_port_of = [&](int qid) {
+    for (size_t b = 0; b < branch_query_f.size(); ++b) {
+      if (branch_query_f[b] == qid) return static_cast<int>(b);
+    }
+    return all_port_f;
+  };
+
+  // Filtered queries read join_true only; selection-free queries merge both
+  // partitions through an order-preserving union.
+  for (int qid : filtered) {
+    AttachSinks(plan, router_true, true_port_of(qid), queries[qid], options,
+                &built);
+  }
+  for (int qid : plain) {
+    auto* merge = plan->AddOperator(std::make_unique<UnionMerge>(
+        queries[qid].name + ".union", /*input_count=*/2));
+    plan->Connect(router_false, false_port_of(qid), merge, 0);
+    plan->Connect(router_true, true_port_of(qid), merge, 1);
+    built.merges[qid] = merge;
+    AttachSinks(plan, merge, UnionMerge::kOutPort, queries[qid], options,
+                &built);
+  }
+  plan->Start();
+  return built;
+}
+
+// ------------------------------------------------------------- state-slice
+
+BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
+                              const ChainPlan& chain,
+                              const BuildOptions& options) {
+  ValidateQueries(queries);
+  ValidatePartition(chain.spec, chain.partition);
+  BuiltPlan built = NewBuiltPlan(queries, options);
+  built.chain = chain;
+  QueryPlan* plan = built.plan.get();
+  const ChainSpec& spec = chain.spec;
+  const ChainPartition& partition = chain.partition;
+  const int num_slices = partition.num_slices();
+
+  // ---- the chain spine: [stamper] -> [filter_1] -> J_1 -> [filter_2] ->
+  // J_2 -> ... (filters are the σ'_i disjunctions of Fig. 15).
+  Operator* spine_tail = nullptr;  // last operator on the spine so far
+  int spine_port = 0;
+
+  std::vector<Predicate> query_preds;
+  for (const ContinuousQuery& q : queries) {
+    query_preds.push_back(q.selection_a);
+    SLICE_CHECK(q.selection_b.IsTrue());  // σ on A; B-side is an extension
+  }
+
+  if (options.use_lineage) {
+    auto* stamper = plan->AddOperator(std::make_unique<LineageStamper>(
+        "lineage.stamper", query_preds, StreamSide::kA));
+    built.entry = plan->AddEntryQueue("entry", stamper, 0);
+    spine_tail = stamper;
+    spine_port = LineageStamper::kOutPort;
+  }
+
+  std::vector<BuiltSlice> slices;
+  for (int s = 0; s < num_slices; ++s) {
+    const int lo = partition.SliceStartBoundary(s);
+    const int hi = partition.slice_end_boundaries[s];
+    // σ'_{lo+1}: the disjunction over queries with boundary > lo.
+    Operator* filter = nullptr;
+    const Predicate disjunction =
+        SliceInputPredicate(queries, spec, /*first_boundary=*/lo + 1);
+    if (options.use_lineage) {
+      const uint64_t mask = LineageMaskAtOrBeyond(spec, lo + 1);
+      // The stamper already dropped tuples matching no query, so the
+      // first filter is redundant in lineage mode.
+      if (s > 0 && !disjunction.IsTrue()) {
+        filter = plan->AddOperator(std::make_unique<LineageFilter>(
+            "filter.s" + std::to_string(s), mask, StreamSide::kA));
+      }
+    } else if (!disjunction.IsTrue()) {
+      filter = plan->AddOperator(std::make_unique<Selection>(
+          "filter.s" + std::to_string(s), disjunction, StreamSide::kA));
+    }
+    if (filter != nullptr) {
+      if (spine_tail == nullptr) {
+        built.entry = plan->AddEntryQueue("entry", filter, 0);
+      } else {
+        EventQueue* q = plan->Connect(spine_tail, spine_port, filter, 0);
+        if (!slices.empty() && slices.back().next_queue == nullptr) {
+          slices.back().next_queue = q;
+        }
+      }
+      spine_tail = filter;
+      spine_port = 0;
+    }
+
+    SlicedWindowJoin::Options sopt;
+    sopt.condition = options.condition;
+    sopt.punctuate_results = true;
+    const SliceRange range{spec.kind, lo < 0 ? 0 : spec.boundaries[lo],
+                           spec.boundaries[hi]};
+    auto* join = plan->AddOperator(std::make_unique<SlicedWindowJoin>(
+        "slice." + std::to_string(s), range, sopt));
+    if (spine_tail == nullptr) {
+      built.entry = plan->AddEntryQueue("entry", join, 0);
+    } else {
+      EventQueue* q = plan->Connect(spine_tail, spine_port, join, 0);
+      if (!slices.empty() && slices.back().next_queue == nullptr) {
+        slices.back().next_queue = q;
+      }
+    }
+    spine_tail = join;
+    spine_port = SlicedWindowJoin::kNextPort;
+    slices.push_back(BuiltSlice{join, lo, hi, nullptr});
+  }
+
+  // ---- result side: per query, collect edges from every slice it reads.
+  // edge_count[q] = slices fully covered + (1 if q's boundary is interior
+  // to some merged slice).
+  std::vector<int> edge_count(queries.size(), 0);
+  for (const ContinuousQuery& q : queries) {
+    const int k = spec.query_boundary[q.id];
+    for (int s = 0; s < num_slices; ++s) {
+      const int hi = partition.slice_end_boundaries[s];
+      if (hi <= k) ++edge_count[q.id];
+      const int lo = partition.SliceStartBoundary(s);
+      if (k > lo && k < hi) ++edge_count[q.id];  // interior: router branch
+    }
+  }
+
+  // Pre-create merges (or mark direct-wired queries).
+  std::vector<int> next_port(queries.size(), 0);
+  for (const ContinuousQuery& q : queries) {
+    SLICE_CHECK_GT(edge_count[q.id], 0);
+    if (edge_count[q.id] > 1) {
+      auto* merge = plan->AddOperator(std::make_unique<UnionMerge>(
+          q.name + ".union", edge_count[q.id]));
+      built.merges[q.id] = merge;
+      AttachSinks(plan, merge, UnionMerge::kOutPort, q, options, &built);
+    }
+  }
+
+  // Wires one result edge from `producer` to query q, inserting a σ' gate
+  // when needed; terminates at the query's union or directly at its sinks.
+  auto wire_result_edge = [&](Operator* producer, int port,
+                              const ContinuousQuery& q, bool needs_gate,
+                              int slice_index) {
+    Operator* upstream = producer;
+    int upstream_port = port;
+    if (needs_gate) {
+      auto* gate = plan->AddOperator(std::make_unique<ResultGate>(
+          q.name + ".gate.s" + std::to_string(slice_index), q.selection_a,
+          StreamSide::kA));
+      plan->Connect(upstream, upstream_port, gate, 0);
+      upstream = gate;
+      upstream_port = ResultGate::kOutPort;
+    }
+    if (built.merges[q.id] != nullptr) {
+      const int p = next_port[q.id]++;
+      EventQueue* eq =
+          plan->Connect(upstream, upstream_port, built.merges[q.id], p);
+      built.result_edges.push_back(ResultEdge{q.id, slice_index, upstream,
+                                              upstream_port, eq,
+                                              built.merges[q.id], p});
+    } else {
+      AttachSinks(plan, upstream, upstream_port, q, options, &built);
+      built.result_edges.push_back(ResultEdge{q.id, slice_index, upstream,
+                                              upstream_port, nullptr,
+                                              nullptr, 0});
+    }
+  };
+
+  for (int s = 0; s < num_slices; ++s) {
+    const int lo = slices[s].start_boundary;
+    const int hi = slices[s].end_boundary;
+    // Queries whose boundary is interior to this (merged) slice: they need
+    // a router over the slice's results (Fig. 13(b)).
+    std::vector<int> interior;
+    for (const ContinuousQuery& q : queries) {
+      const int k = spec.query_boundary[q.id];
+      if (k > lo && k < hi) interior.push_back(q.id);
+    }
+    // All queries reading the full result stream of this slice.
+    const std::vector<int> full = SliceConsumers(spec, hi);
+    // Every query whose tuples feed this slice (for gate decisions).
+    std::vector<int> input_consumers = interior;
+    input_consumers.insert(input_consumers.end(), full.begin(), full.end());
+
+    Operator* result_producer = slices[s].join;
+    int all_port_for_full = SlicedWindowJoin::kResultPort;
+    if (!interior.empty()) {
+      std::vector<Router::Branch> branches;
+      for (size_t b = 0; b < interior.size(); ++b) {
+        branches.push_back(Router::Branch{
+            queries[interior[b]].window.extent, static_cast<int>(b)});
+      }
+      const int all_port = static_cast<int>(branches.size());
+      auto* router = plan->AddOperator(std::make_unique<Router>(
+          "router.s" + std::to_string(s), branches, all_port));
+      plan->Connect(slices[s].join, SlicedWindowJoin::kResultPort, router, 0);
+      for (size_t b = 0; b < interior.size(); ++b) {
+        const ContinuousQuery& q = queries[interior[b]];
+        wire_result_edge(router, static_cast<int>(b), q,
+                         NeedsResultGate(queries, input_consumers, q.id), s);
+      }
+      result_producer = router;
+      all_port_for_full = all_port;
+    }
+    slices[s].result_producer = result_producer;
+    slices[s].full_port = all_port_for_full;
+    for (int qid : full) {
+      wire_result_edge(result_producer, all_port_for_full, queries[qid],
+                       NeedsResultGate(queries, input_consumers, qid), s);
+    }
+  }
+
+  built.slices = std::move(slices);
+  plan->Start();
+  return built;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,83 @@
+// JoinState: the window state of one side of a (sliced) window join.
+//
+// Holds tuples of one stream in arrival order (oldest first). Supports the
+// three primitive steps of the paper's join execution (Fig. 1 / Fig. 6):
+// insert, cross-purge (with expired tuples optionally handed back so a
+// sliced join can propagate them down the chain), and probe.
+//
+// Window kinds:
+//  - kTime:  a tuple expires when now - ts >= extent; purging happens on
+//    opposite-stream arrivals (cross-purge, footnote 1 of the paper).
+//  - kCount: the state keeps the `extent` most recent tuples; "purging" is
+//    eviction on insert, which is how count-based slices propagate tuples
+//    down a chain (the rank of a tuple only changes when its own stream
+//    receives a new tuple).
+#ifndef STATESLICE_OPERATORS_JOIN_STATE_H_
+#define STATESLICE_OPERATORS_JOIN_STATE_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/operators/join_condition.h"
+#include "src/operators/window_spec.h"
+
+namespace stateslice {
+
+// Ordered window state for one stream side of a join.
+class JoinState {
+ public:
+  explicit JoinState(WindowSpec window) : window_(window) {}
+
+  // Appends `t` (arrival order; timestamps must be non-decreasing). For
+  // count windows, evicts overflow into `evicted` (oldest first) when
+  // non-null, else discards it. Time windows never evict on insert.
+  void Insert(const Tuple& t, std::vector<Tuple>* evicted = nullptr);
+
+  // Cross-purge against an arriving opposite-stream tuple at time `now`
+  // (paper Fig. 1 step 1 / Fig. 6 step 1). Only meaningful for kTime
+  // windows (kCount purges on insert and returns 0 here). Expired tuples
+  // are appended to `purged` (oldest first) when non-null. Returns the
+  // number of timestamp comparisons performed (cost-model unit).
+  uint64_t Purge(TimePoint now, std::vector<Tuple>* purged);
+
+  // Nested-loop probe: appends all stored tuples matching `probe` under
+  // `cond` to `matches` (oldest first). Returns the number of comparisons,
+  // which equals the state size — the unit the paper's cost model charges
+  // per probe (Section 3).
+  uint64_t Probe(const Tuple& probe, const JoinCondition& cond,
+                 std::vector<Tuple>* matches) const;
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const WindowSpec& window() const { return window_; }
+
+  // Oldest and newest stored tuples; state must be non-empty.
+  const Tuple& Oldest() const { return tuples_.front(); }
+  const Tuple& Newest() const { return tuples_.back(); }
+
+  // Read-only view for tests/traces (oldest first).
+  const std::deque<Tuple>& tuples() const { return tuples_; }
+
+  // Removes and returns all tuples (oldest first); used by online chain
+  // migration when merging two adjacent slices (Section 5.3).
+  std::vector<Tuple> TakeAll();
+
+  // Prepends `older` (which must be entirely older than current contents);
+  // the other half of slice-merge migration.
+  void PrependOlder(const std::vector<Tuple>& older);
+
+  // Mutates the window extent; online migration uses this to widen or
+  // shrink a slice in place. The new extent takes effect on the next
+  // purge/insert.
+  void set_window(WindowSpec window) { window_ = window; }
+
+ private:
+  WindowSpec window_;
+  std::deque<Tuple> tuples_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_JOIN_STATE_H_

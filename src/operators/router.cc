@@ -1,0 +1,40 @@
+#include "src/operators/router.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+Router::Router(std::string name, std::vector<Branch> branches, int all_port)
+    : Operator(std::move(name)),
+      branches_(std::move(branches)),
+      all_port_(all_port) {}
+
+void Router::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    for (const Branch& b : branches_) Emit(b.port, event);
+    if (all_port_ >= 0) Emit(all_port_, event);
+    return;
+  }
+  SLICE_CHECK(IsJoinResult(event));
+  const JoinResult& r = std::get<JoinResult>(event);
+  const Duration distance = std::llabs(r.a.timestamp - r.b.timestamp);
+  for (const Branch& b : branches_) {
+    // One profile-table comparison per branch per result (Section 3.1).
+    Charge(CostCategory::kRoute, 1);
+    if (distance < b.max_distance) Emit(b.port, event);
+  }
+  if (all_port_ >= 0) Emit(all_port_, event);
+}
+
+void Router::Finish() {
+  for (const Branch& b : branches_) {
+    Emit(b.port, Punctuation{.watermark = kMaxTime});
+  }
+  if (all_port_ >= 0) Emit(all_port_, Punctuation{.watermark = kMaxTime});
+}
+
+}  // namespace stateslice

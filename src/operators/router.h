@@ -1,0 +1,50 @@
+// Router: dispatches joined results to query outputs by timestamp distance.
+//
+// The selection pull-up strategy (Section 3.1, Fig. 3) and merged sliced
+// joins (Section 5.2, Fig. 13) need a router that checks each joined tuple's
+// |Ta - Tb| against the registered window constraints and forwards it to
+// every query whose window contains it. Following the paper, the router is
+// "a range join between the joined tuple stream and a static profile table,
+// with each entry holding a window size": the routing cost charged is one
+// comparison per profile entry per result, i.e. proportional to the fanout.
+#ifndef STATESLICE_OPERATORS_ROUTER_H_
+#define STATESLICE_OPERATORS_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/timestamp.h"
+#include "src/runtime/operator.h"
+
+namespace stateslice {
+
+// Routes JoinResults by window distance.
+//
+// Ports: input 0. Output ports are declared via the branch list:
+//  - a Branch{max_distance, port} forwards results with |Ta-Tb| <
+//    max_distance to `port` (one comparison charged per result);
+//  - `all_port` (if >= 0) receives every result unconditionally and
+//    uncharged — the "all" edge of Fig. 3 serving the largest-window query.
+// Punctuations are forwarded to all branch ports and the all-port.
+class Router : public Operator {
+ public:
+  struct Branch {
+    Duration max_distance = 0;  // route iff |Ta - Tb| < max_distance
+    int port = 0;
+  };
+
+  Router(std::string name, std::vector<Branch> branches, int all_port = -1);
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  const std::vector<Branch>& branches() const { return branches_; }
+
+ private:
+  std::vector<Branch> branches_;
+  int all_port_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_ROUTER_H_

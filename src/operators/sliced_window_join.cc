@@ -1,0 +1,150 @@
+#include "src/operators/sliced_window_join.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+namespace {
+
+// The per-side JoinState of a slice purges by the slice's *end* window for
+// time slices (a tuple leaves when its distance reaches W_end); count slices
+// hold at most extent() tuples (ranks [start, end) relative to their own
+// stream).
+WindowSpec StateWindowFor(const SliceRange& range) {
+  if (range.kind == WindowKind::kTime) {
+    return WindowSpec::Time(range.end);
+  }
+  return WindowSpec::Count(range.extent());
+}
+
+}  // namespace
+
+std::string SliceRange::DebugString() const {
+  std::ostringstream out;
+  out << (kind == WindowKind::kTime ? "time" : "count") << "[" << start << ","
+      << end << ")";
+  return out.str();
+}
+
+SlicedWindowJoin::SlicedWindowJoin(std::string name, SliceRange range,
+                                   Options options)
+    : Operator(std::move(name)),
+      range_(range),
+      options_(options),
+      state_a_(StateWindowFor(range)),
+      state_b_(StateWindowFor(range)) {
+  SLICE_CHECK_GE(range.start, 0);
+  SLICE_CHECK_GT(range.end, range.start);
+}
+
+void SlicedWindowJoin::SetRange(SliceRange range) {
+  SLICE_CHECK(range.kind == range_.kind);
+  range_ = range;
+  state_a_.set_window(StateWindowFor(range));
+  state_b_.set_window(StateWindowFor(range));
+}
+
+void SlicedWindowJoin::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    // Watermarks travel both to the union (results) and down the chain.
+    Emit(kResultPort, event);
+    Emit(kNextPort, event);
+    return;
+  }
+  SLICE_CHECK(IsTuple(event));
+  const Tuple& t = std::get<Tuple>(event);
+
+  if (options_.mode == Mode::kOneWayA) {
+    // One-way execution (Fig. 6): A tuples fill the state (female role),
+    // B tuples purge + probe + propagate (male role).
+    if (t.side == StreamSide::kA) {
+      ProcessFemale(t);
+    } else {
+      ProcessMale(t);
+    }
+    return;
+  }
+
+  switch (t.role) {
+    case TupleRole::kBoth: {
+      // Chain head: capture the raw tuple as its two reference copies
+      // (female fills state, male probes the opposite state), per the
+      // footnote to Section 4.2.
+      ProcessFemale(t);
+      ProcessMale(t);
+      break;
+    }
+    case TupleRole::kMale:
+      ProcessMale(t);
+      break;
+    case TupleRole::kFemale:
+      ProcessFemale(t);
+      break;
+  }
+}
+
+void SlicedWindowJoin::ProcessMale(const Tuple& t) {
+  JoinState* opposite = StateOf(Opposite(t.side));
+
+  // 1. Cross-purge (Fig. 9): expired opposite-side females move into the
+  //    queue toward the next slice *ahead of* this male, preserving queue
+  //    timestamp order and Lemma 1's insertion-before-probe guarantee.
+  std::vector<Tuple> purged;
+  Charge(CostCategory::kPurge, opposite->Purge(t.timestamp, &purged));
+  for (const Tuple& f : purged) {
+    Emit(kNextPort, f);
+  }
+
+  // 2. Probe and emit joined results. State contents are within the slice
+  //    range by Lemma 1, so no bound checks are needed in a chain; strict
+  //    mode re-verifies for standalone use.
+  std::vector<Tuple> matches;
+  Charge(CostCategory::kProbe, opposite->Probe(t, options_.condition,
+                                               &matches));
+  for (const Tuple& f : matches) {
+    if (options_.strict_bounds && range_.kind == WindowKind::kTime) {
+      const Duration d = t.timestamp - f.timestamp;
+      if (d < range_.start || d >= range_.end) continue;
+    }
+    if (t.side == StreamSide::kA) {
+      Emit(kResultPort, JoinResult{.a = t, .b = f});
+    } else {
+      Emit(kResultPort, JoinResult{.a = f, .b = t});
+    }
+  }
+
+  // 3. Propagate the male copy down the chain.
+  Tuple male = t;
+  male.role = TupleRole::kMale;
+  Emit(kNextPort, male);
+
+  if (options_.punctuate_results) {
+    // The male acts as a punctuation (Section 4.3): all results of this
+    // slice with timestamp <= T_male have been emitted above, and any
+    // future male is newer.
+    Emit(kResultPort, Punctuation{.watermark = t.timestamp});
+  }
+}
+
+void SlicedWindowJoin::ProcessFemale(const Tuple& t) {
+  Tuple female = t;
+  female.role = TupleRole::kFemale;
+  // Count-based slices purge on insert: the evicted tuple's rank crossed
+  // the slice end, so it moves to the next slice.
+  std::vector<Tuple> evicted;
+  StateOf(t.side)->Insert(female, &evicted);
+  for (const Tuple& e : evicted) {
+    Emit(kNextPort, e);
+  }
+}
+
+void SlicedWindowJoin::Finish() {
+  // End of all inputs: no further results from this slice.
+  Emit(kResultPort, Punctuation{.watermark = kMaxTime});
+}
+
+}  // namespace stateslice

@@ -1,0 +1,140 @@
+// Sliced window join — the paper's core operator (Definitions 1-3).
+//
+// A sliced join holds only the portion of a sliding window whose tuple
+// timestamp distance falls in [W_start, W_end). Slices are pipelined into a
+// chain (Definition 2): tuples purged from slice i's state, plus the probing
+// "male" copies, feed slice i+1 through a single FIFO queue, which yields
+// the complete join answer with a *linear* number of operators and pairwise
+// disjoint states (Lemma 1 / Theorems 1-2).
+//
+// Binary mode implements the male/female reference-copy discipline of
+// Fig. 9:
+//  - a male tuple cross-purges the opposite state (expired tuples move down
+//    the chain), probes it, emits results, then propagates itself;
+//  - a female tuple inserts into its own side's state and moves down the
+//    chain only when purged.
+// A raw tuple (role kBoth) entering the first slice is processed as both
+// copies, per the paper's footnote "the copies can be made by the first
+// binary sliced join".
+//
+// One-way mode (A[Ws,We] s|>< B) stores only stream A; A tuples act as
+// females and B tuples as males, which is exactly the execution of Fig. 6 /
+// Table 2.
+//
+// After each male's probe the operator emits a punctuation carrying the
+// male's timestamp on the result port: this is the paper's observation
+// (Section 4.3) that male tuples act as punctuations [26] that let the
+// downstream union merge slice outputs in timestamp order.
+#ifndef STATESLICE_OPERATORS_SLICED_WINDOW_JOIN_H_
+#define STATESLICE_OPERATORS_SLICED_WINDOW_JOIN_H_
+
+#include <string>
+
+#include "src/operators/join_condition.h"
+#include "src/operators/join_state.h"
+#include "src/runtime/operator.h"
+
+namespace stateslice {
+
+// Half-open window slice [start, end) in ticks (kTime) or tuple ranks
+// (kCount). A slice with start == 0 and end == W is equivalent to a regular
+// window W (Definition 1: A[W] |>< B = A[0,W] s|>< B).
+struct SliceRange {
+  WindowKind kind = WindowKind::kTime;
+  int64_t start = 0;
+  int64_t end = 0;
+
+  static SliceRange Time(Duration start, Duration end) {
+    return SliceRange{WindowKind::kTime, start, end};
+  }
+  static SliceRange TimeSeconds(double start_s, double end_s) {
+    return SliceRange{WindowKind::kTime, SecondsToTicks(start_s),
+                      SecondsToTicks(end_s)};
+  }
+  static SliceRange Count(int64_t start, int64_t end) {
+    return SliceRange{WindowKind::kCount, start, end};
+  }
+
+  int64_t extent() const { return end - start; }
+  std::string DebugString() const;
+
+  friend bool operator==(const SliceRange&, const SliceRange&) = default;
+};
+
+// Execution flavor of a sliced join.
+enum class SlicedJoinMode {
+  kBinary,   // Definition 3: both streams sliced
+  kOneWayA,  // Definition 1: A sliced, B probes-and-propagates
+};
+
+// Construction options for SlicedWindowJoin (namespace scope so `= {}`
+// default arguments work within the class definition).
+struct SlicedJoinOptions {
+  SlicedJoinMode mode = SlicedJoinMode::kBinary;
+  JoinCondition condition = JoinCondition::EquiKey();
+  // Emit a punctuation after each male's probe (Section 4.3). On for
+  // chain slices feeding unions; off for standalone uses.
+  bool punctuate_results = true;
+  // Verify W_start <= T_male - T_female < W_end during probes. A slice
+  // inside a chain never needs this (Lemma 1 guarantees it); standalone
+  // slices (e.g. Definition 1 unit tests) turn it on.
+  bool strict_bounds = false;
+};
+
+// One slice of a (possibly shared) window join.
+//
+// Ports:
+//   input 0            — chain events: raw tuples (kBoth) at the chain head,
+//                        male/female tagged tuples further down; events must
+//                        arrive in global timestamp order
+//   output kResultPort — JoinResult events + per-male punctuations
+//   output kNextPort   — purged females + propagated males toward the next
+//                        slice (unattached at the chain tail, where events
+//                        are discarded per Fig. 6 "if exists")
+class SlicedWindowJoin : public Operator {
+ public:
+  static constexpr int kResultPort = 0;
+  static constexpr int kNextPort = 1;
+
+  using Mode = SlicedJoinMode;
+  using Options = SlicedJoinOptions;
+
+  SlicedWindowJoin(std::string name, SliceRange range, Options options = {});
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  size_t StateSize() const override {
+    return state_a_.size() + state_b_.size();
+  }
+
+  const SliceRange& range() const { return range_; }
+  const JoinState& state_a() const { return state_a_; }
+  const JoinState& state_b() const { return state_b_; }
+
+  // --- online migration hooks (Section 5.3) ---------------------------
+  // Shrinks or widens this slice's range in place. States adapt lazily:
+  // a narrowed end purges extra tuples into the next queue on the next
+  // male arrival, exactly as the paper describes for online splitting.
+  void SetRange(SliceRange range);
+
+  // Mutable state access for merge migration (concatenating states).
+  JoinState* mutable_state_a() { return &state_a_; }
+  JoinState* mutable_state_b() { return &state_b_; }
+
+ private:
+  void ProcessMale(const Tuple& t);
+  void ProcessFemale(const Tuple& t);
+  JoinState* StateOf(StreamSide side) {
+    return side == StreamSide::kA ? &state_a_ : &state_b_;
+  }
+
+  SliceRange range_;
+  Options options_;
+  JoinState state_a_;
+  JoinState state_b_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_SLICED_WINDOW_JOIN_H_

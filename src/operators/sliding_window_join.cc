@@ -1,0 +1,63 @@
+#include "src/operators/sliding_window_join.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+SlidingWindowJoin::SlidingWindowJoin(std::string name, WindowSpec window_a,
+                                     WindowSpec window_b, Options options)
+    : Operator(std::move(name)),
+      options_(options),
+      state_a_(window_a),
+      state_b_(window_b) {}
+
+void SlidingWindowJoin::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    Emit(kResultPort, event);
+    return;
+  }
+  SLICE_CHECK(IsTuple(event));
+  ProcessTuple(std::get<Tuple>(event));
+}
+
+void SlidingWindowJoin::ProcessTuple(const Tuple& t) {
+  // Regular join execution (Fig. 1): cross-purge the opposite state, probe
+  // it, then insert (unless running one-way and this is the probe-only
+  // stream).
+  std::vector<Tuple> matches;
+  if (t.side == StreamSide::kA) {
+    Charge(CostCategory::kPurge, state_b_.Purge(t.timestamp, nullptr));
+    Charge(CostCategory::kProbe,
+           state_b_.Probe(t, options_.condition, &matches));
+    for (const Tuple& b : matches) {
+      Emit(kResultPort, JoinResult{.a = t, .b = b});
+    }
+    state_a_.Insert(t);
+  } else {
+    Charge(CostCategory::kPurge, state_a_.Purge(t.timestamp, nullptr));
+    Charge(CostCategory::kProbe,
+           state_a_.Probe(t, options_.condition, &matches));
+    for (const Tuple& a : matches) {
+      Emit(kResultPort, JoinResult{.a = a, .b = t});
+    }
+    if (options_.mode == Mode::kBinary) {
+      state_b_.Insert(t);
+    }
+  }
+  if (options_.punctuate_results) {
+    // Inputs are globally ordered, so no later arrival can produce a result
+    // older than `t`; results of `t` itself were emitted above.
+    Emit(kResultPort, Punctuation{.watermark = t.timestamp});
+  }
+}
+
+void SlidingWindowJoin::Finish() {
+  // No more inputs: everything that could be produced has been produced.
+  Emit(kResultPort, Punctuation{.watermark = kMaxTime});
+}
+
+}  // namespace stateslice

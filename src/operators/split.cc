@@ -1,0 +1,47 @@
+#include "src/operators/split.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+Split::Split(std::string name, Predicate predicate, StreamSide target_side)
+    : Operator(std::move(name)),
+      predicate_(std::move(predicate)),
+      target_side_(target_side) {}
+
+void Split::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    Emit(kMatchPort, event);
+    Emit(kRestPort, event);
+    return;
+  }
+  SLICE_CHECK(IsTuple(event));
+  const Tuple& t = std::get<Tuple>(event);
+  if (t.side != target_side_) {
+    // The non-partitioned stream feeds every partition's join (Fig. 4: B
+    // flows into both joins), keeping each downstream queue fully ordered.
+    Emit(kMatchPort, event);
+    Emit(kRestPort, event);
+    return;
+  }
+  // One comparison per partitioned tuple (the "splitting cost" λ of Eq. 2).
+  Charge(CostCategory::kSplit, 1);
+  Emit(predicate_.Eval(t) ? kMatchPort : kRestPort, event);
+}
+
+void Split::Finish() {
+  Emit(kMatchPort, Punctuation{.watermark = kMaxTime});
+  Emit(kRestPort, Punctuation{.watermark = kMaxTime});
+}
+
+void Fanout::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  Emit(kOutPort, event);
+}
+
+void Fanout::Finish() { Emit(kOutPort, Punctuation{.watermark = kMaxTime}); }
+
+}  // namespace stateslice

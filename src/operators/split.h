@@ -1,0 +1,58 @@
+// Split and Fanout operators.
+//
+// Split partitions the target stream by a predicate (the stream-partition
+// sharing strategy of Section 3.2, Fig. 4): matching tuples exit one port,
+// non-matching tuples the other. Tuples of the *other* stream are broadcast
+// to both ports so each downstream join still receives a single,
+// globally-ordered queue carrying both streams.
+//
+// Fanout simply replicates its input to every attached queue of port 0;
+// the unshared baseline uses it to feed N independent query plans from one
+// source spine.
+#ifndef STATESLICE_OPERATORS_SPLIT_H_
+#define STATESLICE_OPERATORS_SPLIT_H_
+
+#include <string>
+
+#include "src/common/predicate.h"
+#include "src/runtime/operator.h"
+
+namespace stateslice {
+
+// Predicate-based stream partitioner.
+//
+// Ports: input 0; output kMatchPort (predicate true), output kRestPort
+// (predicate false). Other-side tuples and punctuations go to both.
+class Split : public Operator {
+ public:
+  static constexpr int kMatchPort = 0;
+  static constexpr int kRestPort = 1;
+
+  Split(std::string name, Predicate predicate,
+        StreamSide target_side = StreamSide::kA);
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  const Predicate& predicate() const { return predicate_; }
+
+ private:
+  Predicate predicate_;
+  StreamSide target_side_;
+};
+
+// Broadcast replicator: every event on input 0 is emitted on output 0,
+// which may have many attached queues.
+class Fanout : public Operator {
+ public:
+  static constexpr int kOutPort = 0;
+
+  explicit Fanout(std::string name) : Operator(std::move(name)) {}
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_SPLIT_H_

@@ -1,0 +1,79 @@
+// Order-preserving union (merge) of joined-result streams.
+//
+// Each query whose window spans k > 1 slices collects their outputs through
+// a union operator that restores global timestamp order (Section 4.1,
+// Fig. 7). Inputs are individually timestamp-ordered; the union buffers
+// events and releases them once every input's watermark has passed, using
+// the punctuations that male tuples generate at each slice (Section 4.3 /
+// [26]). The merge is safe under any operator scheduling because
+// watermarks are per input queue.
+#ifndef STATESLICE_OPERATORS_UNION_MERGE_H_
+#define STATESLICE_OPERATORS_UNION_MERGE_H_
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/runtime/operator.h"
+
+namespace stateslice {
+
+// K-way watermark-driven merge.
+//
+// Ports: inputs 0..k-1 (declare k via `input_count`, or grow at runtime
+// with AddInputWhileRunning for online chain migration); output 0.
+// Emits merged data events in non-decreasing timestamp order, followed by
+// punctuations carrying the emitted watermark so unions can cascade.
+class UnionMerge : public Operator {
+ public:
+  static constexpr int kOutPort = 0;
+
+  UnionMerge(std::string name, int input_count);
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  // Registers one more input port on a live plan (Section 5.3 splitting
+  // inserts a new slice whose results join an existing union). Returns the
+  // new port index. The caller wires a queue to it via
+  // QueryPlan::ConnectWhileRunning.
+  int AddInputWhileRunning();
+
+  // Permanently closes an input port (its producer went away during a
+  // slice merge): the port stops gating the merge watermark.
+  void CloseInputWhileRunning(int port);
+
+  // Number of buffered (not yet releasable) events.
+  size_t buffered() const { return buffer_.size(); }
+
+  // StateSize intentionally excludes the merge buffer: the paper counts
+  // join states only. Buffer occupancy is reported via buffered().
+  size_t StateSize() const override { return 0; }
+
+ private:
+  struct Pending {
+    TimePoint time;
+    uint64_t arrival;  // tie-break: arrival order for determinism
+    Event event;
+  };
+  struct PendingAfter {
+    bool operator()(const Pending& x, const Pending& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.arrival > y.arrival;
+    }
+  };
+
+  // Releases all buffered events at or before the minimum input watermark.
+  void Drain();
+  TimePoint MinWatermark() const;
+
+  std::vector<TimePoint> watermarks_;  // per input port
+  std::priority_queue<Pending, std::vector<Pending>, PendingAfter> buffer_;
+  uint64_t arrivals_ = 0;
+  TimePoint emitted_watermark_ = kMinTime;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_UNION_MERGE_H_

@@ -1,0 +1,45 @@
+// Window specifications for stateful operators.
+//
+// The paper presents the sharing paradigm with time-based sliding windows and
+// notes the techniques apply unchanged to count-based windows (Section 2).
+// We support both kinds.
+#ifndef STATESLICE_OPERATORS_WINDOW_SPEC_H_
+#define STATESLICE_OPERATORS_WINDOW_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/timestamp.h"
+
+namespace stateslice {
+
+// Discriminates how a window's extent is measured.
+enum class WindowKind : uint8_t {
+  kTime,   // extent in ticks of virtual time
+  kCount,  // extent in number of most recent tuples
+};
+
+// A sliding-window extent.
+struct WindowSpec {
+  WindowKind kind = WindowKind::kTime;
+  // Ticks for kTime; tuple count for kCount.
+  int64_t extent = 0;
+
+  static WindowSpec Time(Duration ticks) {
+    return WindowSpec{WindowKind::kTime, ticks};
+  }
+  static WindowSpec TimeSeconds(double seconds) {
+    return WindowSpec{WindowKind::kTime, SecondsToTicks(seconds)};
+  }
+  static WindowSpec Count(int64_t tuples) {
+    return WindowSpec{WindowKind::kCount, tuples};
+  }
+
+  std::string DebugString() const;
+
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_WINDOW_SPEC_H_

@@ -1,0 +1,282 @@
+#include "src/query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace stateslice {
+namespace {
+
+// ------------------------------------------------------------- tokenizer
+
+struct Token {
+  std::string text;   // original spelling
+  std::string lower;  // lowercase for keyword matching
+};
+
+bool IsSymbolChar(char c) {
+  return c == ',' || c == '.' || c == '=' || c == '<' || c == '>' ||
+         c == '*';
+}
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&tokens](std::string word) {
+    Token t;
+    t.lower.resize(word.size());
+    std::transform(word.begin(), word.end(), t.lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    t.text = std::move(word);
+    tokens.push_back(std::move(t));
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '>' || c == '<') {  // possibly >= / <=
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        push(text.substr(i, 2));
+        i += 2;
+      } else {
+        push(std::string(1, c));
+        ++i;
+      }
+      continue;
+    }
+    // Numeric literals keep their decimal point ("0.7" is one token even
+    // though '.' otherwise separates alias from attribute).
+    const bool starts_number =
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])));
+    if (starts_number) {
+      size_t j = i + (c == '-' ? 1 : 0);
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      if (j < text.size() && text[j] == '.' && j + 1 < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        ++j;
+        while (j < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+      }
+      push(text.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (IsSymbolChar(c)) {
+      push(std::string(1, c));
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[j])) &&
+           !IsSymbolChar(text[j]) && text[j] != '>' && text[j] != '<') {
+      ++j;
+    }
+    push(text.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+// --------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : tokens_(Tokenize(text)) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    if (!ParseInto(&result.query, &result.error)) {
+      result.ok = false;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool ParseInto(ContinuousQuery* query, std::string* error) {
+    if (!ExpectKeyword("select", error)) return false;
+    // SELECT list: accept anything up to FROM.
+    while (!AtEnd() && Peek().lower != "from") Advance();
+    if (!ExpectKeyword("from", error)) return false;
+
+    if (!ParseStreamRef(&stream_a_, &alias_a_, error)) return false;
+    if (!ExpectSymbol(",", error)) return false;
+    if (!ParseStreamRef(&stream_b_, &alias_b_, error)) return false;
+
+    if (!ExpectKeyword("where", error)) return false;
+    if (!ParseJoinCondition(error)) return false;
+    while (!AtEnd() && Peek().lower == "and") {
+      Advance();
+      if (!ParseFilter(query, error)) return false;
+    }
+
+    if (!ExpectKeyword("window", error)) return false;
+    if (!ParseWindow(query, error)) return false;
+    if (!AtEnd()) return Fail("trailing input after WINDOW clause", error);
+    return true;
+  }
+
+  bool ParseStreamRef(std::string* stream, std::string* alias,
+                      std::string* error) {
+    if (AtEnd()) return Fail("expected stream name", error);
+    *stream = Peek().text;
+    Advance();
+    // Optional alias (an identifier that is not a separator/keyword).
+    if (!AtEnd() && Peek().lower != "," && Peek().lower != "where") {
+      *alias = Peek().text;
+      Advance();
+    } else {
+      *alias = *stream;
+    }
+    return true;
+  }
+
+  bool ParseJoinCondition(std::string* error) {
+    std::string lhs_alias, lhs_attr, rhs_alias, rhs_attr;
+    if (!ParseQualified(&lhs_alias, &lhs_attr, error)) return false;
+    if (!ExpectSymbol("=", error)) return false;
+    if (!ParseQualified(&rhs_alias, &rhs_attr, error)) return false;
+    const bool lhs_known = SideOf(lhs_alias) != 0;
+    const bool rhs_known = SideOf(rhs_alias) != 0;
+    if (!lhs_known || !rhs_known || SideOf(lhs_alias) == SideOf(rhs_alias)) {
+      return Fail("join condition must reference both streams", error);
+    }
+    return true;
+  }
+
+  bool ParseFilter(ContinuousQuery* query, std::string* error) {
+    std::string alias, attr;
+    if (!ParseQualified(&alias, &attr, error)) return false;
+    if (AtEnd()) return Fail("expected comparison operator", error);
+    const std::string op = Peek().lower;
+    if (op != ">" && op != "<" && op != ">=" && op != "<=") {
+      return Fail("unsupported comparison '" + Peek().text + "'", error);
+    }
+    Advance();
+    double threshold = 0;
+    if (!ParseNumber(&threshold, error)) return false;
+    Predicate pred = (op == ">" || op == ">=")
+                         ? Predicate::GreaterThan(threshold)
+                         : Predicate::LessThan(threshold);
+    const int side = SideOf(alias);
+    if (side == 0) {
+      return Fail("filter references unknown alias '" + alias + "'", error);
+    }
+    if (side == 1) {
+      query->selection_a = Predicate::And(query->selection_a, pred);
+    } else {
+      query->selection_b = Predicate::And(query->selection_b, pred);
+    }
+    return true;
+  }
+
+  bool ParseWindow(ContinuousQuery* query, std::string* error) {
+    double magnitude = 0;
+    if (!ParseNumber(&magnitude, error)) return false;
+    std::string unit = "s";
+    if (!AtEnd()) {
+      unit = Peek().lower;
+      Advance();
+    }
+    if (unit == "ms" || unit == "millis" || unit == "milliseconds") {
+      query->window = WindowSpec::TimeSeconds(magnitude / 1000.0);
+    } else if (unit == "s" || unit == "sec" || unit == "secs" ||
+               unit == "second" || unit == "seconds") {
+      query->window = WindowSpec::TimeSeconds(magnitude);
+    } else if (unit == "min" || unit == "mins" || unit == "minute" ||
+               unit == "minutes") {
+      query->window = WindowSpec::TimeSeconds(magnitude * 60.0);
+    } else if (unit == "rows" || unit == "tuples") {
+      query->window = WindowSpec::Count(static_cast<int64_t>(magnitude));
+    } else {
+      return Fail("unknown window unit '" + unit + "'", error);
+    }
+    if (query->window.extent <= 0) {
+      return Fail("window must be positive", error);
+    }
+    return true;
+  }
+
+  bool ParseQualified(std::string* alias, std::string* attr,
+                      std::string* error) {
+    if (AtEnd()) return Fail("expected qualified attribute", error);
+    *alias = Peek().text;
+    Advance();
+    if (!ExpectSymbol(".", error)) return false;
+    if (AtEnd()) return Fail("expected attribute after '.'", error);
+    *attr = Peek().text;
+    Advance();
+    return true;
+  }
+
+  bool ParseNumber(double* out, std::string* error) {
+    if (AtEnd()) return Fail("expected number", error);
+    const std::string& text = Peek().text;
+    char* end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      return Fail("expected number, got '" + text + "'", error);
+    }
+    Advance();
+    return true;
+  }
+
+  // 1 = stream A, 2 = stream B, 0 = unknown.
+  int SideOf(const std::string& alias) const {
+    if (alias == alias_a_ || alias == stream_a_) return 1;
+    if (alias == alias_b_ || alias == stream_b_) return 2;
+    return 0;
+  }
+
+  bool ExpectKeyword(const std::string& kw, std::string* error) {
+    if (AtEnd() || Peek().lower != kw) {
+      return Fail("expected keyword '" + kw + "'", error);
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectSymbol(const std::string& sym, std::string* error) {
+    if (AtEnd() || Peek().lower != sym) {
+      return Fail("expected '" + sym + "'", error);
+    }
+    Advance();
+    return true;
+  }
+
+  bool Fail(const std::string& message, std::string* error) const {
+    std::ostringstream out;
+    out << message << " (at token " << pos_ << ")";
+    *error = out.str();
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string stream_a_, alias_a_, stream_b_, alias_b_;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace stateslice

@@ -1,0 +1,44 @@
+// Mini-CQL parser for the examples and tests.
+//
+// Parses the SQL-like, window-extended query dialect the paper uses in its
+// motivating example:
+//
+//   SELECT A.* FROM Temperature A, Humidity B
+//   WHERE A.LocationId = B.LocationId AND A.Value > 0.5
+//   WINDOW 60 min
+//
+// Grammar (case-insensitive keywords):
+//   query     := SELECT select FROM stream alias "," stream alias
+//                WHERE join (AND filter)* WINDOW number unit
+//   join      := alias "." ident "=" alias "." ident
+//   filter    := alias "." ident cmp number
+//   cmp       := ">" | "<" | ">=" | "<="
+//   unit      := "ms" | "s" | "sec" | "second(s)" | "min" | "minute(s)"
+//                | "rows" | "tuples"          (count-based windows)
+//
+// The first FROM entry is bound to stream A, the second to stream B.
+// Filters must reference a numeric attribute; they are compiled onto the
+// tuple's `value` field.
+#ifndef STATESLICE_QUERY_PARSER_H_
+#define STATESLICE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/query/query.h"
+
+namespace stateslice {
+
+// Outcome of parsing one query string.
+struct ParseResult {
+  bool ok = false;
+  std::string error;        // empty when ok
+  ContinuousQuery query;    // valid when ok (id/name left default)
+};
+
+// Parses `text` into a ContinuousQuery. Never aborts on bad input; returns
+// ok=false with a descriptive error instead.
+ParseResult ParseQuery(const std::string& text);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_QUERY_PARSER_H_

@@ -1,0 +1,50 @@
+#include "src/query/query.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/tuple.h"
+
+namespace stateslice {
+
+std::string ContinuousQuery::DebugString() const {
+  std::ostringstream out;
+  out << (name.empty() ? "Q" + std::to_string(id) : name) << ": A"
+      << window.DebugString() << " |x| B" << window.DebugString();
+  if (!selection_a.IsTrue()) out << " where A " << selection_a.description();
+  if (!selection_b.IsTrue()) out << " where B " << selection_b.description();
+  return out.str();
+}
+
+std::string WindowSpec::DebugString() const {
+  std::ostringstream out;
+  if (kind == WindowKind::kTime) {
+    out << "[" << TicksToSeconds(extent) << "s]";
+  } else {
+    out << "[#" << extent << "]";
+  }
+  return out.str();
+}
+
+void ValidateQueries(const std::vector<ContinuousQuery>& queries) {
+  SLICE_CHECK(!queries.empty());
+  SLICE_CHECK_LE(queries.size(), static_cast<size_t>(kMaxQueries));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SLICE_CHECK_EQ(queries[i].id, static_cast<int>(i));
+    SLICE_CHECK_GT(queries[i].window.extent, 0);
+    SLICE_CHECK(queries[i].window.kind == queries[0].window.kind);
+  }
+}
+
+std::vector<int> QueriesByWindow(const std::vector<ContinuousQuery>& queries) {
+  std::vector<int> order(queries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&queries](int x, int y) {
+    return queries[x].window.extent < queries[y].window.extent;
+  });
+  return order;
+}
+
+}  // namespace stateslice

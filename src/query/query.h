@@ -1,0 +1,43 @@
+// Continuous-query specifications.
+//
+// A ContinuousQuery describes one registered window-join query:
+//    Qi: SELECT * FROM A, B WHERE <join cond> [AND σ_i(A)] WINDOW w_i
+// The shared-plan builders (src/core) consume a vector of these.
+#ifndef STATESLICE_QUERY_QUERY_H_
+#define STATESLICE_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/predicate.h"
+#include "src/operators/window_spec.h"
+
+namespace stateslice {
+
+// One registered continuous query over streams A and B.
+struct ContinuousQuery {
+  int id = 0;                // dense id; also the lineage bit position
+  std::string name;          // e.g. "Q1"
+  WindowSpec window;         // both sides use the same window (paper §5)
+  Predicate selection_a;     // σ on stream A (default: true)
+  Predicate selection_b;     // σ on stream B (default: true; extension)
+
+  // True if the query applies no selection at all.
+  bool Unfiltered() const {
+    return selection_a.IsTrue() && selection_b.IsTrue();
+  }
+
+  std::string DebugString() const;
+};
+
+// Validates a workload: non-empty, dense ids 0..N-1, positive windows, all
+// windows the same kind, at most kMaxQueries queries. CHECK-fails on
+// violations (programming errors).
+void ValidateQueries(const std::vector<ContinuousQuery>& queries);
+
+// Returns query indices sorted by ascending window extent (stable).
+std::vector<int> QueriesByWindow(const std::vector<ContinuousQuery>& queries);
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_QUERY_QUERY_H_

@@ -1,0 +1,179 @@
+#include "src/query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/timestamp.h"
+
+namespace stateslice {
+namespace {
+
+// Generates one Poisson (or fixed-rate) stream of `side` tuples.
+std::vector<Tuple> GenerateStream(StreamSide side, double rate,
+                                  double duration_s, int64_t key_domain,
+                                  bool poisson, Rng* rng) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(rate * duration_s * 1.2) + 16);
+  const double horizon = duration_s * kTicksPerSecond;
+  double t = 0.0;
+  uint32_t seq = 1;  // 1-based to match the paper's a1, a2, ... naming
+  for (;;) {
+    if (poisson) {
+      t += rng->NextExponential(rate / kTicksPerSecond);
+    } else {
+      t += kTicksPerSecond / rate;
+    }
+    if (t >= horizon) break;
+    Tuple tuple;
+    tuple.timestamp = static_cast<TimePoint>(t);
+    tuple.key = static_cast<int64_t>(rng->NextBounded(key_domain));
+    tuple.value = rng->NextDouble();
+    tuple.seq = seq++;
+    tuple.side = side;
+    tuples.push_back(tuple);
+  }
+  return tuples;
+}
+
+}  // namespace
+
+JoinCondition ConditionForSelectivity(double s1) {
+  SLICE_CHECK_GT(s1, 0.0);
+  SLICE_CHECK_LE(s1, 1.0);
+  // Try small denominators first so keys stay in a compact domain; the
+  // paper's values (0.025, 0.1, 0.4, 0.5) all resolve exactly.
+  for (int64_t mod = 1; mod <= 1000; ++mod) {
+    const double band = s1 * static_cast<double>(mod);
+    const double rounded = std::round(band);
+    if (std::abs(band - rounded) < 1e-9 && rounded >= 1.0) {
+      return JoinCondition::ModSum(mod, static_cast<int64_t>(rounded));
+    }
+  }
+  return JoinCondition::ModSum(1000,
+                               static_cast<int64_t>(std::round(s1 * 1000)));
+}
+
+Workload GenerateWorkload(const WorkloadSpec& spec) {
+  Workload workload;
+  workload.spec = spec;
+  workload.condition = ConditionForSelectivity(spec.join_selectivity);
+  workload.key_domain = workload.condition.mod;
+  Rng rng(spec.seed);
+  Rng rng_a = rng.Fork();
+  Rng rng_b = rng.Fork();
+  workload.stream_a =
+      GenerateStream(StreamSide::kA, spec.rate_a, spec.duration_s,
+                     workload.key_domain, spec.poisson, &rng_a);
+  workload.stream_b =
+      GenerateStream(StreamSide::kB, spec.rate_b, spec.duration_s,
+                     workload.key_domain, spec.poisson, &rng_b);
+  return workload;
+}
+
+std::vector<double> Section72Windows(WindowDistribution3 dist) {
+  switch (dist) {
+    case WindowDistribution3::kMostlySmall:
+      return {5, 10, 30};
+    case WindowDistribution3::kUniform:
+      return {10, 20, 30};
+    case WindowDistribution3::kMostlyLarge:
+      return {20, 25, 30};
+  }
+  SLICE_CHECK(false);
+  return {};
+}
+
+std::vector<ContinuousQuery> MakeSection72Queries(WindowDistribution3 dist,
+                                                  double s_sigma) {
+  const std::vector<double> windows = Section72Windows(dist);
+  std::vector<ContinuousQuery> queries(3);
+  for (int i = 0; i < 3; ++i) {
+    queries[i].id = i;
+    queries[i].name = "Q" + std::to_string(i + 1);
+    queries[i].window = WindowSpec::TimeSeconds(windows[i]);
+    if (i > 0) {
+      // Q2 and Q3 carry the σ on stream A (Section 7.2).
+      queries[i].selection_a = Predicate::WithSelectivity(s_sigma);
+    }
+  }
+  return queries;
+}
+
+std::vector<double> Section73Windows(WindowDistributionN dist, int n) {
+  SLICE_CHECK_GE(n, 4);
+  std::vector<double> windows;
+  windows.reserve(n);
+  switch (dist) {
+    case WindowDistributionN::kUniformN: {
+      // N = 12 gives the paper's 2.5, 5, ..., 30.
+      const double step = 30.0 / n;
+      for (int i = 1; i <= n; ++i) windows.push_back(step * i);
+      break;
+    }
+    case WindowDistributionN::kMostlySmallN: {
+      // N = 12 gives the paper's 1..10, 20, 30; other N pack n-2 windows
+      // evenly into (0, 10] plus the 20 s and 30 s outliers.
+      for (int i = 1; i <= n - 2; ++i) {
+        windows.push_back(10.0 * i / (n - 2));
+      }
+      windows.push_back(20);
+      windows.push_back(30);
+      break;
+    }
+    case WindowDistributionN::kSmallLargeN: {
+      // N = 12 gives the paper's 1..6, 25..30; other N pack half the
+      // windows evenly into (0, 6] and half into [25, 30].
+      const int half = n / 2;
+      for (int i = 1; i <= half; ++i) {
+        windows.push_back(6.0 * i / half);
+      }
+      const int rest = n - half;
+      for (int i = 1; i <= rest; ++i) {
+        windows.push_back(rest > 1 ? 25.0 + 5.0 * (i - 1) / (rest - 1)
+                                   : 30.0);
+      }
+      break;
+    }
+  }
+  std::sort(windows.begin(), windows.end());
+  return windows;
+}
+
+std::vector<ContinuousQuery> MakeSection73Queries(WindowDistributionN dist,
+                                                  int n) {
+  const std::vector<double> windows = Section73Windows(dist, n);
+  std::vector<ContinuousQuery> queries(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    queries[i].id = static_cast<int>(i);
+    queries[i].name = "Q" + std::to_string(i + 1);
+    queries[i].window = WindowSpec::TimeSeconds(windows[i]);
+  }
+  return queries;
+}
+
+std::string ToString(WindowDistribution3 dist) {
+  switch (dist) {
+    case WindowDistribution3::kMostlySmall:
+      return "Mostly-Small";
+    case WindowDistribution3::kUniform:
+      return "Uniform";
+    case WindowDistribution3::kMostlyLarge:
+      return "Mostly-Large";
+  }
+  return "?";
+}
+
+std::string ToString(WindowDistributionN dist) {
+  switch (dist) {
+    case WindowDistributionN::kUniformN:
+      return "Uniform";
+    case WindowDistributionN::kMostlySmallN:
+      return "Mostly-Small";
+    case WindowDistributionN::kSmallLargeN:
+      return "Small-Large";
+  }
+  return "?";
+}
+
+}  // namespace stateslice

@@ -1,0 +1,76 @@
+// Runtime metrics collection for the experiments.
+//
+// The paper measures (Section 7.1):
+//  - state memory as the number of tuples held in join states, and
+//  - CPU via the average service rate (total throughput / running time).
+// The Executor samples state memory periodically (the monitor thread of
+// CAPE); RunStats aggregates everything a bench needs to print one row.
+#ifndef STATESLICE_RUNTIME_METRICS_H_
+#define STATESLICE_RUNTIME_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/cost_counters.h"
+#include "src/common/timestamp.h"
+
+namespace stateslice {
+
+// One periodic observation of plan memory.
+struct MemorySample {
+  TimePoint time = 0;       // virtual time of the sample
+  size_t state_tuples = 0;  // sum of join-state sizes
+  size_t queue_events = 0;  // sum of queue occupancies
+};
+
+// Aggregated outcome of one Executor run.
+struct RunStats {
+  // --- volume -----------------------------------------------------------
+  uint64_t input_tuples = 0;    // tuples fed from all sources
+  uint64_t events_processed = 0;  // scheduler event count (incl. internal)
+  uint64_t results_delivered = 0;  // JoinResults received by all sinks
+
+  // --- time -------------------------------------------------------------
+  TimePoint virtual_end_time = 0;  // virtual time horizon of the run
+  double wall_seconds = 0.0;       // wall-clock processing time
+
+  // --- memory -----------------------------------------------------------
+  std::vector<MemorySample> memory_samples;
+
+  // --- cpu --------------------------------------------------------------
+  CostCounters cost;  // comparison counts by category (Eqs. 1-3 units)
+  // Snapshot of `cost` taken when virtual time first crossed
+  // ExecutorOptions::cost_snapshot_time (steady-state accounting); zeroed
+  // when no snapshot was requested.
+  CostCounters cost_at_snapshot;
+  TimePoint cost_snapshot_time = 0;
+
+  // Average state-memory tuples over samples taken at or after `from`
+  // (warm-up exclusion). Returns 0 if no samples qualify.
+  double AvgStateTuples(TimePoint from = 0) const;
+
+  // Peak state-memory tuples over all samples.
+  size_t MaxStateTuples() const;
+
+  // Paper's service rate: results delivered per wall-clock second.
+  double ServiceRate() const {
+    return wall_seconds > 0 ? static_cast<double>(results_delivered) /
+                                  wall_seconds
+                            : 0.0;
+  }
+
+  // Comparisons per virtual second — the measured analogue of Cp.
+  double ComparisonsPerVirtualSecond() const;
+
+  // Comparisons per virtual second after the cost snapshot (steady state);
+  // falls back to the full-run rate when no snapshot was taken.
+  double SteadyComparisonsPerVirtualSecond() const;
+
+  std::string DebugString() const;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_METRICS_H_

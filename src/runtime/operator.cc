@@ -1,0 +1,53 @@
+#include "src/runtime/operator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+void Operator::AttachInput(int port, EventQueue* queue) {
+  SLICE_CHECK_GE(port, 0);
+  SLICE_CHECK(queue != nullptr);
+  if (port >= static_cast<int>(inputs_.size())) {
+    inputs_.resize(port + 1, nullptr);
+  }
+  SLICE_CHECK(inputs_[port] == nullptr);
+  inputs_[port] = queue;
+}
+
+void Operator::AttachOutput(int port, EventQueue* queue) {
+  SLICE_CHECK_GE(port, 0);
+  SLICE_CHECK(queue != nullptr);
+  if (port >= static_cast<int>(outputs_.size())) {
+    outputs_.resize(port + 1);
+  }
+  outputs_[port].push_back(queue);
+}
+
+void Operator::DetachOutput(int port, EventQueue* queue) {
+  SLICE_CHECK_GE(port, 0);
+  SLICE_CHECK_LT(port, static_cast<int>(outputs_.size()));
+  auto& fanout = outputs_[port];
+  auto it = std::find(fanout.begin(), fanout.end(), queue);
+  SLICE_CHECK(it != fanout.end());
+  fanout.erase(it);
+}
+
+void Operator::ReplaceInput(int port, EventQueue* queue) {
+  SLICE_CHECK_GE(port, 0);
+  SLICE_CHECK(queue != nullptr);
+  if (port >= static_cast<int>(inputs_.size())) {
+    inputs_.resize(port + 1, nullptr);
+  }
+  inputs_[port] = queue;
+}
+
+void Operator::Emit(int port, const Event& event) {
+  if (port >= static_cast<int>(outputs_.size())) return;
+  for (EventQueue* queue : outputs_[port]) {
+    queue->Push(event);
+  }
+}
+
+}  // namespace stateslice

@@ -1,0 +1,27 @@
+#include "src/runtime/queue.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+void EventQueue::Push(Event event) {
+  events_.push_back(std::move(event));
+  ++total_pushed_;
+  if (events_.size() > high_water_mark_) high_water_mark_ = events_.size();
+}
+
+Event EventQueue::Pop() {
+  SLICE_CHECK(!events_.empty());
+  Event event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+const Event& EventQueue::Front() const {
+  SLICE_CHECK(!events_.empty());
+  return events_.front();
+}
+
+}  // namespace stateslice

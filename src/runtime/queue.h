@@ -1,0 +1,55 @@
+// FIFO event queues connecting operators in a shared query plan.
+//
+// The paper distinguishes state memory from queue memory (Section 2); queues
+// here track their high-water mark so experiments can report both. The
+// runtime is single-threaded (deterministic round-robin scheduling, as in
+// CAPE), so no synchronization is needed.
+#ifndef STATESLICE_RUNTIME_QUEUE_H_
+#define STATESLICE_RUNTIME_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "src/common/tuple.h"
+
+namespace stateslice {
+
+// A named FIFO of events between two operators (or a source/sink edge).
+class EventQueue {
+ public:
+  explicit EventQueue(std::string name) : name_(std::move(name)) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Appends an event.
+  void Push(Event event);
+
+  // Removes and returns the front event. Queue must be non-empty.
+  Event Pop();
+
+  // Front event without removing it. Queue must be non-empty.
+  const Event& Front() const;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  // Largest size ever observed (queue-memory reporting).
+  size_t high_water_mark() const { return high_water_mark_; }
+
+  // Total number of events ever pushed.
+  uint64_t total_pushed() const { return total_pushed_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::deque<Event> events_;
+  size_t high_water_mark_ = 0;
+  uint64_t total_pushed_ = 0;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_QUEUE_H_

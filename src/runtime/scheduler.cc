@@ -1,0 +1,54 @@
+#include "src/runtime/scheduler.h"
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+RoundRobinScheduler::RoundRobinScheduler(QueryPlan* plan, int quantum)
+    : plan_(plan), quantum_(quantum) {
+  SLICE_CHECK(plan != nullptr);
+  SLICE_CHECK_GT(quantum, 0);
+}
+
+uint64_t RoundRobinScheduler::RunSome(uint64_t max_events) {
+  uint64_t processed = 0;
+  // One "lap" visits every consumer edge once. We stop after a full lap with
+  // no progress (quiescent) or when the budget is exhausted.
+  size_t idle_visits = 0;
+  while (processed < max_events) {
+    const auto& edges = plan_->consumer_edges();
+    if (edges.empty()) break;
+    if (cursor_ >= edges.size()) cursor_ = 0;
+    auto& [queue, consumer] = edges[cursor_];
+    auto& [op, port] = consumer;
+    int consumed = 0;
+    while (consumed < quantum_ && !queue->empty() &&
+           processed < max_events) {
+      op->Process(queue->Pop(), port);
+      ++consumed;
+      ++processed;
+    }
+    if (consumed == 0) {
+      ++idle_visits;
+      // A full idle lap means every queue is empty.
+      if (idle_visits >= edges.size()) break;
+    } else {
+      idle_visits = 0;
+    }
+    ++cursor_;
+  }
+  total_processed_ += processed;
+  return processed;
+}
+
+uint64_t RoundRobinScheduler::RunUntilQuiescent() {
+  uint64_t processed = 0;
+  for (;;) {
+    const uint64_t n = RunSome(UINT64_MAX);
+    processed += n;
+    if (n == 0) break;
+  }
+  return processed;
+}
+
+}  // namespace stateslice

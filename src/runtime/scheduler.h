@@ -1,0 +1,43 @@
+// Round-robin operator scheduler.
+//
+// The paper's experimental system (CAPE, Section 7.1) employs round-robin
+// scheduling for executing operators. We reproduce that policy: the
+// scheduler cycles over the plan's consumer queues and lets each consumer
+// process up to `quantum` events per visit. Execution is single-threaded and
+// deterministic.
+#ifndef STATESLICE_RUNTIME_SCHEDULER_H_
+#define STATESLICE_RUNTIME_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "src/runtime/plan.h"
+
+namespace stateslice {
+
+// Drives a started QueryPlan until all consumer queues are empty.
+class RoundRobinScheduler {
+ public:
+  // `quantum` = max events an operator consumes per scheduling visit.
+  explicit RoundRobinScheduler(QueryPlan* plan, int quantum = 8);
+
+  // Processes events until every consumer queue in the plan is empty.
+  // Returns the number of events processed.
+  uint64_t RunUntilQuiescent();
+
+  // Processes at most `max_events` events (useful for interleaving with
+  // sources or for step-wise tests). Returns events processed (< max_events
+  // implies quiescence).
+  uint64_t RunSome(uint64_t max_events);
+
+  uint64_t total_processed() const { return total_processed_; }
+
+ private:
+  QueryPlan* plan_;
+  int quantum_;
+  uint64_t total_processed_ = 0;
+  size_t cursor_ = 0;  // round-robin position over consumer edges
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,40 @@
+#include "src/runtime/sink.h"
+
+#include <utility>
+
+namespace stateslice {
+
+void CountingSink::Process(Event event, int /*input_port*/) {
+  if (const Punctuation* p = std::get_if<Punctuation>(&event)) {
+    if (p->watermark > watermark_) watermark_ = p->watermark;
+    return;
+  }
+  const TimePoint t = EventTime(event);
+  if (t < last_time_) ordered_ = false;
+  last_time_ = t;
+  if (IsJoinResult(event)) {
+    ++result_count_;
+  } else {
+    ++tuple_count_;
+  }
+}
+
+void CollectingSink::Process(Event event, int /*input_port*/) {
+  if (IsPunctuation(event)) return;
+  const TimePoint t = EventTime(event);
+  if (t < last_time_) ordered_ = false;
+  last_time_ = t;
+  if (JoinResult* r = std::get_if<JoinResult>(&event)) {
+    results_.push_back(std::move(*r));
+  }
+}
+
+std::map<std::string, int> CollectingSink::ResultMultiset() const {
+  std::map<std::string, int> multiset;
+  for (const JoinResult& r : results_) {
+    ++multiset[JoinPairKey(r)];
+  }
+  return multiset;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,25 @@
+#include "src/runtime/source.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+StreamSource::StreamSource(std::string name, std::vector<Tuple> tuples)
+    : name_(std::move(name)), tuples_(std::move(tuples)) {
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    SLICE_CHECK_LE(tuples_[i - 1].timestamp, tuples_[i].timestamp);
+  }
+}
+
+TimePoint StreamSource::NextTime() const {
+  return Exhausted() ? kMaxTime : tuples_[next_].timestamp;
+}
+
+Tuple StreamSource::PopNext() {
+  SLICE_CHECK(!Exhausted());
+  return tuples_[next_++];
+}
+
+}  // namespace stateslice

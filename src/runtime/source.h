@@ -1,0 +1,49 @@
+// Synthetic stream sources.
+//
+// A StreamSource holds a pre-generated, timestamp-ordered buffer of tuples
+// for one stream (A or B). The workload generator (src/query/workload)
+// produces these buffers with Poisson arrivals; the Executor merges multiple
+// sources into one globally ordered feed, matching the paper's assumption of
+// globally ordered timestamps (Section 2).
+#ifndef STATESLICE_RUNTIME_SOURCE_H_
+#define STATESLICE_RUNTIME_SOURCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/runtime/queue.h"
+
+namespace stateslice {
+
+// A replayable buffer of tuples for one input stream.
+class StreamSource {
+ public:
+  StreamSource(std::string name, std::vector<Tuple> tuples);
+
+  // True when all tuples have been emitted.
+  bool Exhausted() const { return next_ >= tuples_.size(); }
+
+  // Timestamp of the next tuple; kMaxTime when exhausted.
+  TimePoint NextTime() const;
+
+  // Emits the next tuple into `queue` and advances. Must not be exhausted.
+  Tuple PopNext();
+
+  // Restarts from the beginning (benches replay the same buffer).
+  void Reset() { next_ = 0; }
+
+  size_t size() const { return tuples_.size(); }
+  const std::string& name() const { return name_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+ private:
+  std::string name_;
+  std::vector<Tuple> tuples_;
+  size_t next_ = 0;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_SOURCE_H_

@@ -1,0 +1,62 @@
+// Umbrella header: the full public API of the stateslice library.
+//
+// stateslice is a C++20 reproduction of "State-Slice: New Paradigm of
+// Multi-query Optimization of Window-based Stream Queries" (VLDB 2006):
+// a deterministic stream-operator runtime, the sliced window join chain,
+// the Mem-Opt / CPU-Opt chain builders, the baseline sharing strategies,
+// the analytic cost model, and online chain migration.
+//
+// Quick start:
+//
+//   #include "src/stateslice.h"
+//   using namespace stateslice;
+//
+//   std::vector<ContinuousQuery> queries = ...;        // or ParseQuery()
+//   ChainPlan chain = BuildMemOptChain(queries);
+//   BuildOptions opt{.condition = JoinCondition::EquiKey()};
+//   BuiltPlan built = BuildStateSlicePlan(queries, chain, opt);
+//
+//   Workload w = GenerateWorkload({...});
+//   StreamSource a("A", w.stream_a), b("B", w.stream_b);
+//   Executor exec(built.plan.get(),
+//                 {{&a, built.entry}, {&b, built.entry}});
+//   for (auto* sink : built.sinks) exec.AddSink(sink);
+//   RunStats stats = exec.Run();
+#ifndef STATESLICE_STATESLICE_H_
+#define STATESLICE_STATESLICE_H_
+
+#include "src/common/check.h"
+#include "src/common/cost_counters.h"
+#include "src/common/predicate.h"
+#include "src/common/random.h"
+#include "src/common/timestamp.h"
+#include "src/common/tuple.h"
+#include "src/core/chain_builder.h"
+#include "src/core/chain_spec.h"
+#include "src/core/cost_model.h"
+#include "src/core/cpu_opt.h"
+#include "src/core/migration.h"
+#include "src/core/selection_pushdown.h"
+#include "src/core/shared_plan_builder.h"
+#include "src/operators/join_condition.h"
+#include "src/operators/join_state.h"
+#include "src/operators/router.h"
+#include "src/operators/selection.h"
+#include "src/operators/sliced_window_join.h"
+#include "src/operators/sliding_window_join.h"
+#include "src/operators/split.h"
+#include "src/operators/union_merge.h"
+#include "src/operators/window_spec.h"
+#include "src/query/parser.h"
+#include "src/query/query.h"
+#include "src/query/workload.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/operator.h"
+#include "src/runtime/plan.h"
+#include "src/runtime/queue.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/sink.h"
+#include "src/runtime/source.h"
+
+#endif  // STATESLICE_STATESLICE_H_

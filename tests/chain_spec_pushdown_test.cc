@@ -1,0 +1,150 @@
+// Unit tests for the pure chain-structure and selection-push-down decision
+// functions (ChainSpec, ChainPartition, SliceInputPredicate, gate rules).
+#include <gtest/gtest.h>
+
+#include "src/core/chain_spec.h"
+#include "src/core/selection_pushdown.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+
+std::vector<ContinuousQuery> Queries(
+    std::vector<std::pair<double, double>> window_and_selectivity) {
+  std::vector<ContinuousQuery> queries(window_and_selectivity.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].id = static_cast<int>(i);
+    queries[i].name = "Q" + std::to_string(i + 1);
+    queries[i].window =
+        WindowSpec::TimeSeconds(window_and_selectivity[i].first);
+    if (window_and_selectivity[i].second < 1.0) {
+      queries[i].selection_a =
+          Predicate::WithSelectivity(window_and_selectivity[i].second);
+    }
+  }
+  return queries;
+}
+
+TEST(ChainSpecTest, DeduplicatesAndSortsBoundaries) {
+  const auto queries = Queries({{4, 1}, {2, 1}, {4, 1}, {8, 1}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  ASSERT_EQ(spec.num_boundaries(), 3);
+  EXPECT_EQ(spec.boundaries[0], SecondsToTicks(2));
+  EXPECT_EQ(spec.boundaries[1], SecondsToTicks(4));
+  EXPECT_EQ(spec.boundaries[2], SecondsToTicks(8));
+  // Query -> boundary mapping.
+  EXPECT_EQ(spec.query_boundary[0], 1);
+  EXPECT_EQ(spec.query_boundary[1], 0);
+  EXPECT_EQ(spec.query_boundary[2], 1);
+  EXPECT_EQ(spec.query_boundary[3], 2);
+  // Two queries registered at the 4 s boundary.
+  EXPECT_EQ(spec.queries_at_boundary[1].size(), 2u);
+}
+
+TEST(ChainSpecTest, QueriesAtOrBeyondCounts) {
+  const auto queries = Queries({{2, 1}, {4, 1}, {4, 1}, {8, 1}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  EXPECT_EQ(spec.QueriesAtOrBeyond(0), 4);
+  EXPECT_EQ(spec.QueriesAtOrBeyond(1), 3);
+  EXPECT_EQ(spec.QueriesAtOrBeyond(2), 1);
+}
+
+TEST(ChainPartitionTest, MemOptUsesEveryBoundary) {
+  const auto queries = Queries({{2, 1}, {4, 1}, {8, 1}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  const ChainPartition p = MemOptPartition(spec);
+  EXPECT_EQ(p.num_slices(), 3);
+  EXPECT_EQ(p.SliceStartBoundary(0), -1);
+  EXPECT_EQ(p.SliceStartBoundary(1), 0);
+  EXPECT_EQ(p.SliceStartBoundary(2), 1);
+  ValidatePartition(spec, p);
+}
+
+TEST(ChainPartitionDeathTest, InvalidPartitionsRejected) {
+  const auto queries = Queries({{2, 1}, {4, 1}, {8, 1}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  ChainPartition missing_last;
+  missing_last.slice_end_boundaries = {0, 1};
+  EXPECT_DEATH(ValidatePartition(spec, missing_last), "CHECK failed");
+  ChainPartition unsorted;
+  unsorted.slice_end_boundaries = {1, 0, 2};
+  EXPECT_DEATH(ValidatePartition(spec, unsorted), "CHECK failed");
+}
+
+TEST(SliceInputPredicateTest, DisjunctionOverDownstreamQueries) {
+  // Q1 unfiltered at 2 s, Q2 (sel .2) at 4 s, Q3 (sel .4) at 8 s.
+  const auto queries = Queries({{2, 1}, {4, 0.2}, {8, 0.4}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  // Slice 1 serves everyone including unfiltered Q1: filter is true.
+  EXPECT_TRUE(SliceInputPredicate(queries, spec, 0).IsTrue());
+  // Slice starting past Q1: cond_2 OR cond_3.
+  const Predicate d1 = SliceInputPredicate(queries, spec, 1);
+  EXPECT_FALSE(d1.IsTrue());
+  EXPECT_TRUE(d1.Eval(A(1, 0.0, 0, 0.1)));   // passes cond_2
+  EXPECT_TRUE(d1.Eval(A(1, 0.0, 0, 0.35)));  // passes cond_3 only
+  EXPECT_FALSE(d1.Eval(A(1, 0.0, 0, 0.9)));  // passes neither
+  // Last slice: cond_3 only.
+  const Predicate d2 = SliceInputPredicate(queries, spec, 2);
+  EXPECT_FALSE(d2.Eval(A(1, 0.0, 0, 0.35)) == false);
+  EXPECT_FALSE(d2.Eval(A(1, 0.0, 0, 0.5)));
+}
+
+TEST(SliceInputPredicateTest, SelectivityComposesByInclusionExclusion) {
+  const auto queries = Queries({{2, 0.5}, {4, 0.5}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  const Predicate d = SliceInputPredicate(queries, spec, 0);
+  // Both predicates are value < 0.5 (identical ranges): the disjunction
+  // passes exactly values < 0.5. Estimated selectivity assumes
+  // independence (documented upper bound).
+  EXPECT_TRUE(d.Eval(A(1, 0.0, 0, 0.4)));
+  EXPECT_FALSE(d.Eval(A(1, 0.0, 0, 0.6)));
+}
+
+TEST(LineageMaskTest, MatchesBoundaryThreshold) {
+  const auto queries = Queries({{2, 0.5}, {4, 0.5}, {8, 0.5}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  EXPECT_EQ(LineageMaskAtOrBeyond(spec, 0), uint64_t{0b111});
+  EXPECT_EQ(LineageMaskAtOrBeyond(spec, 1), uint64_t{0b110});
+  EXPECT_EQ(LineageMaskAtOrBeyond(spec, 2), uint64_t{0b100});
+  EXPECT_EQ(LineageMaskAtOrBeyond(spec, 3), uint64_t{0});
+}
+
+TEST(SliceConsumersTest, QueriesWithBoundaryAtOrPastSliceEnd) {
+  const auto queries = Queries({{2, 1}, {4, 1}, {4, 1}, {8, 1}});
+  const ChainSpec spec = BuildChainSpec(queries);
+  EXPECT_EQ(SliceConsumers(spec, 0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(SliceConsumers(spec, 1), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(SliceConsumers(spec, 2), (std::vector<int>{3}));
+}
+
+TEST(NeedsResultGateTest, PaperFigure10Rules) {
+  // Fig. 10: Q1 (no σ) never gates; Q2 gates slice 1 (shared with Q1) but
+  // not slice 2 (sole consumer).
+  const auto queries = Queries({{2, 1}, {8, 0.5}});
+  EXPECT_FALSE(NeedsResultGate(queries, /*consumers=*/{0, 1}, 0));
+  EXPECT_TRUE(NeedsResultGate(queries, /*consumers=*/{0, 1}, 1));
+  EXPECT_FALSE(NeedsResultGate(queries, /*consumers=*/{1}, 1));
+}
+
+TEST(NeedsResultGateTest, SharedPredicateNeedsNoGate) {
+  // Two queries with the same predicate consuming one slice: the slice's
+  // input filter is exactly that predicate, so results are pre-filtered.
+  const auto queries = Queries({{2, 0.5}, {8, 0.5}});
+  EXPECT_FALSE(NeedsResultGate(queries, {0, 1}, 0));
+  EXPECT_FALSE(NeedsResultGate(queries, {0, 1}, 1));
+}
+
+TEST(NeedsResultGateTest, DifferentPredicatesGateEachOther) {
+  std::vector<ContinuousQuery> queries(2);
+  queries[0] = {0, "Q1", WindowSpec::TimeSeconds(2),
+                Predicate::LessThan(0.3), {}};
+  queries[1] = {1, "Q2", WindowSpec::TimeSeconds(8),
+                Predicate::LessThan(0.7), {}};
+  EXPECT_TRUE(NeedsResultGate(queries, {0, 1}, 0));
+  EXPECT_TRUE(NeedsResultGate(queries, {0, 1}, 1));
+}
+
+}  // namespace
+}  // namespace stateslice

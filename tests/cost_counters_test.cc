@@ -1,0 +1,52 @@
+#include "src/common/cost_counters.h"
+
+#include <gtest/gtest.h>
+
+namespace stateslice {
+namespace {
+
+TEST(CostCountersTest, StartsAtZero) {
+  CostCounters c;
+  EXPECT_EQ(c.Total(), 0u);
+  EXPECT_EQ(c.Get(CostCategory::kProbe), 0u);
+}
+
+TEST(CostCountersTest, AddAccumulatesPerCategory) {
+  CostCounters c;
+  c.Add(CostCategory::kProbe, 10);
+  c.Add(CostCategory::kProbe, 5);
+  c.Add(CostCategory::kPurge, 2);
+  EXPECT_EQ(c.Get(CostCategory::kProbe), 15u);
+  EXPECT_EQ(c.Get(CostCategory::kPurge), 2u);
+  EXPECT_EQ(c.Get(CostCategory::kRoute), 0u);
+  EXPECT_EQ(c.Total(), 17u);
+}
+
+TEST(CostCountersTest, ResetClearsEverything) {
+  CostCounters c;
+  c.Add(CostCategory::kUnion, 9);
+  c.Add(CostCategory::kFilter, 1);
+  c.Reset();
+  EXPECT_EQ(c.Total(), 0u);
+}
+
+TEST(CostCountersTest, NamesAreStable) {
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kProbe), "probe");
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kPurge), "purge");
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kRoute), "route");
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kFilter), "filter");
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kUnion), "union");
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kSplit), "split");
+  EXPECT_STREQ(CostCounters::Name(CostCategory::kGate), "gate");
+}
+
+TEST(CostCountersTest, DebugStringMentionsTotals) {
+  CostCounters c;
+  c.Add(CostCategory::kProbe, 3);
+  const std::string s = c.DebugString();
+  EXPECT_NE(s.find("probe=3"), std::string::npos);
+  EXPECT_NE(s.find("total=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stateslice

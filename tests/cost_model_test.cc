@@ -1,0 +1,201 @@
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/chain_builder.h"
+#include "src/query/workload.h"
+
+namespace stateslice {
+namespace {
+
+TwoQueryParams DefaultParams() {
+  TwoQueryParams p;
+  p.lambda = 20;
+  p.w1 = 10;
+  p.w2 = 60;
+  p.s_sigma = 0.5;
+  p.s1 = 0.1;
+  p.tuple_kb = 0.1;
+  return p;
+}
+
+TEST(TwoQueryCostTest, PullUpMatchesEquation1) {
+  const TwoQueryParams p = DefaultParams();
+  const CostEstimate c = PullUpCost(p);
+  // Cm = 2 λ W2 Mt.
+  EXPECT_DOUBLE_EQ(c.memory_tuples, 2 * 20 * 60.0);
+  EXPECT_DOUBLE_EQ(c.memory_kb, 2 * 20 * 60.0 * 0.1);
+  // Cp = 2λ²W2 + 2λ + 2λ²W2S1 + 2λ²W2S1.
+  const double ll = 2.0 * 20 * 20;
+  EXPECT_DOUBLE_EQ(c.cpu_per_sec, ll * 60 + 40 + ll * 60 * 0.1 * 2);
+}
+
+TEST(TwoQueryCostTest, PushDownMatchesEquation2) {
+  const TwoQueryParams p = DefaultParams();
+  const CostEstimate c = PushDownCost(p);
+  // Cm = (2-Sσ)λW1Mt + (1+Sσ)λW2Mt.
+  EXPECT_DOUBLE_EQ(c.memory_tuples, 1.5 * 20 * 10 + 1.5 * 20 * 60);
+  // Cp = λ + 2(1-Sσ)λ²W1 + 2Sσλ²W2 + 3λ + 2Sσλ²W2S1 + 2λ²W1S1.
+  const double l2 = 20.0 * 20;
+  EXPECT_DOUBLE_EQ(c.cpu_per_sec, 20 + 2 * 0.5 * l2 * 10 + 2 * 0.5 * l2 * 60 +
+                                      60 + 2 * 0.5 * l2 * 60 * 0.1 +
+                                      2 * l2 * 10 * 0.1);
+}
+
+TEST(TwoQueryCostTest, StateSliceMatchesEquation3) {
+  const TwoQueryParams p = DefaultParams();
+  const CostEstimate c = StateSliceCost(p);
+  // Cm = 2λW1Mt + (1+Sσ)λ(W2-W1)Mt.
+  EXPECT_DOUBLE_EQ(c.memory_tuples, 2 * 20 * 10 + 1.5 * 20 * 50);
+  // Cp = 2λ²W1 + λ + 2λ²Sσ(W2-W1) + 4λ + 2λ + 2λ²S1W1.
+  const double l2 = 20.0 * 20;
+  EXPECT_DOUBLE_EQ(c.cpu_per_sec, 2 * l2 * 10 + 20 + 2 * l2 * 0.5 * 50 + 80 +
+                                      40 + 2 * l2 * 0.1 * 10);
+}
+
+TEST(TwoQueryCostTest, StateSliceNeverWorseOnMemoryAndCpu) {
+  // Eq. 4 claims all savings are positive over the whole parameter space.
+  for (double rho : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (double ss : {0.1, 0.5, 0.9}) {
+      for (double s1 : {0.025, 0.1, 0.4}) {
+        TwoQueryParams p = DefaultParams();
+        p.w2 = 60;
+        p.w1 = rho * p.w2;
+        p.s_sigma = ss;
+        p.s1 = s1;
+        const CostEstimate slice = StateSliceCost(p);
+        const CostEstimate pullup = PullUpCost(p);
+        const CostEstimate pushdown = PushDownCost(p);
+        EXPECT_LE(slice.memory_tuples, pullup.memory_tuples);
+        EXPECT_LE(slice.memory_tuples, pushdown.memory_tuples);
+        EXPECT_LE(slice.cpu_per_sec, pullup.cpu_per_sec);
+        EXPECT_LE(slice.cpu_per_sec, pushdown.cpu_per_sec);
+      }
+    }
+  }
+}
+
+TEST(SavingsTest, MatchesClosedFormsOfEquation4) {
+  const SliceSavings s = ComputeSliceSavings(0.25, 0.5, 0.1);
+  EXPECT_NEAR(s.memory_vs_pullup, (1 - 0.25) * (1 - 0.5) / 2, 1e-12);
+  EXPECT_NEAR(s.memory_vs_pushdown,
+              0.25 / (1 + 2 * 0.25 + (1 - 0.25) * 0.5), 1e-12);
+  EXPECT_NEAR(s.cpu_vs_pullup,
+              ((1 - 0.25) * (1 - 0.5) + (2 - 0.25) * 0.1) / (1 + 0.2),
+              1e-12);
+  EXPECT_NEAR(s.cpu_vs_pushdown,
+              0.5 * 0.1 / (0.25 * 0.5 + 0.5 + 0.05 + 0.025), 1e-12);
+}
+
+TEST(SavingsTest, ClosedFormsAgreeWithEquationDifferences) {
+  // Eq. 4 is derived from Eqs. 1-3 (λ terms omitted for CPU); check the
+  // memory forms against the full equations exactly.
+  for (double rho : {0.2, 0.5, 0.8}) {
+    for (double ss : {0.2, 0.5, 0.8}) {
+      TwoQueryParams p = DefaultParams();
+      p.w1 = rho * p.w2;
+      p.s_sigma = ss;
+      const SliceSavings s = ComputeSliceSavings(rho, ss, p.s1);
+      const double m1 = PullUpCost(p).memory_tuples;
+      const double m2 = PushDownCost(p).memory_tuples;
+      const double m3 = StateSliceCost(p).memory_tuples;
+      EXPECT_NEAR(s.memory_vs_pullup, (m1 - m3) / m1, 1e-9);
+      EXPECT_NEAR(s.memory_vs_pushdown, (m2 - m3) / m2, 1e-9);
+    }
+  }
+}
+
+TEST(SavingsTest, Figure11Shapes) {
+  // Fig. 11(a): memory saving vs pull-up grows as ρ and Sσ shrink, peaking
+  // near 50%.
+  const SliceSavings extreme = ComputeSliceSavings(0.01, 0.01, 0.1);
+  EXPECT_GT(extreme.memory_vs_pullup, 0.48);
+  // Fig. 11(b): CPU saving vs pull-up approaches 100% of the plotted ratio
+  // at small ρ/Sσ with high S1.
+  const SliceSavings cpu = ComputeSliceSavings(0.01, 0.01, 0.4);
+  EXPECT_GT(cpu.cpu_vs_pullup, 0.9);
+  // Fig. 11(c): saving vs push-down vanishes when there is no selection
+  // (Sσ -> 1 pushes nothing down, both plans converge).
+  const SliceSavings nosel = ComputeSliceSavings(0.5, 0.999, 0.1);
+  EXPECT_LT(nosel.cpu_vs_pushdown, 0.1);
+}
+
+// ------------------------------------------------------- N-query chain model
+
+std::vector<ContinuousQuery> ThreeQueries(double s_sigma) {
+  return MakeSection72Queries(WindowDistribution3::kUniform, s_sigma);
+}
+
+TEST(ChainCostModelTest, MemOptPartitionHasMinimalMemory) {
+  const auto queries = ThreeQueries(0.5);
+  const ChainSpec spec = BuildChainSpec(queries);
+  ChainCostParams params;
+  const ChainCostModel model(queries, spec, params);
+  const ChainPartition mem_opt = MemOptPartition(spec);
+  const double mem_opt_kb = model.PartitionMemoryKb(mem_opt);
+  // Enumerate all partitions; none may beat Mem-Opt (Theorem 4).
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    ChainPartition p;
+    for (int k = 0; k < 2; ++k) {
+      if (mask & (1u << k)) p.slice_end_boundaries.push_back(k);
+    }
+    p.slice_end_boundaries.push_back(2);
+    EXPECT_GE(model.PartitionMemoryKb(p) + 1e-9, mem_opt_kb)
+        << p.DebugString();
+  }
+}
+
+TEST(ChainCostModelTest, NoSelectionMakesAllPartitionsEqualMemory) {
+  // Section 5.2: without selections the CPU-Opt chain consumes the same
+  // memory as the Mem-Opt chain.
+  const auto queries = MakeSection73Queries(WindowDistributionN::kUniformN, 4);
+  const ChainSpec spec = BuildChainSpec(queries);
+  ChainCostParams params;
+  const ChainCostModel model(queries, spec, params);
+  const double mem_opt_kb = model.PartitionMemoryKb(MemOptPartition(spec));
+  ChainPartition merged;
+  merged.slice_end_boundaries = {3};  // everything in one slice
+  EXPECT_NEAR(model.PartitionMemoryKb(merged), mem_opt_kb, 1e-9);
+}
+
+TEST(ChainCostModelTest, EffectiveRateReflectsDisjunction) {
+  auto queries = ThreeQueries(0.5);  // Q1 unfiltered, Q2/Q3 σ = 0.5
+  const ChainSpec spec = BuildChainSpec(queries);
+  ChainCostParams params;
+  params.lambda_a = 40;
+  const ChainCostModel model(queries, spec, params);
+  // Slice starting at boundary -1 (w=0) serves Q1 too: disjunction true.
+  EXPECT_DOUBLE_EQ(model.EffectiveRateA(-1), 40.0);
+  // Slices past Q1's window only need Q2 OR Q3 tuples: 1-(1-.5)^2 = 0.75.
+  EXPECT_NEAR(model.EffectiveRateA(0), 40.0 * 0.75, 1e-9);
+  // Past Q2's window, only Q3: 0.5.
+  EXPECT_NEAR(model.EffectiveRateA(1), 40.0 * 0.5, 1e-9);
+}
+
+TEST(ChainCostModelTest, PartitionCpuIsSumOfEdges) {
+  const auto queries = ThreeQueries(0.5);
+  const ChainSpec spec = BuildChainSpec(queries);
+  ChainCostParams params;
+  const ChainCostModel model(queries, spec, params);
+  const ChainPartition p = MemOptPartition(spec);
+  const double expected = model.EdgeCpuCost(-1, 0) + model.EdgeCpuCost(0, 1) +
+                          model.EdgeCpuCost(1, 2) + params.lambda_a;
+  EXPECT_NEAR(model.PartitionCpuCost(p), expected, 1e-9);
+}
+
+TEST(ChainCostModelTest, MergingAddsRoutingRemovesPerSliceOverheads) {
+  const auto queries = MakeSection73Queries(WindowDistributionN::kUniformN, 4);
+  const ChainSpec spec = BuildChainSpec(queries);
+  ChainCostParams params;
+  params.s1 = 0.0;  // no results: routing penalty vanishes
+  params.c_sys = 10.0;
+  const ChainCostModel model(queries, spec, params);
+  ChainPartition merged;
+  merged.slice_end_boundaries = {3};
+  // With zero join selectivity merging must win (pure overhead savings).
+  EXPECT_LT(model.PartitionCpuCost(merged),
+            model.PartitionCpuCost(MemOptPartition(spec)));
+}
+
+}  // namespace
+}  // namespace stateslice

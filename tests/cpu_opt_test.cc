@@ -1,0 +1,140 @@
+#include "src/core/cpu_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/core/chain_builder.h"
+#include "src/query/workload.h"
+
+namespace stateslice {
+namespace {
+
+TEST(ShortestChainPathTest, SingleBoundaryIsTrivial) {
+  const auto r =
+      ShortestChainPath(1, [](int, int) { return 5.0; });
+  ASSERT_EQ(r.partition.slice_end_boundaries.size(), 1u);
+  EXPECT_EQ(r.partition.slice_end_boundaries[0], 0);
+  EXPECT_DOUBLE_EQ(r.total_edge_cost, 5.0);
+}
+
+TEST(ShortestChainPathTest, PrefersMergingWhenEdgesAreSubadditive) {
+  // cost(i,j) = 1 (constant): the single merged slice (one edge) wins.
+  const auto r = ShortestChainPath(4, [](int, int) { return 1.0; });
+  ASSERT_EQ(r.partition.slice_end_boundaries.size(), 1u);
+  EXPECT_EQ(r.partition.slice_end_boundaries[0], 3);
+  EXPECT_DOUBLE_EQ(r.total_edge_cost, 1.0);
+}
+
+TEST(ShortestChainPathTest, PrefersSplittingWhenEdgesAreSuperadditive) {
+  // cost grows quadratically with span: finest partition wins.
+  const auto cost = [](int i, int j) {
+    const double span = j - i;
+    return span * span;
+  };
+  const auto r = ShortestChainPath(5, cost);
+  EXPECT_EQ(r.partition.slice_end_boundaries.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.total_edge_cost, 5.0);
+}
+
+TEST(ShortestChainPathTest, MatchesBruteForceOnRandomCosts) {
+  // Property check of Dijkstra's optimality (the paper's principle-of-
+  // optimality argument, Lemma 2) against exhaustive enumeration.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const int m = 2 + static_cast<int>(rng.NextBounded(9));  // 2..10
+    std::vector<std::vector<double>> w(m + 1, std::vector<double>(m, 0.0));
+    for (int i = -1; i < m - 1; ++i) {
+      for (int j = i + 1; j < m; ++j) {
+        w[i + 1][j] = rng.NextDouble() * 100.0;
+      }
+    }
+    const auto cost = [&w](int i, int j) { return w[i + 1][j]; };
+    const auto dijkstra = ShortestChainPath(m, cost);
+    const auto brute = BruteForceChainPath(m, cost);
+    EXPECT_NEAR(dijkstra.total_edge_cost, brute.total_edge_cost, 1e-9)
+        << "seed " << seed << " m=" << m;
+    EXPECT_EQ(dijkstra.partition.slice_end_boundaries,
+              brute.partition.slice_end_boundaries)
+        << "seed " << seed;
+  }
+}
+
+TEST(ShortestChainPathTest, PathIsAlwaysValid) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = 1 + static_cast<int>(rng.NextBounded(12));
+    std::vector<double> salt(128);
+    for (auto& s : salt) s = rng.NextDouble();
+    const auto cost = [&](int i, int j) {
+      return 1.0 + salt[((i + 1) * 13 + j) % salt.size()];
+    };
+    const auto r = ShortestChainPath(m, cost);
+    int prev = -1;
+    for (int end : r.partition.slice_end_boundaries) {
+      EXPECT_GT(end, prev);
+      prev = end;
+    }
+    EXPECT_EQ(r.partition.slice_end_boundaries.back(), m - 1);
+  }
+}
+
+TEST(BuildCpuOptChainTest, UniformWideWindowsStayUnmerged) {
+  // Fig. 19(a): for uniform window distributions the CPU-Opt chain equals
+  // the Mem-Opt chain (merging would pay routing on wide spans).
+  const auto queries =
+      MakeSection73Queries(WindowDistributionN::kUniformN, 12);
+  ChainCostParams params;
+  params.lambda_a = params.lambda_b = 40;
+  params.s1 = 0.025;
+  params.c_sys = 2;
+  const ChainPlan plan = BuildCpuOptChain(queries, params);
+  EXPECT_EQ(plan.partition.num_slices(), plan.spec.num_boundaries());
+}
+
+TEST(BuildCpuOptChainTest, MostlySmallWindowsMergeTheSmallOnes) {
+  // Fig. 19(b): skewed distributions make the optimizer merge the packed
+  // small windows while keeping the large ones separate.
+  const auto queries =
+      MakeSection73Queries(WindowDistributionN::kMostlySmallN, 12);
+  ChainCostParams params;
+  params.lambda_a = params.lambda_b = 40;
+  params.s1 = 0.025;
+  params.c_sys = 2;
+  const ChainPlan plan = BuildCpuOptChain(queries, params);
+  EXPECT_LT(plan.partition.num_slices(), plan.spec.num_boundaries());
+  ValidatePartition(plan.spec, plan.partition);
+}
+
+TEST(BuildCpuOptChainTest, CpuOptNeverWorseThanMemOptUnderModel) {
+  for (auto dist : {WindowDistributionN::kUniformN,
+                    WindowDistributionN::kMostlySmallN,
+                    WindowDistributionN::kSmallLargeN}) {
+    const auto queries = MakeSection73Queries(dist, 12);
+    ChainCostParams params;
+    params.lambda_a = params.lambda_b = 60;
+    params.s1 = 0.025;
+    params.c_sys = 2;
+    const ChainSpec spec = BuildChainSpec(queries);
+    const ChainCostModel model(queries, spec, params);
+    const ChainPlan cpu_opt = BuildCpuOptChain(queries, params);
+    EXPECT_LE(model.PartitionCpuCost(cpu_opt.partition),
+              model.PartitionCpuCost(MemOptPartition(spec)) + 1e-9)
+        << ToString(dist);
+  }
+}
+
+TEST(BruteForceChainPathTest, EnumeratesAllPartitions) {
+  // With cost 1 per edge, the optimum is one slice; with cost 0 for unit
+  // spans and 10 otherwise, the optimum is the finest chain.
+  const auto unit_cheap = [](int i, int j) {
+    return (j - i == 1) ? 0.0 : 10.0;
+  };
+  const auto r = BruteForceChainPath(6, unit_cheap);
+  EXPECT_EQ(r.partition.slice_end_boundaries.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.total_edge_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -1,0 +1,127 @@
+#include "src/runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stateslice.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::RunPlan;
+
+std::vector<ContinuousQuery> OneQuery(double window_s) {
+  std::vector<ContinuousQuery> queries(1);
+  queries[0].id = 0;
+  queries[0].name = "Q1";
+  queries[0].window = WindowSpec::TimeSeconds(window_s);
+  return queries;
+}
+
+TEST(ExecutorTest, FeedsBothStreamsInGlobalOrder) {
+  const auto queries = OneQuery(3);
+  WorkloadSpec spec;
+  spec.duration_s = 6;
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  BuiltPlan built = BuildPullUpPlan(queries, options);
+  const RunStats stats = RunPlan(&built, workload);
+  EXPECT_EQ(stats.input_tuples,
+            workload.stream_a.size() + workload.stream_b.size());
+  EXPECT_EQ(built.collectors[0]->ResultMultiset(),
+            testing::OracleJoin(workload.stream_a, workload.stream_b,
+                                workload.condition, queries[0]));
+}
+
+TEST(ExecutorTest, CollectsMemorySamplesAtInterval) {
+  const auto queries = OneQuery(2);
+  WorkloadSpec spec;
+  spec.duration_s = 10;
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  BuiltPlan built = BuildPullUpPlan(queries, options);
+  const RunStats stats = RunPlan(&built, workload);
+  // One sample per virtual second (roughly; sampling stops at last tuple).
+  EXPECT_GE(stats.memory_samples.size(), 8u);
+  EXPECT_LE(stats.memory_samples.size(), 11u);
+  // After warm-up the join holds about 2 windows * 20 t/s * 2 s tuples.
+  const double avg = stats.AvgStateTuples(SecondsToTicks(4.0));
+  EXPECT_GT(avg, 30.0);
+  EXPECT_LT(avg, 130.0);
+}
+
+TEST(ExecutorTest, ServiceRateAndComparisonsPopulated) {
+  const auto queries = OneQuery(2);
+  WorkloadSpec spec;
+  spec.duration_s = 8;
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  BuiltPlan built = BuildPullUpPlan(queries, options);
+  const RunStats stats = RunPlan(&built, workload);
+  EXPECT_GT(stats.results_delivered, 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.ServiceRate(), 0.0);
+  EXPECT_GT(stats.cost.Get(CostCategory::kProbe), 0u);
+  EXPECT_GT(stats.ComparisonsPerVirtualSecond(), 0.0);
+  EXPECT_NE(stats.DebugString().find("results="), std::string::npos);
+}
+
+TEST(ExecutorTest, MaxEventsCapStopsEarly) {
+  const auto queries = OneQuery(2);
+  WorkloadSpec spec;
+  spec.duration_s = 10;
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  BuiltPlan built = BuildPullUpPlan(queries, options);
+  ExecutorOptions exec_options;
+  exec_options.max_events = 50;
+  exec_options.finish_at_end = false;
+  const RunStats stats = RunPlan(&built, workload, exec_options);
+  EXPECT_LT(stats.input_tuples,
+            workload.stream_a.size() + workload.stream_b.size());
+}
+
+TEST(ExecutorTest, FeedBatchLargerThanOneStillCorrectOnSingleSpine) {
+  // State-slice plans keep a single FIFO spine, so batched feeding (queued
+  // arrivals) must not change any query's results.
+  std::vector<ContinuousQuery> queries(2);
+  queries[0] = {0, "Q1", WindowSpec::TimeSeconds(2), {}, {}};
+  queries[1] = {1, "Q2", WindowSpec::TimeSeconds(5), {}, {}};
+  WorkloadSpec spec;
+  spec.duration_s = 10;
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+
+  BuiltPlan batched =
+      BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
+  ExecutorOptions exec_options;
+  exec_options.feed_batch = 16;
+  RunPlan(&batched, workload, exec_options);
+
+  for (const ContinuousQuery& q : queries) {
+    EXPECT_EQ(batched.collectors[q.id]->ResultMultiset(),
+              testing::OracleJoin(workload.stream_a, workload.stream_b,
+                                  workload.condition, q))
+        << q.DebugString();
+  }
+}
+
+TEST(RunStatsTest, AvgAndMaxStateHelpers) {
+  RunStats stats;
+  stats.memory_samples = {{0, 10, 0}, {kTicksPerSecond, 20, 0},
+                          {2 * kTicksPerSecond, 30, 0}};
+  EXPECT_DOUBLE_EQ(stats.AvgStateTuples(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.AvgStateTuples(kTicksPerSecond), 25.0);
+  EXPECT_EQ(stats.MaxStateTuples(), 30u);
+  EXPECT_DOUBLE_EQ(RunStats{}.AvgStateTuples(), 0.0);
+}
+
+}  // namespace
+}  // namespace stateslice

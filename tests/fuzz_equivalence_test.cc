@@ -1,0 +1,225 @@
+// Randomized (fuzz-style) equivalence testing.
+//
+// For dozens of seeded random configurations — random window sets, random
+// per-query selections, random chain partitions, random join selectivities
+// and rates — every query's delivered result multiset must equal the
+// oracle nested-loop evaluation over the raw streams. These runs exercise
+// interactions the hand-written cases may miss: duplicate windows, slices
+// with extreme spans, selective and vacuous predicates, merged slices with
+// several interior boundaries, and tie-heavy timestamp patterns.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/stateslice.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::OracleJoin;
+using ::stateslice::testing::RunPlan;
+
+// Draws a random query workload + chain partition from `rng`.
+struct FuzzConfig {
+  std::vector<ContinuousQuery> queries;
+  ChainPlan chain;
+  double s1 = 0.1;
+  double rate = 25.0;
+  uint64_t workload_seed = 0;
+  bool use_lineage = false;
+  std::string DebugString() const {
+    std::string s = "queries:";
+    for (const auto& q : queries) s += " " + q.DebugString();
+    s += " partition " + chain.partition.DebugString();
+    return s;
+  }
+};
+
+FuzzConfig DrawConfig(uint64_t seed) {
+  Rng rng(seed);
+  FuzzConfig config;
+  const int num_queries = 1 + static_cast<int>(rng.NextBounded(6));
+  config.queries.resize(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    config.queries[q].id = q;
+    config.queries[q].name = "Q" + std::to_string(q + 1);
+    // Windows 0.5 .. 8.0 s in half-second steps; duplicates allowed.
+    const double w = 0.5 * (1 + static_cast<double>(rng.NextBounded(16)));
+    config.queries[q].window = WindowSpec::TimeSeconds(w);
+    // 50%: no selection; else selectivity in {0.2 .. 0.9}.
+    if (rng.NextBounded(2) == 1) {
+      config.queries[q].selection_a =
+          Predicate::WithSelectivity(0.2 + 0.1 * rng.NextBounded(8));
+    }
+  }
+  config.chain.spec = BuildChainSpec(config.queries);
+  // Random partition: keep each interior boundary with probability 1/2.
+  const int m = config.chain.spec.num_boundaries();
+  for (int k = 0; k + 1 < m; ++k) {
+    if (rng.NextBounded(2) == 0) {
+      config.chain.partition.slice_end_boundaries.push_back(k);
+    }
+  }
+  config.chain.partition.slice_end_boundaries.push_back(m - 1);
+  const double s1_choices[] = {0.025, 0.1, 0.25, 0.5};
+  config.s1 = s1_choices[rng.NextBounded(4)];
+  config.rate = 15.0 + static_cast<double>(rng.NextBounded(20));
+  config.workload_seed = rng.NextU64();
+  config.use_lineage = rng.NextBounded(4) == 0;
+  return config;
+}
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzEquivalenceTest, RandomConfigMatchesOracle) {
+  const FuzzConfig config = DrawConfig(GetParam());
+  SCOPED_TRACE(config.DebugString());
+
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = config.rate;
+  spec.duration_s = 10;
+  spec.join_selectivity = config.s1;
+  spec.seed = config.workload_seed;
+  const Workload workload = GenerateWorkload(spec);
+
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  options.use_lineage = config.use_lineage;
+  BuiltPlan built =
+      BuildStateSlicePlan(config.queries, config.chain, options);
+  RunPlan(&built, workload);
+
+  for (const ContinuousQuery& q : config.queries) {
+    EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
+              OracleJoin(workload.stream_a, workload.stream_b,
+                         workload.condition, q))
+        << q.DebugString();
+    EXPECT_TRUE(built.collectors[q.id]->saw_ordered_stream())
+        << q.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{33}));
+
+// Same idea against the baselines: random shared-predicate workloads must
+// agree across pull-up and push-down too.
+class FuzzBaselineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzBaselineTest, BaselinesMatchOracle) {
+  Rng rng(GetParam() * 7919);
+  const int num_queries = 2 + static_cast<int>(rng.NextBounded(4));
+  const Predicate shared =
+      Predicate::WithSelectivity(0.2 + 0.1 * rng.NextBounded(7));
+  std::vector<ContinuousQuery> queries(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    queries[q].id = q;
+    queries[q].name = "Q" + std::to_string(q + 1);
+    queries[q].window = WindowSpec::TimeSeconds(
+        0.5 * (1 + static_cast<double>(rng.NextBounded(12))));
+    if (rng.NextBounded(2) == 1) queries[q].selection_a = shared;
+  }
+
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = 20;
+  spec.duration_s = 8;
+  spec.join_selectivity = 0.1;
+  spec.seed = rng.NextU64();
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+
+  BuiltPlan pullup = BuildPullUpPlan(queries, options);
+  RunPlan(&pullup, workload);
+  BuiltPlan pushdown = BuildPushDownPlan(queries, options);
+  RunPlan(&pushdown, workload);
+
+  for (const ContinuousQuery& q : queries) {
+    const auto expected = OracleJoin(workload.stream_a, workload.stream_b,
+                                     workload.condition, q);
+    EXPECT_EQ(pullup.collectors[q.id]->ResultMultiset(), expected)
+        << "pullup " << q.DebugString();
+    EXPECT_EQ(pushdown.collectors[q.id]->ResultMultiset(), expected)
+        << "pushdown " << q.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBaselineTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{17}));
+
+// Random migration schedules: split/merge at random times, random surviving
+// query set must still match the oracle.
+class FuzzMigrationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzMigrationTest, RandomSplitMergeScheduleKeepsResults) {
+  Rng rng(GetParam() * 104729);
+  std::vector<ContinuousQuery> queries(3);
+  const double w1 = 1.0 + static_cast<double>(rng.NextBounded(3));
+  const double w2 = w1 + 1.0 + static_cast<double>(rng.NextBounded(3));
+  const double w3 = w2 + 1.0 + static_cast<double>(rng.NextBounded(3));
+  queries[0] = {0, "Q1", WindowSpec::TimeSeconds(w1), {}, {}};
+  queries[1] = {1, "Q2", WindowSpec::TimeSeconds(w2), {}, {}};
+  queries[2] = {2, "Q3", WindowSpec::TimeSeconds(w3), {}, {}};
+
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = 20;
+  spec.duration_s = 12;
+  spec.seed = rng.NextU64();
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  BuiltPlan built =
+      BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
+
+  std::vector<Tuple> merged;
+  merged.insert(merged.end(), workload.stream_a.begin(),
+                workload.stream_a.end());
+  merged.insert(merged.end(), workload.stream_b.begin(),
+                workload.stream_b.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tuple& x, const Tuple& y) {
+                     return x.timestamp < y.timestamp;
+                   });
+
+  RoundRobinScheduler scheduler(built.plan.get());
+  const size_t mutate_at = merged.size() / 3;
+  const size_t mutate_at2 = 2 * merged.size() / 3;
+  for (size_t i = 0; i < merged.size(); ++i) {
+    built.entry->Push(merged[i]);
+    scheduler.RunUntilQuiescent();
+    if (i == mutate_at) {
+      ChainMigrator migrator(&built);
+      // Split the middle slice somewhere random inside its range.
+      const SliceRange r = built.slices[1].join->range();
+      const Duration boundary =
+          r.start + 1 +
+          static_cast<Duration>(rng.NextBounded(
+              static_cast<uint64_t>(r.end - r.start - 1)));
+      migrator.SplitSlice(1, boundary);
+    }
+    if (i == mutate_at2) {
+      ChainMigrator migrator(&built);
+      migrator.MergeSlices(1);  // undo the split
+    }
+  }
+  built.plan->FinishAll();
+  scheduler.RunUntilQuiescent();
+
+  for (const ContinuousQuery& q : queries) {
+    EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
+              OracleJoin(workload.stream_a, workload.stream_b,
+                         workload.condition, q))
+        << q.DebugString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMigrationTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace stateslice

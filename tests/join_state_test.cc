@@ -1,0 +1,156 @@
+#include "src/operators/join_state.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+
+TEST(JoinStateTest, InsertKeepsArrivalOrder) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 1.0));
+  s.Insert(A(2, 2.0));
+  s.Insert(A(3, 2.0));  // ties allowed
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.Oldest().seq, 1u);
+  EXPECT_EQ(s.Newest().seq, 3u);
+}
+
+TEST(JoinStateDeathTest, OutOfOrderInsertAborts) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 5.0));
+  EXPECT_DEATH(s.Insert(A(2, 4.0)), "CHECK failed");
+}
+
+TEST(JoinStateTest, TimePurgeIsHalfOpen) {
+  // Section 2 semantics: alive iff now - ts < extent. A tuple exactly at
+  // the window edge is purged.
+  JoinState s(WindowSpec::TimeSeconds(2));
+  s.Insert(A(1, 0.0));
+  s.Insert(A(2, 1.0));
+  std::vector<Tuple> purged;
+  s.Purge(SecondsToTicks(2.0), &purged);
+  ASSERT_EQ(purged.size(), 1u);
+  EXPECT_EQ(purged[0].seq, 1u);  // distance 2 >= 2 -> purged
+  EXPECT_EQ(s.size(), 1u);       // distance 1 < 2 -> alive
+}
+
+TEST(JoinStateTest, PurgeReturnsComparisonCount) {
+  JoinState s(WindowSpec::TimeSeconds(2));
+  s.Insert(A(1, 0.0));
+  s.Insert(A(2, 0.5));
+  s.Insert(A(3, 5.0));
+  // Two expired pops + one comparison that found a live tuple.
+  EXPECT_EQ(s.Purge(SecondsToTicks(6.0), nullptr), 3u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(JoinStateTest, PurgeOnEmptyCostsNothing) {
+  JoinState s(WindowSpec::TimeSeconds(2));
+  EXPECT_EQ(s.Purge(SecondsToTicks(10.0), nullptr), 0u);
+}
+
+TEST(JoinStateTest, PurgeCollectsOldestFirst) {
+  JoinState s(WindowSpec::TimeSeconds(1));
+  s.Insert(A(1, 0.0));
+  s.Insert(A(2, 0.1));
+  s.Insert(A(3, 0.2));
+  std::vector<Tuple> purged;
+  s.Purge(SecondsToTicks(5.0), &purged);
+  ASSERT_EQ(purged.size(), 3u);
+  EXPECT_EQ(purged[0].seq, 1u);
+  EXPECT_EQ(purged[1].seq, 2u);
+  EXPECT_EQ(purged[2].seq, 3u);
+}
+
+TEST(JoinStateTest, CountWindowEvictsOnInsert) {
+  JoinState s(WindowSpec::Count(2));
+  std::vector<Tuple> evicted;
+  s.Insert(A(1, 1.0), &evicted);
+  s.Insert(A(2, 2.0), &evicted);
+  EXPECT_TRUE(evicted.empty());
+  s.Insert(A(3, 3.0), &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].seq, 1u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(JoinStateTest, CountWindowIgnoresTimePurge) {
+  JoinState s(WindowSpec::Count(3));
+  s.Insert(A(1, 0.0));
+  EXPECT_EQ(s.Purge(SecondsToTicks(100.0), nullptr), 0u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(JoinStateTest, ProbeEquiKeyMatchesAndCharges) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 1.0, /*key=*/5));
+  s.Insert(A(2, 2.0, /*key=*/7));
+  s.Insert(A(3, 3.0, /*key=*/5));
+  std::vector<Tuple> matches;
+  const Tuple probe = testing::B(1, 4.0, /*key=*/5);
+  const uint64_t comparisons =
+      s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  // Nested-loop probing scans the whole state (Section 3 cost model).
+  EXPECT_EQ(comparisons, 3u);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].seq, 1u);  // oldest first
+  EXPECT_EQ(matches[1].seq, 3u);
+}
+
+TEST(JoinStateTest, ProbeModSumCondition) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 1.0, /*key=*/0));
+  s.Insert(A(2, 2.0, /*key=*/1));
+  std::vector<Tuple> matches;
+  // (ka + kb) % 2 < 1: with kb = 1, matches only ka = 1.
+  s.Probe(testing::B(1, 3.0, /*key=*/1), JoinCondition::ModSum(2, 1),
+          &matches);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].seq, 2u);
+}
+
+TEST(JoinStateTest, TakeAllEmptiesState) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 1.0));
+  s.Insert(A(2, 2.0));
+  const std::vector<Tuple> all = s.TakeAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].seq, 1u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(JoinStateTest, PrependOlderRestoresOrder) {
+  // Slice-merge migration: the right (older) slice's tuples go in front.
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(3, 5.0));
+  s.PrependOlder({A(1, 1.0), A(2, 2.0)});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.Oldest().seq, 1u);
+  EXPECT_EQ(s.Newest().seq, 3u);
+}
+
+TEST(JoinStateDeathTest, PrependNewerAborts) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 1.0));
+  EXPECT_DEATH(s.PrependOlder({A(2, 5.0)}), "CHECK failed");
+}
+
+TEST(JoinStateTest, SetWindowTakesEffectOnNextPurge) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.Insert(A(1, 0.0));
+  s.Insert(A(2, 4.0));
+  // Shrink the window (online split migration): next purge applies it.
+  s.set_window(WindowSpec::TimeSeconds(2));
+  std::vector<Tuple> purged;
+  s.Purge(SecondsToTicks(5.0), &purged);
+  ASSERT_EQ(purged.size(), 1u);
+  EXPECT_EQ(purged[0].seq, 1u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stateslice

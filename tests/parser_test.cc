@@ -1,0 +1,176 @@
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+
+TEST(ParserTest, PaperMotivatingExampleQ1) {
+  const ParseResult r = ParseQuery(
+      "SELECT A.* FROM Temperature A, Humidity B "
+      "WHERE A.LocationId = B.LocationId WINDOW 1 min");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.kind, WindowKind::kTime);
+  EXPECT_EQ(r.query.window.extent, SecondsToTicks(60));
+  EXPECT_TRUE(r.query.Unfiltered());
+}
+
+TEST(ParserTest, PaperMotivatingExampleQ2) {
+  const ParseResult r = ParseQuery(
+      "SELECT A.* FROM Temperature A, Humidity B "
+      "WHERE A.LocationId = B.LocationId AND A.Value > 0.7 WINDOW 60 min");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.extent, SecondsToTicks(3600));
+  ASSERT_FALSE(r.query.selection_a.IsTrue());
+  EXPECT_TRUE(r.query.selection_a.Eval(A(1, 0.0, 0, 0.8)));
+  EXPECT_FALSE(r.query.selection_a.Eval(A(1, 0.0, 0, 0.6)));
+  EXPECT_TRUE(r.query.selection_b.IsTrue());
+}
+
+TEST(ParserTest, SecondsAreDefaultUnit) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 5");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.extent, SecondsToTicks(5));
+}
+
+TEST(ParserTest, MillisecondsUnit) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 250 ms");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.extent, SecondsToTicks(0.25));
+}
+
+TEST(ParserTest, CountWindows) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 100 rows");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.kind, WindowKind::kCount);
+  EXPECT_EQ(r.query.window.extent, 100);
+}
+
+TEST(ParserTest, FilterOnStreamB) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k AND B.Value < 0.5 "
+      "WINDOW 10 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.query.selection_a.IsTrue());
+  EXPECT_FALSE(r.query.selection_b.IsTrue());
+  EXPECT_TRUE(r.query.selection_b.Eval(B(1, 0.0, 0, 0.4)));
+}
+
+TEST(ParserTest, MultipleFiltersAndTogether) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k AND A.v > 0.2 "
+      "AND A.v < 0.8 WINDOW 10 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.query.selection_a.Eval(A(1, 0.0, 0, 0.5)));
+  EXPECT_FALSE(r.query.selection_a.Eval(A(1, 0.0, 0, 0.9)));
+  EXPECT_FALSE(r.query.selection_a.Eval(A(1, 0.0, 0, 0.1)));
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  const ParseResult r = ParseQuery(
+      "select * from S1 a, S2 b where a.k = b.k window 3 sec");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.extent, SecondsToTicks(3));
+}
+
+TEST(ParserTest, ReversedJoinOrderAccepted) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE B.k = A.k WINDOW 3 s");
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ParserTest, StreamNamesUsableWithoutAliases) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM Temp, Hum WHERE Temp.k = Hum.k AND Temp.v > 0.5 "
+      "WINDOW 2 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.query.selection_a.IsTrue());
+}
+
+TEST(ParserTest, ErrorMissingWindow) {
+  const ParseResult r =
+      ParseQuery("SELECT * FROM S1 A, S2 B WHERE A.k = B.k");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("window"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorJoinOnSameStream) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = A.k WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("both streams"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnknownAliasInFilter) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k AND C.v > 1 WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown alias"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorBadNumber) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW abc s");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ParserTest, ErrorNonPositiveWindow) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 0 s");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ParserTest, ErrorUnknownUnit) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 5 lightyears");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unit"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorTrailingGarbage) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 5 s GROUP BY x");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ParserTest, ParsedQueryRunsEndToEnd) {
+  // Full integration: parse two queries, share them with a state-slice
+  // chain, run a workload, verify against the oracle.
+  ParseResult r1 = ParseQuery(
+      "SELECT * FROM T A, H B WHERE A.loc = B.loc WINDOW 2 s");
+  ParseResult r2 = ParseQuery(
+      "SELECT * FROM T A, H B WHERE A.loc = B.loc AND A.Value > 0.5 "
+      "WINDOW 6 s");
+  ASSERT_TRUE(r1.ok && r2.ok);
+  std::vector<ContinuousQuery> queries = {r1.query, r2.query};
+  queries[0].id = 0;
+  queries[0].name = "Q1";
+  queries[1].id = 1;
+  queries[1].name = "Q2";
+
+  WorkloadSpec spec;
+  spec.duration_s = 8;
+  const Workload workload = GenerateWorkload(spec);
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  BuiltPlan built =
+      BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
+  testing::RunPlan(&built, workload);
+  for (const ContinuousQuery& q : queries) {
+    EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
+              testing::OracleJoin(workload.stream_a, workload.stream_b,
+                                  workload.condition, q));
+  }
+}
+
+}  // namespace
+}  // namespace stateslice

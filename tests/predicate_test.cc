@@ -1,0 +1,127 @@
+#include "src/common/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+
+TEST(PredicateTest, DefaultIsTrue) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrue());
+  EXPECT_DOUBLE_EQ(p.selectivity(), 1.0);
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, -123.0)));
+}
+
+TEST(PredicateTest, GreaterThan) {
+  Predicate p = Predicate::GreaterThan(0.7);
+  EXPECT_FALSE(p.IsTrue());
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.71)));
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.7)));
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.69)));
+  EXPECT_NEAR(p.selectivity(), 0.3, 1e-12);
+}
+
+TEST(PredicateTest, LessThan) {
+  Predicate p = Predicate::LessThan(0.2);
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.19)));
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.2)));
+  EXPECT_NEAR(p.selectivity(), 0.2, 1e-12);
+}
+
+TEST(PredicateTest, RangeHalfOpen) {
+  Predicate p = Predicate::Range(0.25, 0.75);
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.2)));
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.25)));
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.74)));
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.75)));
+  EXPECT_NEAR(p.selectivity(), 0.5, 1e-12);
+}
+
+TEST(PredicateTest, WithSelectivityHitsTargetUnderUniformValues) {
+  Predicate p = Predicate::WithSelectivity(0.3);
+  Rng rng(7);
+  int pass = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (p.Eval(A(1, 0.0, 0, rng.NextDouble()))) ++pass;
+  }
+  EXPECT_NEAR(static_cast<double>(pass) / n, 0.3, 0.01);
+}
+
+TEST(PredicateTest, AndOrNotSemantics) {
+  Predicate gt = Predicate::GreaterThan(0.3);
+  Predicate lt = Predicate::LessThan(0.6);
+  Predicate band = Predicate::And(gt, lt);
+  EXPECT_TRUE(band.Eval(A(1, 0.0, 0, 0.5)));
+  EXPECT_FALSE(band.Eval(A(1, 0.0, 0, 0.7)));
+  EXPECT_FALSE(band.Eval(A(1, 0.0, 0, 0.2)));
+
+  Predicate either = Predicate::Or(Predicate::LessThan(0.2),
+                                   Predicate::GreaterThan(0.8));
+  EXPECT_TRUE(either.Eval(A(1, 0.0, 0, 0.1)));
+  EXPECT_TRUE(either.Eval(A(1, 0.0, 0, 0.9)));
+  EXPECT_FALSE(either.Eval(A(1, 0.0, 0, 0.5)));
+
+  Predicate no = Predicate::Not(gt);
+  EXPECT_TRUE(no.Eval(A(1, 0.0, 0, 0.2)));
+  EXPECT_FALSE(no.Eval(A(1, 0.0, 0, 0.4)));
+  EXPECT_NEAR(no.selectivity(), 0.3, 1e-12);
+}
+
+TEST(PredicateTest, AndWithTrueShortCircuitsToOther) {
+  Predicate gt = Predicate::GreaterThan(0.3);
+  Predicate combined = Predicate::And(Predicate(), gt);
+  EXPECT_EQ(combined.description(), gt.description());
+}
+
+TEST(PredicateTest, OrSelectivityInclusionExclusion) {
+  Predicate x = Predicate::WithSelectivity(0.5);
+  Predicate y = Predicate::WithSelectivity(0.5);
+  // 0.5 + 0.5 - 0.25 under independence.
+  EXPECT_NEAR(Predicate::Or(x, y).selectivity(), 0.75, 1e-12);
+}
+
+TEST(PredicateTest, AnyOfEmptyIsFalse) {
+  Predicate p = Predicate::AnyOf({});
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.5)));
+  EXPECT_DOUBLE_EQ(p.selectivity(), 0.0);
+}
+
+TEST(PredicateTest, AnyOfWithTrueMemberIsTrue) {
+  Predicate p = Predicate::AnyOf({Predicate::LessThan(0.1), Predicate()});
+  EXPECT_TRUE(p.IsTrue());
+}
+
+TEST(PredicateTest, AnyOfDisjunction) {
+  // The σ'_i form of Section 6.1: cond_i OR cond_{i+1} OR ... OR cond_N.
+  Predicate p = Predicate::AnyOf({Predicate::LessThan(0.2),
+                                  Predicate::GreaterThan(0.9),
+                                  Predicate::Range(0.4, 0.5)});
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.45)));
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.95)));
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 0, 0.1)));
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 0, 0.3)));
+}
+
+TEST(PredicateTest, CustomCarriesSelectivityAndDescription) {
+  Predicate p = Predicate::Custom(
+      [](const Tuple& t) { return t.key % 2 == 0; }, 0.5, "(key even)");
+  EXPECT_TRUE(p.Eval(A(1, 0.0, 2)));
+  EXPECT_FALSE(p.Eval(A(1, 0.0, 3)));
+  EXPECT_EQ(p.description(), "(key even)");
+  EXPECT_DOUBLE_EQ(p.selectivity(), 0.5);
+}
+
+TEST(PredicateTest, CopiesShareImplementation) {
+  Predicate p = Predicate::GreaterThan(0.5);
+  Predicate q = p;  // cheap copy
+  EXPECT_TRUE(q.Eval(A(1, 0.0, 0, 0.6)));
+  EXPECT_EQ(q.description(), p.description());
+}
+
+}  // namespace
+}  // namespace stateslice

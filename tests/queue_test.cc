@@ -1,0 +1,64 @@
+#include "src/runtime/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+
+TEST(EventQueueTest, FifoOrder) {
+  EventQueue q("q");
+  q.Push(A(1, 1.0));
+  q.Push(A(2, 2.0));
+  q.Push(A(3, 3.0));
+  EXPECT_EQ(std::get<Tuple>(q.Pop()).seq, 1u);
+  EXPECT_EQ(std::get<Tuple>(q.Pop()).seq, 2u);
+  EXPECT_EQ(std::get<Tuple>(q.Pop()).seq, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, FrontPeeksWithoutRemoving) {
+  EventQueue q("q");
+  q.Push(A(7, 1.0));
+  EXPECT_EQ(std::get<Tuple>(q.Front()).seq, 7u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, HighWaterMarkTracksPeak) {
+  EventQueue q("q");
+  for (int i = 0; i < 5; ++i) q.Push(A(i, i));
+  q.Pop();
+  q.Pop();
+  q.Push(A(9, 9.0));
+  EXPECT_EQ(q.high_water_mark(), 5u);
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(EventQueueTest, TotalPushedCounts) {
+  EventQueue q("q");
+  q.Push(A(1, 1.0));
+  q.Pop();
+  q.Push(A(2, 2.0));
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+TEST(EventQueueTest, CarriesAllEventKinds) {
+  EventQueue q("q");
+  q.Push(A(1, 1.0));
+  q.Push(JoinResult{A(1, 1.0), testing::B(1, 1.0)});
+  q.Push(Punctuation{.watermark = 5});
+  EXPECT_TRUE(IsTuple(q.Pop()));
+  EXPECT_TRUE(IsJoinResult(q.Pop()));
+  EXPECT_TRUE(IsPunctuation(q.Pop()));
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyAborts) {
+  EventQueue q("q");
+  EXPECT_DEATH(q.Pop(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -1,0 +1,99 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace stateslice {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, BoundedStaysInBound) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(17);
+  int counts[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.125, 0.01);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const double rate = 0.25;  // mean 4
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(rate);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(RngTest, ExponentialAlwaysPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.NextExponential(10.0), 0.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependentOfLaterParentUse) {
+  Rng parent1(31);
+  Rng child1 = parent1.Fork();
+  Rng parent2(31);
+  Rng child2 = parent2.Fork();
+  // Children from identically-seeded parents agree...
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1.NextU64(), child2.NextU64());
+  }
+  // ...and differ from the parent stream.
+  Rng parent3(31);
+  Rng child3 = parent3.Fork();
+  EXPECT_NE(child3.NextU64(), parent3.NextU64());
+}
+
+}  // namespace
+}  // namespace stateslice

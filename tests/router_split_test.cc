@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/operators/router.h"
+#include "src/operators/split.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+using ::stateslice::testing::DrainQueue;
+
+JoinResult R(double ta, double tb) {
+  return JoinResult{A(1, ta, 0), B(1, tb, 0)};
+}
+
+TEST(RouterTest, RoutesByWindowDistance) {
+  Router router("r",
+                {Router::Branch{SecondsToTicks(2.0), 0},
+                 Router::Branch{SecondsToTicks(5.0), 1}},
+                /*all_port=*/2);
+  EventQueue q0("q0"), q1("q1"), q2("q2");
+  router.AttachOutput(0, &q0);
+  router.AttachOutput(1, &q1);
+  router.AttachOutput(2, &q2);
+
+  router.Process(R(0.0, 1.0), 0);  // d=1: both branches + all
+  router.Process(R(0.0, 3.0), 0);  // d=3: branch 1 + all
+  router.Process(R(0.0, 7.0), 0);  // d=7: all only
+  EXPECT_EQ(q0.size(), 1u);
+  EXPECT_EQ(q1.size(), 2u);
+  EXPECT_EQ(q2.size(), 3u);
+}
+
+TEST(RouterTest, DistanceIsSymmetric) {
+  Router router("r", {Router::Branch{SecondsToTicks(2.0), 0}}, -1);
+  EventQueue q0("q0");
+  router.AttachOutput(0, &q0);
+  router.Process(R(5.0, 4.0), 0);  // a newer than b, d=1
+  EXPECT_EQ(q0.size(), 1u);
+}
+
+TEST(RouterTest, ChargesOneComparisonPerBranchPerResult) {
+  CostCounters counters;
+  Router router("r",
+                {Router::Branch{10, 0}, Router::Branch{20, 1},
+                 Router::Branch{30, 2}},
+                /*all_port=*/3);
+  router.set_cost_counters(&counters);
+  EventQueue q("q");
+  router.AttachOutput(3, &q);
+  router.Process(R(0.0, 1.0), 0);
+  // Fanout-proportional routing cost (Section 3.1); the all-edge is free.
+  EXPECT_EQ(counters.Get(CostCategory::kRoute), 3u);
+}
+
+TEST(RouterTest, ForwardsPunctuationsEverywhere) {
+  Router router("r", {Router::Branch{10, 0}}, /*all_port=*/1);
+  EventQueue q0("q0"), q1("q1");
+  router.AttachOutput(0, &q0);
+  router.AttachOutput(1, &q1);
+  router.Process(Punctuation{.watermark = 5}, 0);
+  EXPECT_EQ(q0.size(), 1u);
+  EXPECT_EQ(q1.size(), 1u);
+}
+
+TEST(RouterTest, FinishFlushesMaxWatermark) {
+  Router router("r", {Router::Branch{10, 0}}, -1);
+  EventQueue q0("q0");
+  router.AttachOutput(0, &q0);
+  router.Finish();
+  const auto events = DrainQueue(&q0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Punctuation>(events[0]).watermark, kMaxTime);
+}
+
+TEST(SplitTest, PartitionsTargetSideByPredicate) {
+  Split split("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue match("m"), rest("r");
+  split.AttachOutput(Split::kMatchPort, &match);
+  split.AttachOutput(Split::kRestPort, &rest);
+  split.Process(A(1, 1.0, 0, 0.9), 0);
+  split.Process(A(2, 2.0, 0, 0.1), 0);
+  EXPECT_EQ(match.size(), 1u);
+  EXPECT_EQ(rest.size(), 1u);
+  EXPECT_EQ(std::get<Tuple>(match.Pop()).seq, 1u);
+  EXPECT_EQ(std::get<Tuple>(rest.Pop()).seq, 2u);
+}
+
+TEST(SplitTest, BroadcastsOtherSideToBothPartitions) {
+  // Fig. 4: stream B feeds both partitioned joins.
+  Split split("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue match("m"), rest("r");
+  split.AttachOutput(Split::kMatchPort, &match);
+  split.AttachOutput(Split::kRestPort, &rest);
+  split.Process(B(1, 1.0), 0);
+  EXPECT_EQ(match.size(), 1u);
+  EXPECT_EQ(rest.size(), 1u);
+}
+
+TEST(SplitTest, ChargesSplitCostOnlyForTargetSide) {
+  CostCounters counters;
+  Split split("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  split.set_cost_counters(&counters);
+  split.Process(A(1, 1.0, 0, 0.9), 0);
+  split.Process(B(1, 2.0), 0);
+  EXPECT_EQ(counters.Get(CostCategory::kSplit), 1u);
+}
+
+TEST(SplitTest, PunctuationsGoBothWays) {
+  Split split("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue match("m"), rest("r");
+  split.AttachOutput(Split::kMatchPort, &match);
+  split.AttachOutput(Split::kRestPort, &rest);
+  split.Process(Punctuation{.watermark = 3}, 0);
+  EXPECT_EQ(match.size(), 1u);
+  EXPECT_EQ(rest.size(), 1u);
+}
+
+TEST(FanoutTest, BroadcastsToAllAttachedQueues) {
+  Fanout fanout("f");
+  EventQueue q1("q1"), q2("q2"), q3("q3");
+  fanout.AttachOutput(Fanout::kOutPort, &q1);
+  fanout.AttachOutput(Fanout::kOutPort, &q2);
+  fanout.AttachOutput(Fanout::kOutPort, &q3);
+  fanout.Process(A(1, 1.0), 0);
+  EXPECT_EQ(q1.size(), 1u);
+  EXPECT_EQ(q2.size(), 1u);
+  EXPECT_EQ(q3.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stateslice

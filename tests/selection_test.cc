@@ -1,0 +1,151 @@
+#include "src/operators/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+using ::stateslice::testing::DrainQueue;
+
+TEST(SelectionTest, FiltersTargetSide) {
+  Selection sel("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue out("out");
+  sel.AttachOutput(Selection::kOutPort, &out);
+  sel.Process(A(1, 1.0, 0, 0.9), 0);
+  sel.Process(A(2, 2.0, 0, 0.1), 0);
+  const auto events = DrainQueue(&out);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Tuple>(events[0]).seq, 1u);
+}
+
+TEST(SelectionTest, OtherSidePassesFreeOfCharge) {
+  CostCounters counters;
+  Selection sel("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  sel.set_cost_counters(&counters);
+  EventQueue out("out");
+  sel.AttachOutput(Selection::kOutPort, &out);
+  sel.Process(B(1, 1.0, 0, 0.1), 0);  // fails predicate but is stream B
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(counters.Get(CostCategory::kFilter), 0u);
+  sel.Process(A(1, 2.0, 0, 0.1), 0);
+  EXPECT_EQ(counters.Get(CostCategory::kFilter), 1u);
+}
+
+TEST(SelectionTest, ForwardsPunctuations) {
+  Selection sel("s", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue out("out");
+  sel.AttachOutput(Selection::kOutPort, &out);
+  sel.Process(Punctuation{.watermark = 3}, 0);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(LineageStamperTest, StampsSatisfactionBits) {
+  // Three queries: q0 value<0.3, q1 value<0.6, q2 value<0.9.
+  LineageStamper stamper("ls",
+                         {Predicate::LessThan(0.3), Predicate::LessThan(0.6),
+                          Predicate::LessThan(0.9)},
+                         StreamSide::kA);
+  EventQueue out("out");
+  stamper.AttachOutput(LineageStamper::kOutPort, &out);
+  stamper.Process(A(1, 1.0, 0, 0.5), 0);  // passes q1, q2 only
+  const auto events = DrainQueue(&out);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Tuple>(events[0]).lineage, uint64_t{0b110});
+}
+
+TEST(LineageStamperTest, DropsTuplesMatchingNoQuery) {
+  LineageStamper stamper("ls", {Predicate::LessThan(0.1)}, StreamSide::kA);
+  EventQueue out("out");
+  stamper.AttachOutput(LineageStamper::kOutPort, &out);
+  stamper.Process(A(1, 1.0, 0, 0.5), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LineageStamperTest, EarlyStopChargingFromHighestQuery) {
+  CostCounters counters;
+  LineageStamper stamper("ls",
+                         {Predicate::LessThan(0.3), Predicate::LessThan(0.6),
+                          Predicate::LessThan(0.9)},
+                         StreamSide::kA);
+  stamper.set_cost_counters(&counters);
+  EventQueue out("out");
+  stamper.AttachOutput(LineageStamper::kOutPort, &out);
+  // value=0.8 satisfies q2 immediately: 1 charged evaluation (Section 6.1).
+  stamper.Process(A(1, 1.0, 0, 0.8), 0);
+  EXPECT_EQ(counters.Get(CostCategory::kFilter), 1u);
+  // value=0.95 satisfies nothing: all 3 charged.
+  counters.Reset();
+  stamper.Process(A(2, 2.0, 0, 0.95), 0);
+  EXPECT_EQ(counters.Get(CostCategory::kFilter), 3u);
+}
+
+TEST(LineageStamperTest, OtherSideKeepsFullMask) {
+  LineageStamper stamper("ls", {Predicate::LessThan(0.1)}, StreamSide::kA);
+  EventQueue out("out");
+  stamper.AttachOutput(LineageStamper::kOutPort, &out);
+  stamper.Process(B(1, 1.0, 0, 0.9), 0);
+  const auto events = DrainQueue(&out);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Tuple>(events[0]).lineage, ~uint64_t{0});
+}
+
+TEST(LineageFilterTest, PassesByMaskIntersection) {
+  LineageFilter filter("lf", /*mask=*/0b100, StreamSide::kA);
+  EventQueue out("out");
+  filter.AttachOutput(LineageFilter::kOutPort, &out);
+  Tuple pass = A(1, 1.0);
+  pass.lineage = 0b110;
+  Tuple drop = A(2, 2.0);
+  drop.lineage = 0b011;
+  filter.Process(pass, 0);
+  filter.Process(drop, 0);
+  const auto events = DrainQueue(&out);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Tuple>(events[0]).seq, 1u);
+}
+
+TEST(ResultGateTest, FiltersJoinResultsByComponent) {
+  ResultGate gate("g", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue out("out");
+  gate.AttachOutput(ResultGate::kOutPort, &out);
+  gate.Process(JoinResult{A(1, 1.0, 0, 0.9), B(1, 1.0, 0, 0.1)}, 0);
+  gate.Process(JoinResult{A(2, 2.0, 0, 0.1), B(2, 2.0, 0, 0.9)}, 0);
+  const auto events = DrainQueue(&out);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(JoinPairKey(std::get<JoinResult>(events[0])), "a1|b1");
+}
+
+TEST(ResultGateTest, TargetSideBSelectsBComponent) {
+  ResultGate gate("g", Predicate::GreaterThan(0.5), StreamSide::kB);
+  EventQueue out("out");
+  gate.AttachOutput(ResultGate::kOutPort, &out);
+  gate.Process(JoinResult{A(1, 1.0, 0, 0.1), B(1, 1.0, 0, 0.9)}, 0);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ResultGateTest, ChargesOneGateComparisonPerResult) {
+  CostCounters counters;
+  ResultGate gate("g", Predicate::GreaterThan(0.5), StreamSide::kA);
+  gate.set_cost_counters(&counters);
+  EventQueue out("out");
+  gate.AttachOutput(ResultGate::kOutPort, &out);
+  gate.Process(JoinResult{A(1, 1.0, 0, 0.9), B(1, 1.0, 0, 0.5)}, 0);
+  gate.Process(JoinResult{A(2, 2.0, 0, 0.2), B(2, 2.0, 0, 0.5)}, 0);
+  EXPECT_EQ(counters.Get(CostCategory::kGate), 2u);
+  EXPECT_EQ(counters.Get(CostCategory::kFilter), 0u);
+}
+
+TEST(ResultGateTest, ForwardsPunctuations) {
+  ResultGate gate("g", Predicate::GreaterThan(0.5), StreamSide::kA);
+  EventQueue out("out");
+  gate.AttachOutput(ResultGate::kOutPort, &out);
+  gate.Process(Punctuation{.watermark = 4}, 0);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -1,0 +1,225 @@
+#include "src/operators/sliced_window_join.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+using ::stateslice::testing::DrainQueue;
+using ::stateslice::testing::ResultsOf;
+
+// Standalone harness for one sliced join with collected result/next queues.
+struct SliceHarness {
+  explicit SliceHarness(SliceRange range,
+                        SlicedWindowJoin::Options options = {})
+      : join("slice", range, options), results("results"), next("next") {
+    join.AttachOutput(SlicedWindowJoin::kResultPort, &results);
+    join.AttachOutput(SlicedWindowJoin::kNextPort, &next);
+  }
+  void Feed(const Tuple& t) { join.Process(t, 0); }
+  std::vector<JoinResult> Results() {
+    return ResultsOf(DrainQueue(&results));
+  }
+  SlicedWindowJoin join;
+  EventQueue results;
+  EventQueue next;
+};
+
+SlicedWindowJoin::Options NoPunct() {
+  SlicedWindowJoin::Options o;
+  o.punctuate_results = false;
+  return o;
+}
+
+TEST(SlicedWindowJoinTest, FirstSliceEqualsRegularJoin) {
+  // Definition 1: A[W] |>< B == A[0, W] s|>< B.
+  SliceHarness h(SliceRange::TimeSeconds(0, 5), NoPunct());
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 3.0, 1));
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a1|b1");
+}
+
+TEST(SlicedWindowJoinTest, MaleProbesAndPropagates) {
+  SliceHarness h(SliceRange::TimeSeconds(0, 5), NoPunct());
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 1.0, 1));
+  const auto next = DrainQueue(&h.next);
+  // a1's male copy and b1's male copy propagate; females stay in state.
+  ASSERT_EQ(next.size(), 2u);
+  const Tuple& am = std::get<Tuple>(next[0]);
+  EXPECT_EQ(am.DebugId(), "a1");
+  EXPECT_EQ(am.role, TupleRole::kMale);
+  const Tuple& bm = std::get<Tuple>(next[1]);
+  EXPECT_EQ(bm.DebugId(), "b1");
+  EXPECT_EQ(bm.role, TupleRole::kMale);
+  EXPECT_EQ(h.join.state_a().size(), 1u);
+  EXPECT_EQ(h.join.state_b().size(), 1u);
+}
+
+TEST(SlicedWindowJoinTest, PurgedFemalesGoToNextQueueBeforeTheMale) {
+  SliceHarness h(SliceRange::TimeSeconds(0, 2), NoPunct());
+  h.Feed(A(1, 0.0, 1));  // a1's male copy propagates immediately
+  h.Feed(B(1, 3.0, 1));  // purges a1 (d=3 >= 2), then probes, propagates
+  const auto next = DrainQueue(&h.next);
+  ASSERT_EQ(next.size(), 3u);
+  EXPECT_EQ(std::get<Tuple>(next[0]).DebugId(), "a1");
+  EXPECT_EQ(std::get<Tuple>(next[0]).role, TupleRole::kMale);
+  // The purged female travels ahead of the male that purged it, keeping
+  // the chain queue timestamp-ordered (Lemma 1's handoff discipline).
+  EXPECT_EQ(std::get<Tuple>(next[1]).DebugId(), "a1");
+  EXPECT_EQ(std::get<Tuple>(next[1]).role, TupleRole::kFemale);
+  EXPECT_EQ(std::get<Tuple>(next[2]).DebugId(), "b1");
+  EXPECT_EQ(std::get<Tuple>(next[2]).role, TupleRole::kMale);
+  EXPECT_TRUE(h.Results().empty());  // a1 expired before the probe
+}
+
+TEST(SlicedWindowJoinTest, FemaleRoleOnlyInserts) {
+  SliceHarness h(SliceRange::TimeSeconds(2, 5), NoPunct());
+  Tuple af = A(1, 0.0, 1);
+  af.role = TupleRole::kFemale;
+  h.Feed(af);
+  EXPECT_EQ(h.join.state_a().size(), 1u);
+  EXPECT_TRUE(DrainQueue(&h.next).empty());
+  EXPECT_TRUE(h.Results().empty());
+}
+
+TEST(SlicedWindowJoinTest, MaleRoleDoesNotInsert) {
+  SliceHarness h(SliceRange::TimeSeconds(2, 5), NoPunct());
+  Tuple am = A(1, 0.0, 1);
+  am.role = TupleRole::kMale;
+  h.Feed(am);
+  EXPECT_EQ(h.join.StateSize(), 0u);
+  const auto next = DrainQueue(&h.next);
+  ASSERT_EQ(next.size(), 1u);  // male propagates
+}
+
+TEST(SlicedWindowJoinTest, MiddleSliceJoinsAtItsRange) {
+  // Simulate the chain handoff into slice [2, 5): the female arrives first
+  // (purged from the previous slice), then the probing male.
+  SliceHarness h(SliceRange::TimeSeconds(2, 5), NoPunct());
+  Tuple af = A(1, 0.0, 1);
+  af.role = TupleRole::kFemale;
+  h.Feed(af);
+  Tuple bm = B(1, 3.0, 1);
+  bm.role = TupleRole::kMale;
+  h.Feed(bm);  // d = 3 in [2, 5): joins
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a1|b1");
+}
+
+TEST(SlicedWindowJoinTest, SliceEndPurgesBeforeProbe) {
+  SliceHarness h(SliceRange::TimeSeconds(2, 5), NoPunct());
+  Tuple af = A(1, 0.0, 1);
+  af.role = TupleRole::kFemale;
+  h.Feed(af);
+  Tuple bm = B(1, 5.0, 1);
+  bm.role = TupleRole::kMale;
+  h.Feed(bm);  // d = 5 >= 5: a1 purged into next, no join
+  EXPECT_TRUE(h.Results().empty());
+  const auto next = DrainQueue(&h.next);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(std::get<Tuple>(next[0]).DebugId(), "a1");
+}
+
+TEST(SlicedWindowJoinTest, StrictBoundsFiltersBelowRange) {
+  // A standalone slice fed raw tuples would wrongly join pairs closer than
+  // W_start without strict bounds (in a chain, Lemma 1 rules them out).
+  SlicedWindowJoin::Options o = NoPunct();
+  o.strict_bounds = true;
+  SliceHarness h(SliceRange::TimeSeconds(2, 5), o);
+  Tuple af = A(1, 0.0, 1);
+  af.role = TupleRole::kFemale;
+  h.Feed(af);
+  Tuple bm = B(1, 1.0, 1);
+  bm.role = TupleRole::kMale;
+  h.Feed(bm);  // d = 1 < W_start = 2: excluded by Definition 1
+  EXPECT_TRUE(h.Results().empty());
+}
+
+TEST(SlicedWindowJoinTest, PunctuationEmittedPerMale) {
+  SlicedWindowJoin::Options o;  // punctuate_results = true
+  SliceHarness h(SliceRange::TimeSeconds(0, 5), o);
+  h.Feed(A(1, 1.0, 1));
+  const auto events = DrainQueue(&h.results);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(IsPunctuation(events[0]));
+  EXPECT_EQ(std::get<Punctuation>(events[0]).watermark, SecondsToTicks(1.0));
+}
+
+TEST(SlicedWindowJoinTest, IncomingPunctuationForwardsBothWays) {
+  SliceHarness h(SliceRange::TimeSeconds(0, 5), NoPunct());
+  h.join.Process(Punctuation{.watermark = 9}, 0);
+  EXPECT_EQ(DrainQueue(&h.results).size(), 1u);
+  EXPECT_EQ(DrainQueue(&h.next).size(), 1u);
+}
+
+TEST(SlicedWindowJoinTest, OneWayModeFollowsTable2Discipline) {
+  SlicedWindowJoin::Options o = NoPunct();
+  o.mode = SlicedWindowJoin::Mode::kOneWayA;
+  o.condition = JoinCondition::ModSum(1, 1);  // Cartesian
+  SliceHarness h(SliceRange::TimeSeconds(0, 2), o);
+  h.Feed(A(1, 1.0));
+  h.Feed(A(2, 2.0));
+  h.Feed(B(1, 3.0));  // purges a1 (d=2 >= 2), joins a2, propagates b1
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a2|b1");
+  const auto next = DrainQueue(&h.next);
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(std::get<Tuple>(next[0]).DebugId(), "a1");
+  EXPECT_EQ(std::get<Tuple>(next[1]).DebugId(), "b1");
+  EXPECT_EQ(h.join.state_b().size(), 0u);  // one-way: B never stored
+}
+
+TEST(SlicedWindowJoinTest, CountBasedSliceEvictsByRank) {
+  SlicedWindowJoin::Options o = NoPunct();
+  SliceHarness h(SliceRange::Count(0, 2), o);
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(A(2, 1.0, 1));
+  h.Feed(A(3, 2.0, 1));  // a1's rank crosses 2: evicted to next slice
+  const auto next = DrainQueue(&h.next);
+  // a1 male, a2 male, a1 female eviction, a3 male (in feed order).
+  std::vector<std::string> ids;
+  for (const Event& e : next) ids.push_back(std::get<Tuple>(e).DebugId());
+  std::vector<std::string> roles;
+  for (const Event& e : next) {
+    roles.push_back(std::get<Tuple>(e).role == TupleRole::kMale ? "m" : "f");
+  }
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], "a1");
+  EXPECT_EQ(roles[0], "m");
+  EXPECT_EQ(ids[2], "a1");  // evicted female before a3's male
+  EXPECT_EQ(roles[2], "f");
+  EXPECT_EQ(h.join.state_a().size(), 2u);
+}
+
+TEST(SlicedWindowJoinTest, SetRangeShrinksOnNextPurge) {
+  SliceHarness h(SliceRange::TimeSeconds(0, 10), NoPunct());
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(A(2, 4.0, 1));
+  h.join.SetRange(SliceRange::TimeSeconds(0, 2));
+  h.Feed(B(1, 5.0, 1));  // purge with new end=2: a1 (d=5) and a2 (d=1 stays)
+  const auto next = DrainQueue(&h.next);
+  ASSERT_GE(next.size(), 2u);
+  EXPECT_EQ(std::get<Tuple>(next[0]).DebugId(), "a1");
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a2|b1");
+}
+
+TEST(SlicedWindowJoinDeathTest, InvalidRangeAborts) {
+  EXPECT_DEATH(SlicedWindowJoin("bad", SliceRange::TimeSeconds(5, 5)),
+               "CHECK failed");
+  EXPECT_DEATH(SlicedWindowJoin("bad", SliceRange::TimeSeconds(5, 2)),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -1,0 +1,172 @@
+#include "src/operators/sliding_window_join.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+using ::stateslice::testing::DrainQueue;
+using ::stateslice::testing::ResultsOf;
+
+// Standalone harness: one join, one collected result queue.
+struct JoinHarness {
+  explicit JoinHarness(WindowSpec wa, WindowSpec wb,
+                       SlidingWindowJoin::Options options = {})
+      : join("join", wa, wb, options), results("results") {
+    join.AttachOutput(SlidingWindowJoin::kResultPort, &results);
+  }
+  void Feed(const Tuple& t) { join.Process(t, 0); }
+  std::vector<JoinResult> Results() {
+    return ResultsOf(DrainQueue(&results));
+  }
+  SlidingWindowJoin join;
+  EventQueue results;
+};
+
+TEST(SlidingWindowJoinTest, JoinsWithinWindow) {
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10));
+  h.Feed(A(1, 0.0, /*key=*/1));
+  h.Feed(B(1, 5.0, /*key=*/1));
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a1|b1");
+  EXPECT_EQ(results[0].timestamp(), SecondsToTicks(5.0));
+}
+
+TEST(SlidingWindowJoinTest, WindowBoundaryIsExclusive) {
+  JoinHarness h(WindowSpec::TimeSeconds(5), WindowSpec::TimeSeconds(5));
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 5.0, 1));  // distance exactly 5 -> outside
+  EXPECT_TRUE(h.Results().empty());
+}
+
+TEST(SlidingWindowJoinTest, KeyMismatchProducesNothing) {
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10));
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 1.0, 2));
+  EXPECT_TRUE(h.Results().empty());
+}
+
+TEST(SlidingWindowJoinTest, AsymmetricWindows) {
+  // A[2] |x| B[10]: a joins b if Tb - Ta < 2, or Ta - Tb < 10.
+  JoinHarness h(WindowSpec::TimeSeconds(2), WindowSpec::TimeSeconds(10));
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 5.0, 1));  // Tb - Ta = 5 >= 2: no join (a expired from A[2])
+  EXPECT_TRUE(h.Results().empty());
+  h.Feed(B(2, 6.0, 1));
+  h.Feed(A(2, 9.0, 1));  // Ta - Tb = 3 < 10 against b2: join
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 2u);  // a2 joins both b1 (d=4) and b2 (d=3)
+  EXPECT_EQ(JoinPairKey(results[0]), "a2|b1");
+  EXPECT_EQ(JoinPairKey(results[1]), "a2|b2");
+}
+
+TEST(SlidingWindowJoinTest, BothDirectionsProduce) {
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10));
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 1.0, 1));  // b probes a
+  h.Feed(A(2, 2.0, 1));  // a probes b
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a1|b1");
+  EXPECT_EQ(JoinPairKey(results[1]), "a2|b1");
+}
+
+TEST(SlidingWindowJoinTest, CrossPurgeEvictsExpiredState) {
+  JoinHarness h(WindowSpec::TimeSeconds(2), WindowSpec::TimeSeconds(2));
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(A(2, 1.0, 1));
+  EXPECT_EQ(h.join.StateSize(), 2u);
+  h.Feed(B(1, 3.5, 1));  // purges a1 (d=3.5) and a2 (d=2.5)
+  EXPECT_EQ(h.join.state_a().size(), 0u);
+  EXPECT_TRUE(h.Results().empty());
+}
+
+TEST(SlidingWindowJoinTest, OneWayModeStoresOnlyA) {
+  SlidingWindowJoin::Options options;
+  options.mode = SlidingWindowJoin::Mode::kOneWayA;
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10),
+                options);
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(B(1, 1.0, 1));
+  EXPECT_EQ(h.join.state_b().size(), 0u);
+  EXPECT_EQ(h.join.state_a().size(), 1u);
+  ASSERT_EQ(h.Results().size(), 1u);
+  // A tuples never see stored B tuples in one-way mode.
+  h.Feed(B(2, 2.0, 1));
+  h.Feed(A(2, 3.0, 1));
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);  // only b2 |>< a1; a2 probes nothing
+  EXPECT_EQ(JoinPairKey(results[0]), "a1|b2");
+}
+
+TEST(SlidingWindowJoinTest, CountBasedWindows) {
+  JoinHarness h(WindowSpec::Count(2), WindowSpec::Count(2));
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(A(2, 1.0, 1));
+  h.Feed(A(3, 2.0, 1));  // a1 evicted: only 2 most recent kept
+  h.Feed(B(1, 3.0, 1));
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a2|b1");
+  EXPECT_EQ(JoinPairKey(results[1]), "a3|b1");
+}
+
+TEST(SlidingWindowJoinTest, ModSumConditionJoins) {
+  SlidingWindowJoin::Options options;
+  options.condition = JoinCondition::ModSum(2, 1);
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10),
+                options);
+  h.Feed(A(1, 0.0, /*key=*/0));
+  h.Feed(A(2, 0.5, /*key=*/1));
+  h.Feed(B(1, 1.0, /*key=*/1));  // (1+0)%2=1 no; (1+1)%2=0 yes
+  const auto results = h.Results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(JoinPairKey(results[0]), "a2|b1");
+}
+
+TEST(SlidingWindowJoinTest, PunctuateResultsEmitsWatermarks) {
+  SlidingWindowJoin::Options options;
+  options.punctuate_results = true;
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10),
+                options);
+  h.Feed(A(1, 1.0, 1));
+  const auto events = DrainQueue(&h.results);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(IsPunctuation(events[0]));
+  EXPECT_EQ(std::get<Punctuation>(events[0]).watermark, SecondsToTicks(1.0));
+}
+
+TEST(SlidingWindowJoinTest, ForwardsIncomingPunctuations) {
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10));
+  h.join.Process(Punctuation{.watermark = 77}, 0);
+  const auto events = DrainQueue(&h.results);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Punctuation>(events[0]).watermark, 77);
+}
+
+TEST(SlidingWindowJoinTest, FinishEmitsFinalPunctuation) {
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10));
+  h.join.Finish();
+  const auto events = DrainQueue(&h.results);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::get<Punctuation>(events[0]).watermark, kMaxTime);
+}
+
+TEST(SlidingWindowJoinTest, ChargesProbeAndPurgeComparisons) {
+  CostCounters counters;
+  JoinHarness h(WindowSpec::TimeSeconds(10), WindowSpec::TimeSeconds(10));
+  h.join.set_cost_counters(&counters);
+  h.Feed(A(1, 0.0, 1));
+  h.Feed(A(2, 1.0, 1));
+  h.Feed(B(1, 2.0, 1));  // probes state of size 2
+  EXPECT_EQ(counters.Get(CostCategory::kProbe), 2u);
+  EXPECT_GE(counters.Get(CostCategory::kPurge), 1u);
+}
+
+}  // namespace
+}  // namespace stateslice

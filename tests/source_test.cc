@@ -1,0 +1,52 @@
+#include "src/runtime/source.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+
+TEST(StreamSourceTest, EmitsInOrder) {
+  StreamSource source("A", {A(1, 1.0), A(2, 2.0), A(3, 3.0)});
+  EXPECT_EQ(source.size(), 3u);
+  EXPECT_FALSE(source.Exhausted());
+  EXPECT_EQ(source.NextTime(), SecondsToTicks(1.0));
+  EXPECT_EQ(source.PopNext().seq, 1u);
+  EXPECT_EQ(source.NextTime(), SecondsToTicks(2.0));
+  EXPECT_EQ(source.PopNext().seq, 2u);
+  EXPECT_EQ(source.PopNext().seq, 3u);
+  EXPECT_TRUE(source.Exhausted());
+  EXPECT_EQ(source.NextTime(), kMaxTime);
+}
+
+TEST(StreamSourceTest, ResetReplays) {
+  StreamSource source("A", {A(1, 1.0), A(2, 2.0)});
+  source.PopNext();
+  source.PopNext();
+  EXPECT_TRUE(source.Exhausted());
+  source.Reset();
+  EXPECT_FALSE(source.Exhausted());
+  EXPECT_EQ(source.PopNext().seq, 1u);
+}
+
+TEST(StreamSourceTest, EmptySourceIsExhausted) {
+  StreamSource source("A", {});
+  EXPECT_TRUE(source.Exhausted());
+  EXPECT_EQ(source.NextTime(), kMaxTime);
+}
+
+TEST(StreamSourceDeathTest, UnorderedBufferAborts) {
+  EXPECT_DEATH(StreamSource("A", {A(1, 2.0), A(2, 1.0)}), "CHECK failed");
+}
+
+TEST(StreamSourceDeathTest, PopPastEndAborts) {
+  StreamSource source("A", {A(1, 1.0)});
+  source.PopNext();
+  EXPECT_DEATH(source.PopNext(), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -1,0 +1,90 @@
+// Shared helpers for the stateslice test suite.
+#ifndef STATESLICE_TESTS_TEST_UTIL_H_
+#define STATESLICE_TESTS_TEST_UTIL_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/stateslice.h"
+
+namespace stateslice::testing {
+
+// Builds a tuple with the given fields (seconds-based timestamp).
+inline Tuple MakeTuple(StreamSide side, uint32_t seq, double t_seconds,
+                       int64_t key = 0, double value = 0.5) {
+  Tuple t;
+  t.side = side;
+  t.seq = seq;
+  t.timestamp = SecondsToTicks(t_seconds);
+  t.key = key;
+  t.value = value;
+  return t;
+}
+
+inline Tuple A(uint32_t seq, double t_seconds, int64_t key = 0,
+               double value = 0.5) {
+  return MakeTuple(StreamSide::kA, seq, t_seconds, key, value);
+}
+
+inline Tuple B(uint32_t seq, double t_seconds, int64_t key = 0,
+               double value = 0.5) {
+  return MakeTuple(StreamSide::kB, seq, t_seconds, key, value);
+}
+
+// Reference (oracle) evaluation of one continuous query directly over the
+// generated tuple buffers: all pairs matching the join condition, the
+// window constraint |Ta - Tb| < w, and the selections. Returns the result
+// multiset keyed by JoinPairKey.
+inline std::map<std::string, int> OracleJoin(
+    const std::vector<Tuple>& stream_a, const std::vector<Tuple>& stream_b,
+    const JoinCondition& cond, const ContinuousQuery& q) {
+  std::map<std::string, int> expected;
+  for (const Tuple& a : stream_a) {
+    if (!q.selection_a.Eval(a)) continue;
+    for (const Tuple& b : stream_b) {
+      if (!q.selection_b.Eval(b)) continue;
+      if (!cond.Match(a, b)) continue;
+      const Duration d = std::llabs(a.timestamp - b.timestamp);
+      if (d >= q.window.extent) continue;
+      ++expected[JoinPairKey(JoinResult{a, b})];
+    }
+  }
+  return expected;
+}
+
+// Runs a built plan over the workload and returns the stats. Sinks are
+// registered automatically.
+inline RunStats RunPlan(BuiltPlan* built, const Workload& workload,
+                        ExecutorOptions options = {}) {
+  StreamSource source_a("A", workload.stream_a);
+  StreamSource source_b("B", workload.stream_b);
+  Executor exec(built->plan.get(),
+                {{&source_a, built->entry}, {&source_b, built->entry}},
+                options);
+  for (CountingSink* sink : built->sinks) {
+    if (sink != nullptr) exec.AddSink(sink);
+  }
+  return exec.Run();
+}
+
+// Drains `queue` into a vector (test inspection).
+inline std::vector<Event> DrainQueue(EventQueue* queue) {
+  std::vector<Event> events;
+  while (!queue->empty()) events.push_back(queue->Pop());
+  return events;
+}
+
+// Extracts the JoinResults from an event list, dropping punctuations.
+inline std::vector<JoinResult> ResultsOf(const std::vector<Event>& events) {
+  std::vector<JoinResult> results;
+  for (const Event& e : events) {
+    if (IsJoinResult(e)) results.push_back(std::get<JoinResult>(e));
+  }
+  return results;
+}
+
+}  // namespace stateslice::testing
+
+#endif  // STATESLICE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,85 @@
+#include "src/common/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/timestamp.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+
+TEST(TimestampTest, SecondsRoundTrip) {
+  EXPECT_EQ(SecondsToTicks(1.0), kTicksPerSecond);
+  EXPECT_EQ(SecondsToTicks(0.5), kTicksPerSecond / 2);
+  EXPECT_DOUBLE_EQ(TicksToSeconds(SecondsToTicks(12.25)), 12.25);
+  EXPECT_EQ(SecondsToTicks(0.0), 0);
+}
+
+TEST(TupleTest, DebugIdUsesSideAndSeq) {
+  EXPECT_EQ(A(3, 1.0).DebugId(), "a3");
+  EXPECT_EQ(B(1, 1.0).DebugId(), "b1");
+}
+
+TEST(TupleTest, DebugStringShowsRole) {
+  Tuple t = A(1, 1.0);
+  t.role = TupleRole::kMale;
+  EXPECT_NE(t.DebugString().find(",m"), std::string::npos);
+  t.role = TupleRole::kFemale;
+  EXPECT_NE(t.DebugString().find(",f"), std::string::npos);
+}
+
+TEST(TupleTest, DefaultLineageIsAllQueries) {
+  Tuple t;
+  EXPECT_EQ(t.lineage, ~uint64_t{0});
+}
+
+TEST(TupleTest, OppositeSide) {
+  EXPECT_EQ(Opposite(StreamSide::kA), StreamSide::kB);
+  EXPECT_EQ(Opposite(StreamSide::kB), StreamSide::kA);
+}
+
+TEST(JoinResultTest, TimestampIsMax) {
+  const JoinResult r{A(1, 1.0), B(1, 3.0)};
+  EXPECT_EQ(r.timestamp(), SecondsToTicks(3.0));
+  const JoinResult r2{A(1, 5.0), B(1, 3.0)};
+  EXPECT_EQ(r2.timestamp(), SecondsToTicks(5.0));
+}
+
+TEST(JoinResultTest, LineageIntersects) {
+  Tuple a = A(1, 1.0);
+  Tuple b = B(1, 1.0);
+  a.lineage = 0b0110;
+  b.lineage = 0b0011;
+  EXPECT_EQ((JoinResult{a, b}.lineage()), uint64_t{0b0010});
+}
+
+TEST(JoinResultTest, PairKeyIsOrderIndependentRepresentation) {
+  const JoinResult r{A(2, 1.0), B(7, 2.0)};
+  EXPECT_EQ(JoinPairKey(r), "a2|b7");
+}
+
+TEST(EventTest, EventTimeCoversAllAlternatives) {
+  EXPECT_EQ(EventTime(Event{A(1, 2.0)}), SecondsToTicks(2.0));
+  EXPECT_EQ(EventTime(Event{JoinResult{A(1, 1.0), B(1, 4.0)}}),
+            SecondsToTicks(4.0));
+  EXPECT_EQ(EventTime(Event{Punctuation{.watermark = 42}}), 42);
+}
+
+TEST(EventTest, AlternativePredicates) {
+  EXPECT_TRUE(IsTuple(Event{A(1, 1.0)}));
+  EXPECT_FALSE(IsJoinResult(Event{A(1, 1.0)}));
+  EXPECT_TRUE(IsJoinResult(Event{JoinResult{A(1, 1.0), B(1, 1.0)}}));
+  EXPECT_TRUE(IsPunctuation(Event{Punctuation{}}));
+}
+
+TEST(EventTest, SameTupleComparesIdentity) {
+  EXPECT_TRUE(SameTuple(A(1, 1.0), A(1, 9.0)));
+  EXPECT_FALSE(SameTuple(A(1, 1.0), B(1, 1.0)));
+  EXPECT_FALSE(SameTuple(A(1, 1.0), A(2, 1.0)));
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -1,0 +1,160 @@
+#include "src/operators/union_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+using ::stateslice::testing::B;
+using ::stateslice::testing::DrainQueue;
+
+JoinResult R(uint32_t a_seq, double ta, uint32_t b_seq, double tb) {
+  return JoinResult{A(a_seq, ta, 0), B(b_seq, tb, 0)};
+}
+
+struct UnionHarness {
+  explicit UnionHarness(int inputs) : merge("u", inputs), out("out") {
+    merge.AttachOutput(UnionMerge::kOutPort, &out);
+  }
+  void Feed(int port, Event e) { merge.Process(std::move(e), port); }
+  std::vector<Event> Out() { return DrainQueue(&out); }
+  UnionMerge merge;
+  EventQueue out;
+};
+
+TEST(UnionMergeTest, HoldsEventsUntilAllInputsAdvance) {
+  UnionHarness h(2);
+  h.Feed(0, R(1, 1.0, 1, 2.0));  // ts=2 on input 0
+  EXPECT_TRUE(h.Out().empty());  // input 1's watermark still at -inf
+  h.Feed(1, Punctuation{.watermark = SecondsToTicks(3.0)});
+  const auto out = h.Out();
+  // The result (ts=2) released, followed by the merged watermark.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(IsJoinResult(out[0]));
+  ASSERT_TRUE(IsPunctuation(out[1]));
+  EXPECT_EQ(std::get<Punctuation>(out[1]).watermark, SecondsToTicks(2.0));
+}
+
+TEST(UnionMergeTest, MergesInTimestampOrder) {
+  UnionHarness h(2);
+  h.Feed(0, R(1, 1.0, 1, 5.0));  // ts=5
+  h.Feed(1, R(2, 2.0, 2, 3.0));  // ts=3
+  h.Feed(0, Punctuation{.watermark = SecondsToTicks(10.0)});
+  h.Feed(1, Punctuation{.watermark = SecondsToTicks(10.0)});
+  const auto out = h.Out();
+  std::vector<TimePoint> data_times;
+  for (const Event& e : out) {
+    if (IsJoinResult(e)) data_times.push_back(EventTime(e));
+  }
+  ASSERT_EQ(data_times.size(), 2u);
+  EXPECT_EQ(data_times[0], SecondsToTicks(3.0));
+  EXPECT_EQ(data_times[1], SecondsToTicks(5.0));
+}
+
+TEST(UnionMergeTest, DataEventAdvancesOwnWatermark) {
+  UnionHarness h(2);
+  h.Feed(0, R(1, 1.0, 1, 4.0));  // input0 implies watermark 4
+  h.Feed(1, R(2, 1.0, 2, 6.0));  // input1 implies watermark 6
+  const auto out = h.Out();
+  // min watermark = 4: the ts=4 result is releasable.
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_TRUE(IsJoinResult(out[0]));
+  EXPECT_EQ(EventTime(out[0]), SecondsToTicks(4.0));
+}
+
+TEST(UnionMergeTest, StaleWatermarkIgnored) {
+  UnionHarness h(1);
+  h.Feed(0, Punctuation{.watermark = 100});
+  h.Feed(0, Punctuation{.watermark = 50});  // stale: no effect
+  const auto out = h.Out();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<Punctuation>(out[0]).watermark, 100);
+}
+
+TEST(UnionMergeTest, TiesPreserveArrivalOrderDeterministically) {
+  UnionHarness h(2);
+  h.Feed(0, R(1, 1.0, 1, 3.0));
+  h.Feed(1, R(2, 2.0, 2, 3.0));  // same merged timestamp
+  h.Feed(0, Punctuation{.watermark = SecondsToTicks(9.0)});
+  h.Feed(1, Punctuation{.watermark = SecondsToTicks(9.0)});
+  const auto out = h.Out();
+  std::vector<std::string> keys;
+  for (const Event& e : out) {
+    if (IsJoinResult(e)) keys.push_back(JoinPairKey(std::get<JoinResult>(e)));
+  }
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a1|b1");  // arrived first
+  EXPECT_EQ(keys[1], "a2|b2");
+}
+
+TEST(UnionMergeTest, CascadedWatermarkIsMin) {
+  UnionHarness h(3);
+  h.Feed(0, Punctuation{.watermark = 30});
+  h.Feed(1, Punctuation{.watermark = 10});
+  h.Feed(2, Punctuation{.watermark = 20});
+  const auto out = h.Out();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<Punctuation>(out[0]).watermark, 10);
+}
+
+TEST(UnionMergeTest, AddInputWhileRunningStartsAtEmittedWatermark) {
+  UnionHarness h(1);
+  h.Feed(0, Punctuation{.watermark = 100});
+  h.Out();
+  const int port = h.merge.AddInputWhileRunning();
+  EXPECT_EQ(port, 1);
+  // A newer event on input 0 is held until the new input catches up.
+  h.Feed(0, Punctuation{.watermark = 300});
+  EXPECT_TRUE(h.Out().empty());
+  h.Feed(port, Punctuation{.watermark = 250});
+  const auto out = h.Out();
+  ASSERT_FALSE(out.empty());
+}
+
+TEST(UnionMergeTest, CloseInputStopsGatingWatermark) {
+  UnionHarness h(2);
+  h.Feed(0, R(1, 1.0, 1, 2.0));
+  EXPECT_TRUE(h.Out().empty());  // gated by input 1
+  h.merge.CloseInputWhileRunning(1);
+  h.Feed(0, Punctuation{.watermark = SecondsToTicks(5.0)});
+  const auto out = h.Out();
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_TRUE(IsJoinResult(out[0]));
+}
+
+TEST(UnionMergeTest, ChargesPunctuationDrivenUnionCost) {
+  CostCounters counters;
+  UnionHarness h(1);
+  h.merge.set_cost_counters(&counters);
+  // Union cost is charged per watermark advance, not per released tuple
+  // (Section 4.3: male punctuations reduce the merge to concatenation,
+  // Eq. 3's 2λ term). Two advances here: the data-implied one and the
+  // explicit punctuation.
+  h.Feed(0, R(1, 1.0, 1, 2.0));
+  h.Feed(0, R(2, 1.5, 2, 2.0));  // same watermark: no extra charge
+  h.Feed(0, Punctuation{.watermark = SecondsToTicks(3.0)});
+  EXPECT_EQ(counters.Get(CostCategory::kUnion), 2u);
+}
+
+TEST(UnionMergeTest, BufferedCountsPendingEvents) {
+  UnionHarness h(2);
+  h.Feed(0, R(1, 1.0, 1, 2.0));
+  h.Feed(0, R(2, 3.0, 2, 4.0));
+  EXPECT_EQ(h.merge.buffered(), 2u);
+  h.merge.CloseInputWhileRunning(1);
+  h.Feed(0, Punctuation{.watermark = SecondsToTicks(10.0)});
+  EXPECT_EQ(h.merge.buffered(), 0u);
+}
+
+TEST(UnionMergeDeathTest, RegressingDataEventAborts) {
+  UnionHarness h(1);
+  h.Feed(0, R(1, 5.0, 1, 6.0));
+  // An older data event on the same input violates FIFO ordering.
+  EXPECT_DEATH(h.Feed(0, R(2, 1.0, 2, 2.0)), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stateslice
