@@ -11,7 +11,7 @@
 // Part 2 scales the query count (all sharing a chain vs unshared joins) to
 // show the multi-query scalability motivation of Section 1.
 //
-//   $ ./bench/bench_chain_scaling
+//   $ ./bench/bench_chain_scaling [--quick] [--json BENCH_chain_scaling.json]
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -39,14 +39,30 @@ ChainPartition GroupedPartition(int boundaries, int groups) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  // Warm-up is 30 virtual seconds everywhere, so quick runs must stay
+  // above it; they trade steady-state window for wall time.
+  const double part1_duration_s = args.quick ? 45 : 60;
+  const double part2_duration_s = args.quick ? 35 : 45;
+
+  BenchReport report;
+  report.bench = "chain_scaling";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("part1_duration_s", JsonScalar::Num(part1_duration_s));
+  report.SetConfig("part2_duration_s", JsonScalar::Num(part2_duration_s));
+  report.SetConfig("warmup_s", JsonScalar::Num(30));
+  report.SetConfig("rate", JsonScalar::Num(40));
+  report.SetConfig("s1", JsonScalar::Num(0.025));
+
   // ---------------- Part 1: slice count vs overhead --------------------
   const auto queries =
       MakeSection73Queries(WindowDistributionN::kUniformN, 12);
   const ChainSpec spec = BuildChainSpec(queries);
   WorkloadSpec wspec;
   wspec.rate_a = wspec.rate_b = 40;
-  wspec.duration_s = 60;
+  wspec.duration_s = part1_duration_s;
   wspec.join_selectivity = 0.025;
   wspec.seed = 5;
   const Workload workload = GenerateWorkload(wspec);
@@ -54,7 +70,7 @@ int main() {
   options.condition = workload.condition;
 
   std::printf("Part 1: overhead vs slice count (12 uniform queries, 40 t/s, "
-              "S1=0.025, 60 s)\n");
+              "S1=0.025, %g s)\n", wspec.duration_s);
   std::printf("%7s %12s %12s %12s %12s %12s\n", "slices", "events/tu",
               "purge/tu", "route/tu", "probe/tu", "wall ms");
   for (int groups : {1, 2, 3, 4, 6, 12}) {
@@ -72,6 +88,18 @@ int main() {
                 run.stats.cost.Get(CostCategory::kRoute) / tuples,
                 run.stats.cost.Get(CostCategory::kProbe) / tuples,
                 run.stats.wall_seconds * 1e3);
+    JsonObject& row = report.AddRow();
+    Set(&row, "section", JsonScalar::Str("slice_count_overhead"));
+    Set(&row, "num_slices", JsonScalar::Num(chain.partition.num_slices()));
+    Set(&row, "events_per_tuple",
+        JsonScalar::Num(run.stats.events_processed / tuples));
+    Set(&row, "purge_per_tuple",
+        JsonScalar::Num(run.stats.cost.Get(CostCategory::kPurge) / tuples));
+    Set(&row, "route_per_tuple",
+        JsonScalar::Num(run.stats.cost.Get(CostCategory::kRoute) / tuples));
+    Set(&row, "probe_per_tuple",
+        JsonScalar::Num(run.stats.cost.Get(CostCategory::kProbe) / tuples));
+    AddRunMetrics(&row, run);
   }
 
   // c_sys calibration: time one probe comparison and one queue hop.
@@ -112,17 +140,24 @@ int main() {
     std::printf("\ncalibration: %.2f ns/probe-comparison, %.1f ns/queue-hop "
                 "=> c_sys ~ %.0f comparison-equivalents/hop\n",
                 ns_per_cmp, ns_per_hop, ns_per_hop / ns_per_cmp);
+    JsonObject& row = report.AddRow();
+    Set(&row, "section", JsonScalar::Str("c_sys_calibration"));
+    Set(&row, "ns_per_probe_comparison", JsonScalar::Num(ns_per_cmp));
+    Set(&row, "ns_per_queue_hop", JsonScalar::Num(ns_per_hop));
+    Set(&row, "c_sys_comparison_equivalents",
+        JsonScalar::Num(ns_per_hop / ns_per_cmp));
   }
 
   // ---------------- Part 2: query-count scalability ---------------------
   std::printf("\nPart 2: scaling the number of shared queries "
-              "(Small-Large windows, 40 t/s, S1=0.025, 45 s)\n");
+              "(Small-Large windows, 40 t/s, S1=0.025, %g s)\n",
+              part2_duration_s);
   std::printf("%8s %16s %16s %16s\n", "queries", "chain cmp/s",
               "unshared cmp/s", "chain/unshared");
   for (int n : {4, 8, 12, 24, 36}) {
     const auto qs = MakeSection73Queries(WindowDistributionN::kSmallLargeN, n);
     WorkloadSpec w2 = wspec;
-    w2.duration_s = 45;
+    w2.duration_s = part2_duration_s;
     const Workload load = GenerateWorkload(w2);
     BuildOptions opt;
     opt.condition = load.condition;
@@ -136,10 +171,21 @@ int main() {
                 unshared_run.comparisons_per_vsec,
                 unshared_run.comparisons_per_vsec /
                     chain_run.comparisons_per_vsec);
+    const struct {
+      const char* plan;
+      const BenchRun* run;
+    } outcomes[] = {{"chain", &chain_run}, {"unshared", &unshared_run}};
+    for (const auto& outcome : outcomes) {
+      JsonObject& row = report.AddRow();
+      Set(&row, "section", JsonScalar::Str("query_count_scaling"));
+      Set(&row, "num_queries", JsonScalar::Num(n));
+      Set(&row, "plan", JsonScalar::Str(outcome.plan));
+      AddRunMetrics(&row, *outcome.run);
+    }
   }
   std::printf("\nexpected: chain comparisons stay ~flat with query count "
               "(states shared), unshared grows ~linearly; per-slice "
               "overhead terms grow with slice count, routing with merged "
               "span — the CPU-Opt trade-off.\n");
-  return 0;
+  return FinishReport(args, report);
 }

@@ -8,7 +8,8 @@
 // Deviations beyond Poisson noise would indicate an implementation that
 // does not execute the strategies the paper analyzes.
 //
-//   $ ./bench/bench_cost_model_validation
+//   $ ./bench/bench_cost_model_validation [--quick]
+//         [--json BENCH_cost_model_validation.json]
 #include <cstdio>
 #include <vector>
 
@@ -42,8 +43,8 @@ std::vector<ContinuousQuery> TwoQueries(const Setting& s) {
   return queries;
 }
 
-void Report(const char* strategy, const CostEstimate& predicted,
-            const BenchRun& run) {
+void Report(BenchReport* report, const Setting& s, const char* strategy,
+            const CostEstimate& predicted, const BenchRun& run) {
   const double mem_err =
       100.0 * (run.avg_state_tuples - predicted.memory_tuples) /
       predicted.memory_tuples;
@@ -55,16 +56,37 @@ void Report(const char* strategy, const CostEstimate& predicted,
               strategy, predicted.memory_tuples, run.avg_state_tuples,
               mem_err, predicted.cpu_per_sec,
               run.steady_comparisons_per_vsec, cpu_err);
+  JsonObject& row = report->AddRow();
+  Set(&row, "w1", JsonScalar::Num(s.w1));
+  Set(&row, "w2", JsonScalar::Num(s.w2));
+  Set(&row, "s_sigma", JsonScalar::Num(s.s_sigma));
+  Set(&row, "s1", JsonScalar::Num(s.s1));
+  Set(&row, "rate", JsonScalar::Num(s.rate));
+  Set(&row, "strategy", JsonScalar::Str(strategy));
+  Set(&row, "predicted_memory_tuples", JsonScalar::Num(predicted.memory_tuples));
+  Set(&row, "predicted_cpu_per_sec", JsonScalar::Num(predicted.cpu_per_sec));
+  Set(&row, "memory_error_pct", JsonScalar::Num(mem_err));
+  Set(&row, "cpu_error_pct", JsonScalar::Num(cpu_err));
+  AddRunMetrics(&row, run);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const double duration_s = args.quick ? 60 : 90;
+
+  BenchReport report;
+  report.bench = "cost_model_validation";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("duration_s", JsonScalar::Num(duration_s));
+
   std::printf("Cost-model validation: predicted (Eqs. 1-3) vs measured\n");
-  std::printf("(90-second runs; warm-up = w2; expect single-digit %% "
+  std::printf("(%g-second runs; warm-up = w2; expect single-digit %% "
               "deviations,\n"
               "purge slightly above the model's 1-comparison-per-arrival "
-              "idealization)\n\n");
+              "idealization)\n\n", duration_s);
   for (const Setting& s : kSettings) {
     std::printf("w1=%g w2=%g Ss=%g S1=%g rate=%g:\n", s.w1, s.w2, s.s_sigma,
                 s.s1, s.rate);
@@ -78,7 +100,7 @@ int main() {
 
     WorkloadSpec wspec;
     wspec.rate_a = wspec.rate_b = s.rate;
-    wspec.duration_s = 90;
+    wspec.duration_s = duration_s;
     wspec.join_selectivity = s.s1;
     wspec.seed = 7;
     const Workload workload = GenerateWorkload(wspec);
@@ -87,21 +109,21 @@ int main() {
 
     {
       BuiltPlan built = BuildPullUpPlan(queries, options);
-      Report("Selection-PullUp", PullUpCost(p),
+      Report(&report, s, "Selection-PullUp", PullUpCost(p),
              RunBench(&built, workload, s.w2));
     }
     {
       BuiltPlan built = BuildPushDownPlan(queries, options);
-      Report("Selection-PushDown", PushDownCost(p),
+      Report(&report, s, "Selection-PushDown", PushDownCost(p),
              RunBench(&built, workload, s.w2));
     }
     {
       BuiltPlan built =
           BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
-      Report("State-Slice-Chain", StateSliceCost(p),
+      Report(&report, s, "State-Slice-Chain", StateSliceCost(p),
              RunBench(&built, workload, s.w2));
     }
     std::printf("\n");
   }
-  return 0;
+  return FinishReport(args, report);
 }

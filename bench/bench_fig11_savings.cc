@@ -5,12 +5,14 @@
 //   (b) CPU saving vs selection pull-up for S1 in {0.4, 0.1, 0.025},
 //   (c) CPU saving vs selection push-down for the same S1 values.
 //
-//   $ ./bench/bench_fig11_savings
+//   $ ./bench/bench_fig11_savings [--json BENCH_fig11_savings.json]
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/core/cost_model.h"
 
 using namespace stateslice;
+using namespace stateslice::bench;
 
 namespace {
 
@@ -25,17 +27,35 @@ void PrintHeader() {
   std::printf("\n");
 }
 
+// Emits one report row per (surface, S1, rho, Ss) grid point.
+void AddSavingsRow(BenchReport* report, const char* surface, double s1,
+                   double rho, double ss, double saving) {
+  JsonObject& row = report->AddRow();
+  Set(&row, "surface", JsonScalar::Str(surface));
+  Set(&row, "s1", JsonScalar::Num(s1));
+  Set(&row, "rho", JsonScalar::Num(rho));
+  Set(&row, "s_sigma", JsonScalar::Num(ss));
+  Set(&row, "saving_pct", JsonScalar::Num(100 * saving));
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  BenchReport report;
+  report.bench = "fig11_savings";
+  report.SetConfig("analytic", JsonScalar::Bool(true));
+
   std::printf("=== Figure 11(a): memory saving (%%) of State-Slice ===\n");
   std::printf("--- vs Selection-PullUp: (1-rho)(1-Ss)/2 ---\n");
   PrintHeader();
   for (double rho : kRhos) {
     std::printf("%6.2f", rho);
     for (double ss : kSigmas) {
-      std::printf("%8.1f", 100 * ComputeSliceSavings(rho, ss, 0.1)
-                               .memory_vs_pullup);
+      const double saving = ComputeSliceSavings(rho, ss, 0.1).memory_vs_pullup;
+      AddSavingsRow(&report, "memory_vs_pullup", 0.1, rho, ss, saving);
+      std::printf("%8.1f", 100 * saving);
     }
     std::printf("\n");
   }
@@ -44,8 +64,10 @@ int main() {
   for (double rho : kRhos) {
     std::printf("%6.2f", rho);
     for (double ss : kSigmas) {
-      std::printf("%8.1f", 100 * ComputeSliceSavings(rho, ss, 0.1)
-                               .memory_vs_pushdown);
+      const double saving =
+          ComputeSliceSavings(rho, ss, 0.1).memory_vs_pushdown;
+      AddSavingsRow(&report, "memory_vs_pushdown", 0.1, rho, ss, saving);
+      std::printf("%8.1f", 100 * saving);
     }
     std::printf("\n");
   }
@@ -57,8 +79,9 @@ int main() {
     for (double rho : kRhos) {
       std::printf("%6.2f", rho);
       for (double ss : kSigmas) {
-        std::printf("%8.1f",
-                    100 * ComputeSliceSavings(rho, ss, s1).cpu_vs_pullup);
+        const double saving = ComputeSliceSavings(rho, ss, s1).cpu_vs_pullup;
+        AddSavingsRow(&report, "cpu_vs_pullup", s1, rho, ss, saving);
+        std::printf("%8.1f", 100 * saving);
       }
       std::printf("\n");
     }
@@ -71,8 +94,9 @@ int main() {
     for (double rho : kRhos) {
       std::printf("%6.2f", rho);
       for (double ss : kSigmas) {
-        std::printf("%8.1f",
-                    100 * ComputeSliceSavings(rho, ss, s1).cpu_vs_pushdown);
+        const double saving = ComputeSliceSavings(rho, ss, s1).cpu_vs_pushdown;
+        AddSavingsRow(&report, "cpu_vs_pushdown", s1, rho, ss, saving);
+        std::printf("%8.1f", 100 * saving);
       }
       std::printf("\n");
     }
@@ -89,5 +113,5 @@ int main() {
   std::printf("  CPU saving vs push-down at S1=0.4, mid grid: %.1f%% "
               "(paper: up to ~30%%)\n",
               100 * ComputeSliceSavings(0.1, 0.9, 0.4).cpu_vs_pushdown);
-  return 0;
+  return FinishReport(args, report);
 }

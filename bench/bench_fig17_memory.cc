@@ -10,9 +10,8 @@
 //   (f) Uniform windows,      S1=0.025, Ss=0.8
 // Stream rates sweep 20..80 tuples/sec; runs last 90 virtual seconds.
 //
-//   $ ./bench/bench_fig17_memory [--quick]
+//   $ ./bench/bench_fig17_memory [--quick] [--json BENCH_fig17_memory.json]
 #include <cstdio>
-#include <cstring>
 
 #include "bench/bench_util.h"
 
@@ -45,9 +44,17 @@ constexpr Panel kPanels[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  const double duration_s = quick ? 45 : 90;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const double duration_s = args.quick ? 45 : 90;
   const double rates[] = {20, 40, 60, 80};
+
+  BenchReport report;
+  report.bench = "fig17_memory";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("duration_s", JsonScalar::Num(duration_s));
+  report.SetConfig("warmup_s", JsonScalar::Num(30));
+  report.SetConfig("comparisons_per_sec", JsonScalar::Num(kComparisonsPerSec));
 
   std::printf("Figure 17: state memory usage (avg tuples after warm-up), "
               "%g-second runs\n\n", duration_s);
@@ -73,7 +80,15 @@ int main(int argc, char** argv) {
       for (int s = 0; s < 3; ++s) {
         BuiltPlan built = BuildStrategy(order[s], queries, options);
         // Warm-up: one full largest window (30 s).
-        mem[s] = RunBench(&built, workload, /*warmup_s=*/30).avg_state_tuples;
+        const BenchRun run = RunBench(&built, workload, /*warmup_s=*/30);
+        mem[s] = run.avg_state_tuples;
+        JsonObject& row = report.AddRow();
+        Set(&row, "panel", JsonScalar::Str(panel.label));
+        Set(&row, "s1", JsonScalar::Num(panel.s1));
+        Set(&row, "s_sigma", JsonScalar::Num(panel.s_sigma));
+        Set(&row, "rate", JsonScalar::Num(rate));
+        Set(&row, "strategy", JsonScalar::Str(Name(order[s])));
+        AddRunMetrics(&row, run);
       }
       std::printf("%6.0f %17.0f tu %17.0f tu %17.0f tu\n", rate, mem[0],
                   mem[1], mem[2]);
@@ -83,5 +98,5 @@ int main(int argc, char** argv) {
   std::printf("expected shape (paper): State-Slice-Chain lowest everywhere "
               "(20-30%% below the alternatives); PushDown ~= PullUp for "
               "mid Ss; memory insensitive to S1.\n");
-  return 0;
+  return FinishReport(args, report);
 }

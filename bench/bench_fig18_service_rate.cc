@@ -16,8 +16,8 @@
 // EXPERIMENTS.md for the discussion of the two metrics.
 //
 //   $ ./bench/bench_fig18_service_rate [--quick]
+//         [--json BENCH_fig18_service_rate.json]
 #include <cstdio>
-#include <cstring>
 
 #include "bench/bench_util.h"
 
@@ -48,9 +48,17 @@ constexpr Panel kPanels[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  const double duration_s = quick ? 30 : 90;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const double duration_s = args.quick ? 30 : 90;
   const double rates[] = {20, 40, 60, 80};
+
+  BenchReport report;
+  report.bench = "fig18_service_rate";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("duration_s", JsonScalar::Num(duration_s));
+  report.SetConfig("warmup_s", JsonScalar::Num(30));
+  report.SetConfig("comparisons_per_sec", JsonScalar::Num(kComparisonsPerSec));
 
   std::printf("Figure 18: service rate (results per modeled CPU-second at "
               "%.0fM comparisons/s), %g-second runs\n\n",
@@ -77,6 +85,13 @@ int main(int argc, char** argv) {
       for (int s = 0; s < 3; ++s) {
         BuiltPlan built = BuildStrategy(order[s], queries, options);
         runs[s] = RunBench(&built, workload, /*warmup_s=*/30);
+        JsonObject& row = report.AddRow();
+        Set(&row, "panel", JsonScalar::Str(panel.label));
+        Set(&row, "s1", JsonScalar::Num(panel.s1));
+        Set(&row, "s_sigma", JsonScalar::Num(panel.s_sigma));
+        Set(&row, "rate", JsonScalar::Num(rate));
+        Set(&row, "strategy", JsonScalar::Str(Name(order[s])));
+        AddRunMetrics(&row, runs[s]);
       }
       std::printf("%6.0f | %9.0f /s %9.0f /s %9.0f /s | %9.2e %9.2e %9.2e\n",
                   rate, runs[0].service_rate_modeled,
@@ -91,5 +106,5 @@ int main(int argc, char** argv) {
       "advantage grows with the data rate (routing cost grows ~rate^2 while\n"
       "the chain's extra purging grows ~rate) and reaches ~40%% at high S1\n"
       "and high rates; PushDown sits between the two.\n");
-  return 0;
+  return FinishReport(args, report);
 }

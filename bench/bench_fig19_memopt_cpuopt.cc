@@ -16,8 +16,8 @@
 // the overhead proxy, plus comparisons/s for completeness.
 //
 //   $ ./bench/bench_fig19_memopt_cpuopt [--quick]
+//         [--json BENCH_fig19_memopt_cpuopt.json]
 #include <cstdio>
-#include <cstring>
 
 #include "bench/bench_util.h"
 
@@ -43,10 +43,19 @@ constexpr Panel kPanels[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
-  const double duration_s = quick ? 30 : 90;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const double duration_s = args.quick ? 30 : 90;
   const double rates[] = {20, 40, 60, 80};
   constexpr double kS1 = 0.025;
+
+  BenchReport report;
+  report.bench = "fig19_memopt_cpuopt";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("duration_s", JsonScalar::Num(duration_s));
+  report.SetConfig("warmup_s", JsonScalar::Num(30));
+  report.SetConfig("s1", JsonScalar::Num(kS1));
+  report.SetConfig("repetitions", JsonScalar::Num(2));
 
   std::printf("Figure 19: Mem-Opt vs CPU-Opt chains, S1=%.3f, %g-second "
               "runs (best of 2)\n\n", kS1, duration_s);
@@ -97,6 +106,26 @@ int main(int argc, char** argv) {
       const double cpu_ev =
           static_cast<double>(cpu_run.stats.events_processed) /
           static_cast<double>(cpu_run.stats.input_tuples);
+      const struct {
+        const char* chain;
+        int slices;
+        const BenchRun* run;
+        double events_per_tuple;
+      } outcomes[] = {
+          {"mem_opt", mem_opt.partition.num_slices(), &mem_run, mem_ev},
+          {"cpu_opt", cpu_opt.partition.num_slices(), &cpu_run, cpu_ev},
+      };
+      for (const auto& outcome : outcomes) {
+        JsonObject& row = report.AddRow();
+        Set(&row, "panel", JsonScalar::Str(panel.label));
+        Set(&row, "num_queries", JsonScalar::Num(panel.num_queries));
+        Set(&row, "rate", JsonScalar::Num(rate));
+        Set(&row, "chain", JsonScalar::Str(outcome.chain));
+        Set(&row, "num_slices", JsonScalar::Num(outcome.slices));
+        Set(&row, "events_per_tuple",
+            JsonScalar::Num(outcome.events_per_tuple));
+        AddRunMetrics(&row, *outcome.run);
+      }
       std::printf("%6.0f | %14.0f %14.0f | %12.1f %12.1f | %12.0f %12.0f\n",
                   rate, mem_run.service_rate_wall, cpu_run.service_rate_wall,
                   mem_ev, cpu_ev, mem_run.comparisons_per_vsec,
@@ -108,5 +137,5 @@ int main(int argc, char** argv) {
       "expected shape (paper): (a) CPU-Opt == Mem-Opt for uniform windows;\n"
       "(b)/(c) CPU-Opt merges the packed windows and wins ~20-30%%; the\n"
       "advantage grows with the number of queries ((d) and (e)).\n");
-  return 0;
+  return FinishReport(args, report);
 }

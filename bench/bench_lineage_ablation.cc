@@ -7,7 +7,8 @@
 // This bench measures filter comparisons and wall time for both modes
 // across query counts, holding results identical (equivalence asserted).
 //
-//   $ ./bench/bench_lineage_ablation
+//   $ ./bench/bench_lineage_ablation [--quick]
+//         [--json BENCH_lineage_ablation.json]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -35,7 +36,19 @@ std::vector<ContinuousQuery> FilteredQueries(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const double duration_s = args.quick ? 30 : 45;
+
+  BenchReport report;
+  report.bench = "lineage_ablation";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("duration_s", JsonScalar::Num(duration_s));
+  report.SetConfig("warmup_s", JsonScalar::Num(20));
+  report.SetConfig("rate", JsonScalar::Num(40));
+  report.SetConfig("s1", JsonScalar::Num(0.1));
+
   std::printf("Lineage ablation (Section 6.1): per-tuple predicate "
               "evaluation vs once-at-entry stamping\n");
   std::printf("%8s | %16s %16s | %12s %12s | %10s\n", "queries",
@@ -45,7 +58,7 @@ int main() {
     const auto queries = FilteredQueries(n);
     WorkloadSpec wspec;
     wspec.rate_a = wspec.rate_b = 40;
-    wspec.duration_s = 45;
+    wspec.duration_s = duration_s;
     wspec.join_selectivity = 0.1;
     wspec.seed = 42;
     const Workload workload = GenerateWorkload(wspec);
@@ -62,6 +75,15 @@ int main() {
     SLICE_CHECK_EQ(runs[0].stats.results_delivered,
                    runs[1].stats.results_delivered);
     const double secs = TicksToSeconds(runs[0].stats.virtual_end_time);
+    for (int mode = 0; mode < 2; ++mode) {
+      JsonObject& row = report.AddRow();
+      Set(&row, "num_queries", JsonScalar::Num(n));
+      Set(&row, "lineage", JsonScalar::Bool(mode == 1));
+      Set(&row, "filter_comparisons_per_vsec",
+          JsonScalar::Num(runs[mode].stats.cost.Get(CostCategory::kFilter) /
+                          secs));
+      AddRunMetrics(&row, runs[mode]);
+    }
     std::printf("%8d | %16.0f %16.0f | %12.1f %12.1f | %10llu\n", n,
                 runs[0].stats.cost.Get(CostCategory::kFilter) / secs,
                 runs[1].stats.cost.Get(CostCategory::kFilter) / secs,
@@ -74,5 +96,5 @@ int main() {
               "disjunction evaluations into one early-stop pass per tuple, "
               "so filter comparisons grow much more slowly with the query "
               "count.\n");
-  return 0;
+  return FinishReport(args, report);
 }

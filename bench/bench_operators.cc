@@ -3,9 +3,17 @@
 // throughput. Used to calibrate the ChainCostParams::c_sys constant (the
 // per-operator, per-tuple overhead relative to one probe comparison).
 //
-//   $ ./bench/bench_operators
+// Accepts the standard Google Benchmark flags plus the repo-wide
+// `--json <path>` reporter flag (writes the shared BENCH_*.json schema).
+//
+//   $ ./bench/bench_operators [--json BENCH_operators.json]
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "bench/bench_report.h"
 #include "src/stateslice.h"
 
 namespace stateslice {
@@ -163,7 +171,86 @@ void BM_EndToEndStateSlicePlan(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndStateSlicePlan);
 
+// Benchmark <= 1.7 exposes Run::error_occurred; 1.8 replaced it with the
+// Run::skipped state. Detect which member exists so either library works.
+template <typename R, typename = void>
+struct HasErrorOccurred : std::false_type {};
+template <typename R>
+struct HasErrorOccurred<
+    R, std::void_t<decltype(std::declval<const R&>().error_occurred)>>
+    : std::true_type {};
+
+template <typename R>
+bool RunWasSkipped(const R& run) {
+  if constexpr (HasErrorOccurred<R>::value) {
+    return run.error_occurred;
+  } else {
+    return run.skipped != decltype(run.skipped){};  // {} == NotSkipped
+  }
+}
+
+// Console output plus a row per benchmark run in the shared report schema.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (RunWasSkipped(run)) continue;
+      bench::JsonObject& row = report_->AddRow();
+      bench::Set(&row, "name", bench::JsonScalar::Str(run.benchmark_name()));
+      bench::Set(&row, "iterations",
+                 bench::JsonScalar::Num(static_cast<double>(run.iterations)));
+      bench::Set(&row, "real_time_ns_per_iter",
+                 bench::JsonScalar::Num(run.GetAdjustedRealTime()));
+      bench::Set(&row, "cpu_time_ns_per_iter",
+                 bench::JsonScalar::Num(run.GetAdjustedCPUTime()));
+      // SetItemsProcessed surfaces here as the "items_per_second" counter —
+      // comparisons/s for the probe benches, tuples/s for the rest.
+      for (const auto& [name, counter] : run.counters) {
+        bench::Set(&row, name, bench::JsonScalar::Num(counter.value));
+      }
+    }
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace stateslice
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json before benchmark::Initialize rejects it.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i > 0 && arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (i > 0 && arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  stateslice::bench::BenchReport report;
+  report.bench = "operators";
+  report.SetConfig("time_unit", stateslice::bench::JsonScalar::Str("ns"));
+  stateslice::CollectingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  stateslice::bench::BenchArgs report_args;
+  report_args.json_path = json_path;
+  return stateslice::bench::FinishReport(report_args, report);
+}

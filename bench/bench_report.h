@@ -1,0 +1,435 @@
+// Machine-readable reporting for the paper-reproduction benches.
+//
+// Every bench accepts `--json <path>` and, in addition to its human-readable
+// stdout tables, writes one BENCH_<name>.json file with this shape:
+//
+//   {
+//     "bench": "fig17_memory",
+//     "schema_version": 1,
+//     "config": { "duration_s": 90, "quick": false, ... },
+//     "rows": [ { "panel": "(a) ...", "rate": 20, ... }, ... ]
+//   }
+//
+// `config` is one flat object of scalars (the workload / CLI parameters the
+// numbers were measured under); `rows` is an array of flat objects of
+// scalars, one per measurement. Scalars are strings, booleans, or finite
+// doubles. The emitter and the subset parser below are dependency-free so
+// that perf-trajectory tooling (and tests/bench_report_test.cc) can consume
+// the files without linking the stream runtime.
+#ifndef STATESLICE_BENCH_BENCH_REPORT_H_
+#define STATESLICE_BENCH_BENCH_REPORT_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stateslice::bench {
+
+// A scalar JSON value; the report format is flat objects of these.
+struct JsonScalar {
+  enum class Kind { kString, kNumber, kBool };
+
+  Kind kind = Kind::kNumber;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+
+  static JsonScalar Str(std::string s) {
+    JsonScalar v;
+    v.kind = Kind::kString;
+    v.str = std::move(s);
+    return v;
+  }
+  static JsonScalar Num(double d) {
+    JsonScalar v;
+    v.kind = Kind::kNumber;
+    v.num = d;
+    return v;
+  }
+  static JsonScalar Bool(bool b) {
+    JsonScalar v;
+    v.kind = Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  friend bool operator==(const JsonScalar&, const JsonScalar&) = default;
+};
+
+// A flat JSON object with stable (insertion) key order.
+using JsonObject = std::vector<std::pair<std::string, JsonScalar>>;
+
+inline void Set(JsonObject* obj, std::string key, JsonScalar value) {
+  for (auto& [k, v] : *obj) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj->emplace_back(std::move(key), std::move(value));
+}
+
+inline const JsonScalar* Find(const JsonObject& obj, const std::string& key) {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// One bench's machine-readable outcome.
+struct BenchReport {
+  std::string bench;
+  int schema_version = 1;
+  JsonObject config;
+  std::vector<JsonObject> rows;
+
+  void SetConfig(std::string key, JsonScalar value) {
+    Set(&config, std::move(key), std::move(value));
+  }
+  JsonObject& AddRow() { return rows.emplace_back(); }
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; returns false (with a message on stderr) on
+  // I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  friend bool operator==(const BenchReport&, const BenchReport&) = default;
+};
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+namespace report_internal {
+
+inline void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline void AppendScalar(const JsonScalar& v, std::string* out) {
+  switch (v.kind) {
+    case JsonScalar::Kind::kString:
+      AppendEscaped(v.str, out);
+      break;
+    case JsonScalar::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      break;
+    case JsonScalar::Kind::kNumber: {
+      if (!std::isfinite(v.num)) {  // JSON has no Inf/NaN
+        *out += "null";
+        break;
+      }
+      char buf[40];
+      // %.17g round-trips every finite double exactly.
+      std::snprintf(buf, sizeof(buf), "%.17g", v.num);
+      *out += buf;
+      break;
+    }
+  }
+}
+
+inline void AppendObject(const JsonObject& obj, const char* indent,
+                         std::string* out) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, value] : obj) {
+    if (!first) *out += ',';
+    first = false;
+    *out += indent;
+    AppendEscaped(key, out);
+    *out += ": ";
+    AppendScalar(value, out);
+  }
+  if (!first && indent[0] != '\0') *out += "\n    ";
+  *out += '}';
+}
+
+}  // namespace report_internal
+
+inline std::string BenchReport::ToJson() const {
+  std::string out = "{\n  \"bench\": ";
+  report_internal::AppendEscaped(bench, &out);
+  out += ",\n  \"schema_version\": ";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", schema_version);
+  out += buf;
+  out += ",\n  \"config\": ";
+  report_internal::AppendObject(config, "\n    ", &out);
+  out += ",\n  \"rows\": [";
+  bool first = true;
+  for (const JsonObject& row : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    report_internal::AppendObject(row, "", &out);
+  }
+  if (!first) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+inline bool BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "bench_report: short write to %s\n",
+                        path.c_str());
+  return ok;
+}
+
+// ---------------------------------------------------------------------
+// Subset parser (round-trip validation and trajectory tooling)
+// ---------------------------------------------------------------------
+
+namespace report_internal {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<BenchReport> ParseReport() {
+    BenchReport report;
+    JsonObject top;  // scalar fields at top level
+    if (!Expect('{')) return std::nullopt;
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first && !Expect(',')) return std::nullopt;
+      first = false;
+      std::string key;
+      if (!ParseString(&key) || !Expect(':')) return std::nullopt;
+      SkipWs();
+      if (key == "config") {
+        if (!ParseObject(&report.config)) return std::nullopt;
+      } else if (key == "rows") {
+        if (!Expect('[')) return std::nullopt;
+        bool first_row = true;
+        while (true) {
+          SkipWs();
+          if (Peek() == ']') {
+            ++pos_;
+            break;
+          }
+          if (!first_row && !Expect(',')) return std::nullopt;
+          first_row = false;
+          SkipWs();
+          if (!ParseObject(&report.rows.emplace_back())) return std::nullopt;
+        }
+      } else {
+        JsonScalar v;
+        if (!ParseScalar(&v)) return std::nullopt;
+        Set(&top, key, v);
+      }
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return std::nullopt;
+    const JsonScalar* bench = Find(top, "bench");
+    const JsonScalar* version = Find(top, "schema_version");
+    if (bench == nullptr || bench->kind != JsonScalar::Kind::kString ||
+        version == nullptr || version->kind != JsonScalar::Kind::kNumber) {
+      return std::nullopt;
+    }
+    report.bench = bench->str;
+    report.schema_version = static_cast<int>(version->num);
+    return report;
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipWs();
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            const long code =
+                std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            if (code > 0x7f) return false;  // emitter only escapes ASCII
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseScalar(JsonScalar* out) {
+    SkipWs();
+    const char c = Peek();
+    if (c == '"') {
+      out->kind = JsonScalar::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = JsonScalar::Bool(true);
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = JsonScalar::Bool(false);
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {  // emitted for non-finite
+      pos_ += 4;
+      *out = JsonScalar::Num(std::nan(""));
+      return true;
+    }
+    char* end = nullptr;
+    const double d = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    *out = JsonScalar::Num(d);
+    return true;
+  }
+
+  bool ParseObject(JsonObject* out) {
+    if (!Expect('{')) return false;
+    bool first = true;
+    while (true) {
+      SkipWs();
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      if (!first && !Expect(',')) return false;
+      first = false;
+      std::string key;
+      JsonScalar value;
+      if (!ParseString(&key) || !Expect(':') || !ParseScalar(&value)) {
+        return false;
+      }
+      Set(out, std::move(key), std::move(value));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace report_internal
+
+// Parses a report previously produced by BenchReport::ToJson(). Returns
+// nullopt on malformed input or a missing bench/schema_version header.
+inline std::optional<BenchReport> ParseReport(const std::string& json) {
+  return report_internal::Parser(json).ParseReport();
+}
+
+// ---------------------------------------------------------------------
+// Command-line handling shared by the bench mains
+// ---------------------------------------------------------------------
+
+// Flags every figure bench accepts.
+struct BenchArgs {
+  bool quick = false;        // --quick: shorter runs
+  std::string json_path;     // --json <path> / --json=<path>
+  bool ok = true;            // false on unknown flags (caller prints usage)
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (expected [--quick] "
+                   "[--json <path>])\n", arg.c_str());
+      args.ok = false;
+    }
+  }
+  return args;
+}
+
+// Writes the report if `--json` was given. Returns the bench's exit code.
+inline int FinishReport(const BenchArgs& args, const BenchReport& report) {
+  if (args.json_path.empty()) return 0;
+  if (!report.WriteFile(args.json_path)) return 1;
+  std::printf("wrote %s (%zu rows)\n", args.json_path.c_str(),
+              report.rows.size());
+  return 0;
+}
+
+}  // namespace stateslice::bench
+
+#endif  // STATESLICE_BENCH_BENCH_REPORT_H_

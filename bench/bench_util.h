@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "src/stateslice.h"
 
 namespace stateslice::bench {
@@ -62,6 +63,34 @@ inline BenchRun RunBench(BuiltPlan* built, const Workload& workload,
           : 0.0;
   run.service_rate_wall = run.stats.ServiceRate();
   return run;
+}
+
+// Flattens one run's measurements into a report row: throughput, CPU in
+// comparisons/s (total and steady-state), and state memory including the
+// high-water mark. Used by every figure bench so the BENCH_*.json files
+// share one metric vocabulary.
+inline void AddRunMetrics(JsonObject* row, const BenchRun& run) {
+  const double tuples = static_cast<double>(run.stats.input_tuples);
+  Set(row, "input_tuples", JsonScalar::Num(tuples));
+  Set(row, "events_processed",
+      JsonScalar::Num(static_cast<double>(run.stats.events_processed)));
+  Set(row, "results_delivered",
+      JsonScalar::Num(static_cast<double>(run.stats.results_delivered)));
+  Set(row, "wall_seconds", JsonScalar::Num(run.stats.wall_seconds));
+  Set(row, "throughput_tuples_per_wall_sec",
+      JsonScalar::Num(run.stats.wall_seconds > 0
+                          ? tuples / run.stats.wall_seconds
+                          : 0.0));
+  Set(row, "service_rate_modeled", JsonScalar::Num(run.service_rate_modeled));
+  Set(row, "service_rate_wall", JsonScalar::Num(run.service_rate_wall));
+  Set(row, "comparisons_per_vsec", JsonScalar::Num(run.comparisons_per_vsec));
+  Set(row, "steady_comparisons_per_vsec",
+      JsonScalar::Num(run.steady_comparisons_per_vsec));
+  Set(row, "total_comparisons",
+      JsonScalar::Num(static_cast<double>(run.stats.cost.Total())));
+  Set(row, "avg_state_tuples", JsonScalar::Num(run.avg_state_tuples));
+  Set(row, "max_state_tuples",
+      JsonScalar::Num(static_cast<double>(run.stats.MaxStateTuples())));
 }
 
 // The three shared strategies compared in Figures 17/18.

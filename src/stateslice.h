@@ -25,6 +25,19 @@
 #ifndef STATESLICE_STATESLICE_H_
 #define STATESLICE_STATESLICE_H_
 
+// stateslice requires C++20: e.g. operators/window_spec.h uses a defaulted
+// `friend operator==`, which C++17 compilers reject with a cascade of
+// template errors far from the real cause. Fail fast with a clear message
+// instead. MSVC freezes __cplusplus at 199711L unless /Zc:__cplusplus is
+// passed, so accept its _MSVC_LANG mirror too.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "stateslice requires C++20 or newer; compile with /std:c++20"
+#endif
+#elif !defined(__cplusplus) || __cplusplus < 202002L
+#error "stateslice requires C++20 or newer; compile with -std=c++20"
+#endif
+
 #include "src/common/check.h"
 #include "src/common/cost_counters.h"
 #include "src/common/predicate.h"

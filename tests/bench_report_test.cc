@@ -1,0 +1,203 @@
+// Round-trip and schema tests for the bench JSON reporter
+// (bench/bench_report.h): every BENCH_*.json in the perf trajectory is
+// produced by this emitter, so its shape is load-bearing for tooling.
+#include "bench/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "gtest/gtest.h"
+
+namespace stateslice::bench {
+namespace {
+
+BenchReport MakeSample() {
+  BenchReport report;
+  report.bench = "fig17_memory";
+  report.SetConfig("quick", JsonScalar::Bool(true));
+  report.SetConfig("duration_s", JsonScalar::Num(45));
+  report.SetConfig("label", JsonScalar::Str("panel \"a\"\nline2"));
+
+  JsonObject& row = report.AddRow();
+  Set(&row, "strategy", JsonScalar::Str("State-Slice-Chain"));
+  Set(&row, "rate", JsonScalar::Num(20));
+  Set(&row, "avg_state_tuples", JsonScalar::Num(1234.5678901234567));
+  Set(&row, "max_state_tuples", JsonScalar::Num(2048));
+  Set(&row, "comparisons_per_vsec", JsonScalar::Num(1.25e7));
+  Set(&row, "throughput_tuples_per_wall_sec", JsonScalar::Num(3.5e6));
+
+  JsonObject& row2 = report.AddRow();
+  Set(&row2, "strategy", JsonScalar::Str("Selection-PullUp"));
+  Set(&row2, "rate", JsonScalar::Num(0.017999999999999999));
+  return report;
+}
+
+TEST(BenchReportTest, RoundTripsThroughJson) {
+  const BenchReport original = MakeSample();
+  const std::optional<BenchReport> parsed = ParseReport(original.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(BenchReportTest, RoundTripPreservesExactDoubles) {
+  BenchReport report;
+  report.bench = "b";
+  JsonObject& row = report.AddRow();
+  // Values chosen to expose lossy formatting (%.17g must round-trip).
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, -0.0, 1e-300};
+  for (size_t i = 0; i < std::size(values); ++i) {
+    Set(&row, "v" + std::to_string(i), JsonScalar::Num(values[i]));
+  }
+  const std::optional<BenchReport> parsed = ParseReport(report.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->rows.size(), 1u);
+  for (size_t i = 0; i < std::size(values); ++i) {
+    const JsonScalar* v = Find(parsed->rows[0], "v" + std::to_string(i));
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->num, values[i]) << "index " << i;
+  }
+}
+
+TEST(BenchReportTest, EmitsRequiredTopLevelKeys) {
+  const std::string json = MakeSample().ToJson();
+  for (const char* key : {"\"bench\"", "\"schema_version\"", "\"config\"",
+                          "\"rows\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+  }
+  const std::optional<BenchReport> parsed = ParseReport(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bench, "fig17_memory");
+  EXPECT_EQ(parsed->schema_version, 1);
+}
+
+TEST(BenchReportTest, RowsCarryTheMetricVocabulary) {
+  // The trajectory tooling keys on these row fields; renaming one in
+  // AddRunMetrics is a schema change and must bump schema_version. Build
+  // the row through the real flattener so a rename here fails the test.
+  BenchRun run;
+  run.stats.input_tuples = 100;
+  run.stats.wall_seconds = 0.5;
+  JsonObject row;
+  AddRunMetrics(&row, run);
+  for (const char* key :
+       {"input_tuples", "events_processed", "results_delivered",
+        "wall_seconds", "throughput_tuples_per_wall_sec",
+        "service_rate_modeled", "service_rate_wall", "comparisons_per_vsec",
+        "steady_comparisons_per_vsec", "total_comparisons",
+        "avg_state_tuples", "max_state_tuples"}) {
+    EXPECT_NE(Find(row, key), nullptr) << "missing metric " << key;
+  }
+  EXPECT_EQ(Find(row, "input_tuples")->num, 100);
+  EXPECT_EQ(Find(row, "throughput_tuples_per_wall_sec")->num, 200);
+  // The vocabulary must survive a serialize/parse cycle unchanged.
+  BenchReport report;
+  report.bench = "vocab";
+  report.rows.push_back(row);
+  const std::optional<BenchReport> parsed = ParseReport(report.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rows[0], row);
+}
+
+TEST(BenchReportTest, EscapesAndUnescapesStrings) {
+  BenchReport report;
+  report.bench = "quotes\"and\\slashes";
+  report.SetConfig("text", JsonScalar::Str("tab\there\nnewline\rret"));
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("quotes\\\"and\\\\slashes"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  const std::optional<BenchReport> parsed = ParseReport(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->bench, "quotes\"and\\slashes");
+  EXPECT_EQ(Find(parsed->config, "text")->str, "tab\there\nnewline\rret");
+}
+
+TEST(BenchReportTest, NonFiniteNumbersSerializeAsNull) {
+  BenchReport report;
+  report.bench = "b";
+  JsonObject& row = report.AddRow();
+  Set(&row, "bad", JsonScalar::Num(std::nan("")));
+  Set(&row, "big", JsonScalar::Num(HUGE_VAL));
+  const std::string json = report.ToJson();
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  const std::optional<BenchReport> parsed = ParseReport(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::isnan(Find(parsed->rows[0], "bad")->num));
+}
+
+TEST(BenchReportTest, SetOverwritesExistingKeyInPlace) {
+  JsonObject obj;
+  Set(&obj, "k", JsonScalar::Num(1));
+  Set(&obj, "other", JsonScalar::Num(2));
+  Set(&obj, "k", JsonScalar::Num(3));
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj[0].first, "k");
+  EXPECT_EQ(obj[0].second.num, 3);
+}
+
+TEST(BenchReportTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseReport("").has_value());
+  EXPECT_FALSE(ParseReport("[]").has_value());
+  EXPECT_FALSE(ParseReport("{\"bench\": \"x\"").has_value());  // truncated
+  EXPECT_FALSE(ParseReport("{\"rows\": []}").has_value());  // missing header
+  EXPECT_FALSE(
+      ParseReport("{\"bench\": 3, \"schema_version\": 1}").has_value());
+  EXPECT_FALSE(ParseReport("{\"bench\": \"x\", \"schema_version\": 1} junk")
+                   .has_value());
+}
+
+TEST(BenchReportTest, EmptyReportIsValid) {
+  BenchReport report;
+  report.bench = "empty";
+  const std::optional<BenchReport> parsed = ParseReport(report.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->config.empty());
+  EXPECT_TRUE(parsed->rows.empty());
+}
+
+TEST(BenchReportTest, WriteFileRoundTrips) {
+  const BenchReport original = MakeSample();
+  const std::string path =
+      ::testing::TempDir() + "/BENCH_report_roundtrip.json";
+  ASSERT_TRUE(original.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  const std::optional<BenchReport> parsed = ParseReport(contents);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(BenchReportTest, ParseBenchArgsHandlesBothJsonForms) {
+  {
+    const char* argv[] = {"bench", "--quick", "--json", "out.json"};
+    const BenchArgs args = ParseBenchArgs(4, const_cast<char**>(argv));
+    EXPECT_TRUE(args.ok);
+    EXPECT_TRUE(args.quick);
+    EXPECT_EQ(args.json_path, "out.json");
+  }
+  {
+    const char* argv[] = {"bench", "--json=o.json"};
+    const BenchArgs args = ParseBenchArgs(2, const_cast<char**>(argv));
+    EXPECT_TRUE(args.ok);
+    EXPECT_FALSE(args.quick);
+    EXPECT_EQ(args.json_path, "o.json");
+  }
+  {
+    const char* argv[] = {"bench", "--bogus"};
+    const BenchArgs args = ParseBenchArgs(2, const_cast<char**>(argv));
+    EXPECT_FALSE(args.ok);
+  }
+}
+
+}  // namespace
+}  // namespace stateslice::bench
