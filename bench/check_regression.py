@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Bench throughput regression gate.
+
+Compares the BENCH_*.json reports produced by bench/run_all.sh against the
+checked-in bench/baseline.json and fails when any bench's representative
+throughput drops more than --threshold (default 25%) below its baseline.
+
+The representative throughput of a bench is the median over its rows of
+`throughput_tuples_per_wall_sec` (falling back to `service_rate_wall`).
+Analytic benches whose rows carry neither metric are skipped.
+
+Usage:
+  bench/check_regression.py --dir bench-out                 # gate
+  bench/check_regression.py --dir bench-out --update        # refresh baseline
+  bench/check_regression.py --dir bench-out --threshold 0.4
+
+The baseline records the machine it was measured on purely as a hint:
+wall-clock throughput is machine-dependent, so regenerate the baseline
+(--update) when the reference hardware changes.
+"""
+
+import argparse
+import glob
+import json
+import os
+import platform
+import statistics
+import sys
+
+METRICS = ("throughput_tuples_per_wall_sec", "service_rate_wall")
+
+
+def representative_throughput(report):
+    """Median of the first available metric over the report's rows."""
+    for metric in METRICS:
+        values = [
+            row[metric]
+            for row in report.get("rows", [])
+            if isinstance(row.get(metric), (int, float)) and row[metric] > 0
+        ]
+        if values:
+            return metric, statistics.median(values)
+    return None, None
+
+
+def load_reports(directory):
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path) as f:
+            report = json.load(f)
+        name = report.get("bench")
+        if not name:
+            print(f"warning: {path} has no 'bench' key; skipping")
+            continue
+        reports[name] = report
+    return reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", required=True,
+                        help="directory with BENCH_*.json reports")
+    parser.add_argument("--baseline",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "baseline.json"))
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional drop (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current reports")
+    args = parser.parse_args()
+
+    reports = load_reports(args.dir)
+    if not reports:
+        print(f"error: no BENCH_*.json found in {args.dir}")
+        return 1
+
+    if args.update:
+        baseline = {
+            "schema_version": 1,
+            "machine": platform.platform(),
+            "benches": {},
+        }
+        for name, report in sorted(reports.items()):
+            metric, value = representative_throughput(report)
+            if metric is None:
+                print(f"note: {name}: no throughput metric; not baselined")
+                continue
+            baseline["benches"][name] = {"metric": metric, "value": value}
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.baseline} ({len(baseline['benches'])} benches)")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"error: baseline {args.baseline} not found "
+              "(generate with --update)")
+        return 1
+
+    failures = []
+    for name, entry in sorted(baseline.get("benches", {}).items()):
+        report = reports.get(name)
+        if report is None:
+            failures.append(f"{name}: baselined bench produced no report")
+            continue
+        metric, value = representative_throughput(report)
+        if metric is None:
+            failures.append(f"{name}: report has no throughput metric")
+            continue
+        base = entry["value"]
+        floor = base * (1.0 - args.threshold)
+        ratio = value / base if base > 0 else float("inf")
+        status = "OK" if value >= floor else "REGRESSION"
+        print(f"{status:>10}  {name:<24} {metric}: {value:,.0f} "
+              f"vs baseline {base:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
+        if value < floor:
+            failures.append(
+                f"{name}: {metric} {value:,.0f} is more than "
+                f"{args.threshold:.0%} below baseline {base:,.0f}")
+    for name in sorted(set(reports) - set(baseline.get("benches", {}))):
+        if representative_throughput(reports[name])[0] is None:
+            continue  # analytic/foreign-schema bench; --update skips it too
+        print(f"{'NEW':>10}  {name:<24} not in baseline "
+              "(add with --update)")
+
+    if failures:
+        print("\nthroughput regression gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nthroughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

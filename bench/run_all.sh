@@ -54,6 +54,7 @@ figure_benches=(
   bench_chain_scaling
   bench_cost_model_validation
   bench_lineage_ablation
+  bench_parallel_scaling
 )
 
 failures=0

@@ -12,6 +12,9 @@
 //   --duration=<virtual seconds>                          (default 90)
 //   --s1=<join selectivity>                               (default 0.1)
 //   --seed=<rng seed>                                     (default 1)
+//   --parallel=<N>   run on the parallel pipeline scheduler with N worker
+//                    threads (0 = hardware concurrency; default: the
+//                    deterministic single-threaded scheduler)
 //   --dot            print the operator DAG and exit
 //
 // Prints per-query result counts, state-memory and comparison-cost
@@ -34,6 +37,8 @@ struct CliOptions {
   double duration_s = 90;
   double s1 = 0.1;
   uint64_t seed = 1;
+  bool parallel = false;
+  int workers = 0;
   bool dot_only = false;
   std::vector<std::string> query_texts;
 };
@@ -52,7 +57,7 @@ int Usage() {
                "usage: stateslice_cli [--strategy=slice|slice-cpu|pullup|"
                "pushdown|unshared]\n"
                "                      [--rate=N] [--duration=S] [--s1=X] "
-               "[--seed=N] [--dot]\n"
+               "[--seed=N] [--parallel=N] [--dot]\n"
                "                      \"SELECT ... WINDOW n s\" ...\n");
   return 2;
 }
@@ -73,6 +78,9 @@ int main(int argc, char** argv) {
       cli.s1 = std::atof(value.c_str());
     } else if (ParseArg(argv[i], "--seed", &value)) {
       cli.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(argv[i], "--parallel", &value)) {
+      cli.parallel = true;
+      cli.workers = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       cli.dot_only = true;
     } else if (argv[i][0] == '-') {
@@ -152,15 +160,24 @@ int main(int argc, char** argv) {
   ExecutorOptions exec_options;
   exec_options.cost_snapshot_time =
       SecondsToTicks(cli.duration_s / 3.0);
+  if (cli.parallel) {
+    exec_options.mode = ExecutionMode::kParallel;
+    exec_options.worker_threads = cli.workers;
+  }
   Executor exec(built.plan.get(),
                 {{&source_a, built.entry}, {&source_b, built.entry}},
                 exec_options);
   for (auto* sink : built.sinks) exec.AddSink(sink);
   const RunStats stats = exec.Run();
 
-  std::printf("\nstrategy=%s rate=%.0f t/s duration=%.0f s S1=%g seed=%llu\n",
+  std::printf("\nstrategy=%s rate=%.0f t/s duration=%.0f s S1=%g seed=%llu "
+              "scheduler=%s\n",
               cli.strategy.c_str(), cli.rate, cli.duration_s, cli.s1,
-              static_cast<unsigned long long>(cli.seed));
+              static_cast<unsigned long long>(cli.seed),
+              cli.parallel
+                  ? ("parallel x" + std::to_string(stats.worker_threads))
+                        .c_str()
+                  : "deterministic");
   std::printf("%llu inputs -> %llu results in %.1f ms wall\n",
               static_cast<unsigned long long>(stats.input_tuples),
               static_cast<unsigned long long>(stats.results_delivered),
@@ -170,9 +187,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     built.sinks[q.id]->result_count()));
   }
-  std::printf("state memory: avg %.0f tuples, peak %zu\n",
-              stats.AvgStateTuples(SecondsToTicks(cli.duration_s / 3.0)),
-              stats.MaxStateTuples());
+  if (cli.parallel) {
+    // Parallel runs take a single end-of-run sample (periodic sampling
+    // would race with the workers); don't present it as a run average.
+    std::printf("state memory: %zu tuples at end of run "
+                "(parallel mode: no periodic sampling)\n",
+                stats.memory_samples.empty()
+                    ? size_t{0}
+                    : stats.memory_samples.back().state_tuples);
+  } else {
+    std::printf("state memory: avg %.0f tuples, peak %zu\n",
+                stats.AvgStateTuples(SecondsToTicks(cli.duration_s / 3.0)),
+                stats.MaxStateTuples());
+  }
   std::printf("cpu: %.0f comparisons/s steady (%s)\n",
               stats.SteadyComparisonsPerVirtualSecond(),
               stats.cost.DebugString().c_str());

@@ -6,12 +6,12 @@ namespace stateslice {
 
 uint64_t CostCounters::Total() const {
   uint64_t total = 0;
-  for (uint64_t c : counts_) total += c;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
   return total;
 }
 
 void CostCounters::Reset() {
-  for (uint64_t& c : counts_) c = 0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
 }
 
 const char* CostCounters::Name(CostCategory category) {
@@ -39,7 +39,8 @@ std::string CostCounters::DebugString() const {
   std::ostringstream out;
   for (int i = 0; i < static_cast<int>(CostCategory::kCategoryCount); ++i) {
     if (i > 0) out << " ";
-    out << Name(static_cast<CostCategory>(i)) << "=" << counts_[i];
+    out << Name(static_cast<CostCategory>(i)) << "="
+        << counts_[i].load(std::memory_order_relaxed);
   }
   out << " total=" << Total();
   return out.str();

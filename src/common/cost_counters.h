@@ -8,6 +8,7 @@
 #ifndef STATESLICE_COMMON_COST_COUNTERS_H_
 #define STATESLICE_COMMON_COST_COUNTERS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -25,18 +26,32 @@ enum class CostCategory : int {
   kCategoryCount = 7,
 };
 
-// Plain additive counters; single-threaded runtime, so no atomics.
+// Additive counters shared by every operator of a plan. The parallel
+// scheduler (src/runtime/parallel_scheduler.h) runs operators of one plan
+// on several threads, so the per-category counts are relaxed atomics:
+// charges are commutative sums with no ordering requirement, and the
+// uncontended fetch_add is negligible next to the probe loops that
+// produce the counts. Copies (RunStats snapshots) are plain value copies
+// and may be torn only in the harmless sense of mixing adjacent charges.
 class CostCounters {
  public:
   CostCounters() = default;
 
-  // Charges `n` comparisons to `category`.
+  CostCounters(const CostCounters& other) { CopyFrom(other); }
+  CostCounters& operator=(const CostCounters& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  // Charges `n` comparisons to `category`. Safe from any thread.
   void Add(CostCategory category, uint64_t n) {
-    counts_[static_cast<int>(category)] += n;
+    counts_[static_cast<int>(category)].fetch_add(n,
+                                                  std::memory_order_relaxed);
   }
 
   uint64_t Get(CostCategory category) const {
-    return counts_[static_cast<int>(category)];
+    return counts_[static_cast<int>(category)].load(
+        std::memory_order_relaxed);
   }
 
   // Sum across all categories.
@@ -52,7 +67,15 @@ class CostCounters {
   static const char* Name(CostCategory category);
 
  private:
-  uint64_t counts_[static_cast<int>(CostCategory::kCategoryCount)] = {};
+  void CopyFrom(const CostCounters& other) {
+    for (int i = 0; i < static_cast<int>(CostCategory::kCategoryCount); ++i) {
+      counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<uint64_t> counts_[static_cast<int>(
+      CostCategory::kCategoryCount)] = {};
 };
 
 }  // namespace stateslice

@@ -108,6 +108,10 @@ class SlicedWindowJoin : public Operator {
     return state_a_.size() + state_b_.size();
   }
 
+  // Joins dominate per-event cost (cross-purge + probe over window state);
+  // weigh them heavily so stage partitioning splits the chain evenly.
+  double SchedulingWeight() const override { return 8.0; }
+
   const SliceRange& range() const { return range_; }
   const JoinState& state_a() const { return state_a_; }
   const JoinState& state_b() const { return state_b_; }

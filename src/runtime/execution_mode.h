@@ -1,0 +1,27 @@
+// Execution modes of the stream runtime.
+//
+// Kept in its own small header so low-level consumers (metrics) can name
+// the mode without depending on the full plan/operator graph.
+#ifndef STATESLICE_RUNTIME_EXECUTION_MODE_H_
+#define STATESLICE_RUNTIME_EXECUTION_MODE_H_
+
+namespace stateslice {
+
+// How a plan is driven at runtime.
+//
+//  - kDeterministic: the single-threaded round-robin scheduler of
+//    src/runtime/scheduler.h (CAPE's policy, paper Section 7.1). The
+//    reference for correctness; supports online migration.
+//  - kParallel: the multi-threaded pipeline scheduler of
+//    src/runtime/parallel_scheduler.h. Operators are partitioned into
+//    stages, one worker thread per stage, SPSC ring queues between stages.
+//    Plan surgery (the *WhileRunning hooks) is not allowed while a parallel
+//    execution is active.
+enum class ExecutionMode {
+  kDeterministic = 0,
+  kParallel = 1,
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_EXECUTION_MODE_H_

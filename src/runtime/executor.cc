@@ -1,6 +1,8 @@
 #include "src/runtime/executor.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/common/check.h"
@@ -17,9 +19,38 @@ Executor::Executor(QueryPlan* plan, std::vector<SourceBinding> sources,
   }
 }
 
+const SourceBinding* Executor::NextSource() const {
+  const SourceBinding* best = nullptr;
+  TimePoint best_time = kMaxTime;
+  for (const SourceBinding& b : sources_) {
+    const TimePoint t = b.source->NextTime();
+    if (t < best_time) {
+      best_time = t;
+      best = &b;
+    }
+  }
+  return best;
+}
+
+void Executor::CollectSinkCounts(RunStats* stats) const {
+  for (const CountingSink* sink : counting_sinks_) {
+    stats->results_delivered += sink->result_count();
+  }
+  for (const CollectingSink* sink : collecting_sinks_) {
+    stats->results_delivered += sink->result_count();
+  }
+}
+
 RunStats Executor::Run() {
   SLICE_CHECK(plan_->started());
+  return options_.mode == ExecutionMode::kParallel ? RunParallel()
+                                                   : RunDeterministic();
+}
+
+RunStats Executor::RunDeterministic() {
   RunStats stats;
+  stats.mode = ExecutionMode::kDeterministic;
+  stats.worker_threads = 1;
   RoundRobinScheduler scheduler(plan_);
 
   TimePoint next_sample = 0;
@@ -31,18 +62,9 @@ RunStats Executor::Run() {
   int fed_since_drain = 0;
   for (;;) {
     // Pick the source with the smallest next timestamp (global ordering).
-    StreamSource* best = nullptr;
-    EventQueue* best_entry = nullptr;
-    TimePoint best_time = kMaxTime;
-    for (const SourceBinding& b : sources_) {
-      const TimePoint t = b.source->NextTime();
-      if (t < best_time) {
-        best_time = t;
-        best = b.source;
-        best_entry = b.entry;
-      }
-    }
-    if (best == nullptr || best_time == kMaxTime) break;  // all exhausted
+    const SourceBinding* best = NextSource();
+    if (best == nullptr) break;  // all exhausted
+    const TimePoint best_time = best->source->NextTime();
 
     // Take memory samples for every interval boundary we are crossing.
     while (best_time >= next_sample) {
@@ -61,7 +83,7 @@ RunStats Executor::Run() {
     }
 
     now = best_time;
-    best_entry->Push(best->PopNext());
+    best->entry->Push(best->source->PopNext());
     ++stats.input_tuples;
 
     if (++fed_since_drain >= options_.feed_batch) {
@@ -86,12 +108,77 @@ RunStats Executor::Run() {
   stats.events_processed = scheduler.total_processed();
   stats.cost = plan_->cost_counters();
 
-  for (const CountingSink* sink : counting_sinks_) {
-    stats.results_delivered += sink->result_count();
+  CollectSinkCounts(&stats);
+  return stats;
+}
+
+RunStats Executor::RunParallel() {
+  RunStats stats;
+  stats.mode = ExecutionMode::kParallel;
+
+  ParallelSchedulerOptions sched_options;
+  // Default stage count leaves one core for this feeder thread, which
+  // busy-polls (spin/yield) whenever the entry ring is full; taking every
+  // core for stages would oversubscribe the machine by one thread.
+  const unsigned hw = std::thread::hardware_concurrency();  // may be 0
+  sched_options.num_workers =
+      options_.worker_threads > 0 ? options_.worker_threads
+                                  : static_cast<int>(hw > 1 ? hw - 1 : 1);
+  sched_options.edge_capacity = options_.parallel_edge_capacity;
+  sched_options.finish_at_end = options_.finish_at_end;
+  ParallelScheduler scheduler(plan_, sched_options);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  scheduler.Start();
+  stats.worker_threads = scheduler.num_stages();
+
+  TimePoint now = 0;
+  bool cost_snapshotted = false;
+  for (;;) {
+    const SourceBinding* best = NextSource();
+    if (best == nullptr) break;  // all exhausted
+    const TimePoint best_time = best->source->NextTime();
+
+    // No periodic memory sampling here: walking operator state would race
+    // with the worker threads. The cost counters are atomic, so the
+    // steady-state snapshot still works (approximate: workers may lag the
+    // feed by the bounded queue capacities).
+    if (options_.cost_snapshot_time > 0 && !cost_snapshotted &&
+        best_time >= options_.cost_snapshot_time) {
+      stats.cost_at_snapshot = plan_->cost_counters();
+      stats.cost_snapshot_time = options_.cost_snapshot_time;
+      cost_snapshotted = true;
+    }
+
+    now = best_time;
+    scheduler.PushEntry(best->entry, best->source->PopNext());
+    ++stats.input_tuples;
+
+    if (options_.max_events > 0 &&
+        scheduler.total_processed() >= options_.max_events) {
+      break;
+    }
   }
-  for (const CollectingSink* sink : collecting_sinks_) {
-    stats.results_delivered += sink->result_count();
-  }
+  scheduler.FinishInput();
+  scheduler.Join();
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  stats.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  stats.virtual_end_time = now;
+  stats.events_processed = scheduler.total_processed();
+  stats.parallel_edge_events = scheduler.edges_total_pushed();
+  stats.parallel_edge_high_water_mark = scheduler.edges_high_water_mark();
+  stats.cost = plan_->cost_counters();
+
+  // One end-of-run sample so memory reporting is not entirely empty.
+  stats.memory_samples.push_back(MemorySample{
+      .time = now,
+      .state_tuples = plan_->TotalStateSize(),
+      .queue_events = plan_->TotalQueueSize(),
+  });
+
+  CollectSinkCounts(&stats);
   return stats;
 }
 

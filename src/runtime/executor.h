@@ -1,17 +1,28 @@
-// Executor: feeds sources into a plan under round-robin scheduling and
-// collects RunStats.
+// Executor: feeds sources into a plan and collects RunStats.
 //
 // The executor merges all stream sources into global timestamp order,
-// pushes each tuple into its entry queue, and lets the scheduler drain the
-// plan. Memory is sampled every `sample_interval` of virtual time, which
-// emulates CAPE's statistics monitor thread (paper Section 7.1) while
-// remaining deterministic.
+// pushes each tuple into its entry queue, and lets a scheduler drain the
+// plan. Two execution modes exist (see ExecutionMode in plan.h):
+//
+//  - kDeterministic (default): the single-threaded round-robin scheduler.
+//    Memory is sampled every `sample_interval` of virtual time, which
+//    emulates CAPE's statistics monitor thread (paper Section 7.1) while
+//    remaining deterministic.
+//  - kParallel: the multi-threaded pipeline scheduler
+//    (src/runtime/parallel_scheduler.h). The feeder thread pushes tuples
+//    under SPSC backpressure while worker threads drain the stages.
+//    Periodic memory sampling is skipped (walking live operator state
+//    would race with the workers); a single end-of-run sample is recorded
+//    instead, and the cost snapshot remains available because the cost
+//    counters are atomic.
 #ifndef STATESLICE_RUNTIME_EXECUTOR_H_
 #define STATESLICE_RUNTIME_EXECUTOR_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/runtime/metrics.h"
+#include "src/runtime/parallel_scheduler.h"
 #include "src/runtime/plan.h"
 #include "src/runtime/queue.h"
 #include "src/runtime/scheduler.h"
@@ -36,6 +47,12 @@ struct ExecutorOptions {
   // tuple-at-a-time processing, so 1 is the default.
   int feed_batch = 1;
   // Optional cap on total scheduler events (guards runaway tests); 0 = off.
+  // This is a *feed cutoff*, not a hard processing stop: once crossed, no
+  // further tuples are fed, but work already in flight still drains. In
+  // deterministic mode the overshoot is bounded by feed_batch; in parallel
+  // mode by the contents of the bounded SPSC rings (the pipeline finishes
+  // what it has rather than dropping events mid-flight), so parallel
+  // events_processed can exceed the cap by up to the in-flight volume.
   uint64_t max_events = 0;
   // Virtual time at which to snapshot the cost counters for steady-state
   // CPU accounting (0 = no snapshot). See RunStats::cost_at_snapshot.
@@ -43,6 +60,14 @@ struct ExecutorOptions {
   // If true, call plan->FinishAll() after sources drain so operators can
   // flush final punctuations, then drain again.
   bool finish_at_end = true;
+  // Scheduling mode: deterministic single-threaded round-robin (default)
+  // or the multi-threaded pipeline scheduler.
+  ExecutionMode mode = ExecutionMode::kDeterministic;
+  // kParallel only: worker threads (pipeline stages). 0 means
+  // std::thread::hardware_concurrency().
+  int worker_threads = 0;
+  // kParallel only: per-edge SPSC ring capacity, in events.
+  size_t parallel_edge_capacity = 1024;
 };
 
 // Runs a started plan to completion over the given sources.
@@ -61,6 +86,13 @@ class Executor {
   RunStats Run();
 
  private:
+  RunStats RunDeterministic();
+  RunStats RunParallel();
+  // Picks the source with the smallest next timestamp; nullptr when all
+  // are exhausted.
+  const SourceBinding* NextSource() const;
+  void CollectSinkCounts(RunStats* stats) const;
+
   QueryPlan* plan_;
   std::vector<SourceBinding> sources_;
   ExecutorOptions options_;

@@ -42,7 +42,9 @@ double RunStats::SteadyComparisonsPerVirtualSecond() const {
 
 std::string RunStats::DebugString() const {
   std::ostringstream out;
-  out << "inputs=" << input_tuples << " events=" << events_processed
+  out << (mode == ExecutionMode::kParallel ? "parallel" : "deterministic")
+      << " workers=" << worker_threads << " inputs=" << input_tuples
+      << " events=" << events_processed
       << " results=" << results_delivered
       << " wall_s=" << wall_seconds
       << " avg_state=" << AvgStateTuples()

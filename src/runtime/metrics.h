@@ -15,6 +15,7 @@
 
 #include "src/common/cost_counters.h"
 #include "src/common/timestamp.h"
+#include "src/runtime/execution_mode.h"
 
 namespace stateslice {
 
@@ -27,10 +28,18 @@ struct MemorySample {
 
 // Aggregated outcome of one Executor run.
 struct RunStats {
+  // --- execution --------------------------------------------------------
+  ExecutionMode mode = ExecutionMode::kDeterministic;
+  int worker_threads = 1;  // pipeline stages actually used (1 if determ.)
+
   // --- volume -----------------------------------------------------------
   uint64_t input_tuples = 0;    // tuples fed from all sources
   uint64_t events_processed = 0;  // scheduler event count (incl. internal)
   uint64_t results_delivered = 0;  // JoinResults received by all sinks
+  // kParallel only: events relayed over cross-stage SPSC rings, and the
+  // largest ring occupancy observed (queue-memory analogue).
+  uint64_t parallel_edge_events = 0;
+  size_t parallel_edge_high_water_mark = 0;
 
   // --- time -------------------------------------------------------------
   TimePoint virtual_end_time = 0;  // virtual time horizon of the run

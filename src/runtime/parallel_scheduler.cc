@@ -1,0 +1,279 @@
+#include "src/runtime/parallel_scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+namespace {
+
+// Number of contiguous blocks a greedy packing needs when no block may
+// exceed `capacity` total weight.
+int BlocksNeeded(const std::vector<double>& weights, double capacity) {
+  int blocks = 1;
+  double current = 0;
+  for (const double w : weights) {
+    if (current > 0 && current + w > capacity) {
+      ++blocks;
+      current = 0;
+    }
+    current += w;
+  }
+  return blocks;
+}
+
+}  // namespace
+
+ParallelScheduler::ParallelScheduler(QueryPlan* plan,
+                                     ParallelSchedulerOptions options)
+    : plan_(plan), options_(options) {
+  SLICE_CHECK(plan != nullptr);
+  SLICE_CHECK_GT(options_.quantum, 0);
+  SLICE_CHECK_GT(options_.edge_capacity, 0u);
+  if (options_.num_workers < 1) options_.num_workers = 1;
+}
+
+ParallelScheduler::~ParallelScheduler() {
+  if (started_ && !joined_) {
+    FinishInput();
+    Join();
+  }
+}
+
+void ParallelScheduler::BuildStages() {
+  const std::vector<Operator*> order = plan_->TopologicalOrder();
+  const int k = std::min<int>(options_.num_workers,
+                              std::max<size_t>(order.size(), 1));
+
+  // Minimal-max-weight contiguous partition of the topological order into
+  // at most k blocks: bisect on the block capacity, then pack greedily.
+  std::vector<double> weights(order.size());
+  double heaviest = 0;
+  double total = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    weights[i] = order[i]->SchedulingWeight();
+    heaviest = std::max(heaviest, weights[i]);
+    total += weights[i];
+  }
+  double lo = heaviest;
+  double hi = std::max(total, heaviest);
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = (lo + hi) / 2;
+    if (BlocksNeeded(weights, mid) <= k) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  std::map<const Operator*, int> stage_of;
+  double current = 0;
+  int stage_index = order.empty() ? -1 : 0;
+  stages_.emplace_back(std::make_unique<Stage>());
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (current > 0 && current + weights[i] > hi &&
+        stage_index + 1 < k) {
+      stages_.emplace_back(std::make_unique<Stage>());
+      ++stage_index;
+      current = 0;
+    }
+    current += weights[i];
+    stages_.back()->ops.push_back(order[i]);
+    stage_of[order[i]] = stage_index;
+  }
+  stage_ops_.clear();
+  for (const auto& stage : stages_) stage_ops_.push_back(stage->ops);
+
+  // Classify every consumer edge by the stages of its endpoints.
+  std::map<const EventQueue*, Operator*> producer_of;
+  for (const auto& [producer, queue] : plan_->producer_edges()) {
+    producer_of[queue] = producer;
+  }
+  for (const auto& [queue, consumer] : plan_->consumer_edges()) {
+    auto [op, port] = consumer;
+    const int cs = stage_of.at(op);
+    const auto it = producer_of.find(queue);
+    if (it == producer_of.end()) {
+      // Entry queue: produced by the feeder thread.
+      auto edge = std::make_unique<CrossEdge>(options_.edge_capacity);
+      edge->queue = queue;
+      edge->consumer = op;
+      edge->port = port;
+      entry_edges_.push_back(edge.get());
+      stages_[cs]->inputs.push_back(edge.get());
+      edges_.push_back(std::move(edge));
+      continue;
+    }
+    const int ps = stage_of.at(it->second);
+    if (ps == cs) {
+      stages_[cs]->locals.push_back(LocalEdge{queue, op, port});
+    } else {
+      // Contiguity of the topological partition guarantees forward edges.
+      SLICE_CHECK_LT(ps, cs);
+      auto edge = std::make_unique<CrossEdge>(options_.edge_capacity);
+      edge->queue = queue;
+      edge->consumer = op;
+      edge->port = port;
+      stages_[ps]->outputs.push_back(edge.get());
+      stages_[cs]->inputs.push_back(edge.get());
+      edges_.push_back(std::move(edge));
+    }
+  }
+}
+
+void ParallelScheduler::Start() {
+  SLICE_CHECK(!started_);
+  SLICE_CHECK(plan_->started());
+  started_ = true;
+  plan_->BeginExecution(ExecutionMode::kParallel);
+  BuildStages();
+  for (const auto& stage : stages_) {
+    stage->thread =
+        std::thread(&ParallelScheduler::RunStage, this, stage.get());
+  }
+}
+
+void ParallelScheduler::PushEntry(EventQueue* entry, Event event) {
+  SLICE_CHECK(started_);
+  SLICE_CHECK(!input_finished_);
+  CrossEdge* edge = nullptr;
+  for (CrossEdge* e : entry_edges_) {
+    if (e->queue == entry) {
+      edge = e;
+      break;
+    }
+  }
+  SLICE_CHECK(edge != nullptr);  // not an entry queue of this plan
+  // Round-trip through the EventQueue so its total-pushed accounting keeps
+  // working in parallel mode (only the feeder thread touches it).
+  entry->Push(std::move(event));
+  BlockingPush(edge, entry->Pop());
+}
+
+void ParallelScheduler::FinishInput() {
+  SLICE_CHECK(started_);
+  if (input_finished_) return;
+  input_finished_ = true;
+  for (CrossEdge* e : entry_edges_) {
+    e->closed.store(true, std::memory_order_release);
+  }
+}
+
+void ParallelScheduler::Join() {
+  if (joined_) return;
+  SLICE_CHECK(started_);
+  SLICE_CHECK(input_finished_);  // FinishInput() must precede Join()
+  for (const auto& stage : stages_) {
+    if (stage->thread.joinable()) stage->thread.join();
+  }
+  joined_ = true;
+  plan_->EndExecution();
+}
+
+void ParallelScheduler::BlockingPush(CrossEdge* edge, Event event) {
+  // A full ring is backpressure: the consumer stage is behind. Spin
+  // briefly, then yield so this works on oversubscribed machines too.
+  int spins = 0;
+  while (!edge->ring.TryPush(std::move(event))) {
+    if (++spins >= 16) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+void ParallelScheduler::RelayOutputs(Stage* stage) {
+  for (CrossEdge* e : stage->outputs) {
+    while (!e->queue->empty()) {
+      BlockingPush(e, e->queue->Pop());
+    }
+  }
+}
+
+void ParallelScheduler::DrainLocal(Stage* stage) {
+  uint64_t delta = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const LocalEdge& edge : stage->locals) {
+      while (!edge.queue->empty()) {
+        edge.consumer->Process(edge.queue->Pop(), edge.port);
+        ++delta;
+        progress = true;
+      }
+    }
+    // Ship whatever the local work emitted downstream before looping: the
+    // relay keeps later stages busy while this one keeps draining.
+    RelayOutputs(stage);
+  }
+  if (delta > 0) {
+    stage->processed += delta;
+    total_processed_.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void ParallelScheduler::RunStage(Stage* stage) {
+  for (;;) {
+    uint64_t round = 0;
+    for (CrossEdge* e : stage->inputs) {
+      int popped = 0;
+      Event event;
+      while (popped < options_.quantum && e->ring.TryPop(&event)) {
+        e->consumer->Process(std::move(event), e->port);
+        ++popped;
+      }
+      if (popped > 0) {
+        round += popped;
+        stage->processed += popped;
+        total_processed_.fetch_add(popped, std::memory_order_relaxed);
+        DrainLocal(stage);
+      }
+    }
+    if (round == 0) {
+      // No input progress: either upstream is slow or it is done. An edge
+      // is exhausted only if it was closed *before* we observed it empty
+      // (the producer publishes all pushes before the closed flag).
+      bool done = true;
+      for (CrossEdge* e : stage->inputs) {
+        if (!e->closed.load(std::memory_order_acquire) ||
+            !e->ring.empty()) {
+          done = false;
+          break;
+        }
+      }
+      if (done) break;
+      std::this_thread::yield();
+    }
+  }
+  if (options_.finish_at_end) {
+    // Mirror QueryPlan::FinishAll: Finish in topological order, draining
+    // (and relaying) the flush output between calls.
+    for (Operator* op : stage->ops) {
+      op->Finish();
+      DrainLocal(stage);
+    }
+  }
+  RelayOutputs(stage);
+  for (CrossEdge* e : stage->outputs) {
+    e->closed.store(true, std::memory_order_release);
+  }
+}
+
+uint64_t ParallelScheduler::edges_total_pushed() const {
+  uint64_t total = 0;
+  for (const auto& edge : edges_) total += edge->ring.total_pushed();
+  return total;
+}
+
+size_t ParallelScheduler::edges_high_water_mark() const {
+  size_t max_hwm = 0;
+  for (const auto& edge : edges_) {
+    max_hwm = std::max(max_hwm, edge->ring.high_water_mark());
+  }
+  return max_hwm;
+}
+
+}  // namespace stateslice

@@ -1,0 +1,174 @@
+// Multi-threaded pipeline scheduler.
+//
+// The deterministic round-robin scheduler (src/runtime/scheduler.h) caps
+// throughput at one core. This scheduler executes the same shared plan as a
+// parallel pipeline:
+//
+//  1. The plan's operators are laid out in a topological order and split
+//     into up to `num_workers` contiguous *stages*, balanced by
+//     Operator::SchedulingWeight() (a minimal-max-weight contiguous
+//     partition). Contiguity in topological order guarantees every
+//     cross-stage queue edge points from a lower stage to a higher one, so
+//     the stage graph is a forward-only pipeline and bounded backpressure
+//     cannot deadlock.
+//  2. Each stage is driven by one worker thread. Queue edges whose producer
+//     and consumer live in the same stage stay ordinary EventQueues,
+//     touched only by that stage's thread. Edges that cross stages are
+//     relayed through lock-free bounded SPSC rings
+//     (src/runtime/spsc_queue.h): the producer stage's thread pops from the
+//     EventQueue it alone fills (preserving the queue's accounting) and
+//     pushes into the ring, spinning/yielding while the ring is full
+//     (backpressure); the consumer stage's thread pops the ring and calls
+//     Operator::Process.
+//  3. End of input propagates as a per-edge `closed` flag: when every input
+//     edge of a stage is closed and drained, the stage calls Finish() on
+//     its operators in topological order (flushing end-of-stream
+//     punctuations, exactly like QueryPlan::FinishAll), relays the flushed
+//     events, closes its own outgoing edges, and exits.
+//
+// Every operator is only ever executed by its stage's thread and every
+// EventQueue is only ever touched by one thread, so operator code needs no
+// synchronization. Each queue keeps per-edge FIFO order, which is what the
+// operators' correctness arguments (Lemma 1, Theorems 1-3) rely on; the
+// only nondeterminism versus the round-robin scheduler is the interleaving
+// *across* queues, which the order-preserving union absorbs via
+// punctuation watermarks. Parallel runs therefore deliver the same result
+// multisets as deterministic runs, in the same per-sink timestamp order.
+//
+// Plan surgery (online migration) is not supported while this scheduler is
+// active: construction flips the plan into ExecutionMode::kParallel, which
+// the *WhileRunning hooks CHECK against.
+#ifndef STATESLICE_RUNTIME_PARALLEL_SCHEDULER_H_
+#define STATESLICE_RUNTIME_PARALLEL_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/plan.h"
+#include "src/runtime/spsc_queue.h"
+
+namespace stateslice {
+
+// Tuning knobs for a parallel execution.
+struct ParallelSchedulerOptions {
+  // Worker threads (= maximum pipeline stages). Values larger than the
+  // operator count are clamped; 1 degenerates to a single-threaded drain.
+  int num_workers = 2;
+  // Capacity of each cross-stage SPSC ring, in events (rounded up to a
+  // power of two). Bounds queue memory and provides backpressure.
+  size_t edge_capacity = 1024;
+  // Max events a stage pops from one input ring before relaying outputs
+  // and visiting its next input.
+  int quantum = 64;
+  // Whether to call Finish() on operators once input is exhausted
+  // (mirrors ExecutorOptions::finish_at_end).
+  bool finish_at_end = true;
+};
+
+// Drives a started QueryPlan with one thread per pipeline stage.
+//
+// Usage (the Executor wraps this; see ExecutionMode::kParallel):
+//   ParallelScheduler sched(plan, {.num_workers = 4});
+//   sched.Start();
+//   for (...) sched.PushEntry(entry_queue, event);   // feeder thread
+//   sched.FinishInput();
+//   sched.Join();
+class ParallelScheduler {
+ public:
+  ParallelScheduler(QueryPlan* plan, ParallelSchedulerOptions options = {});
+  ~ParallelScheduler();
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  // Builds the stage partition and launches the worker threads.
+  void Start();
+
+  // Feeds one event into `entry` (a plan entry queue). Called by the
+  // feeder thread only; blocks (spin/yield) while the entry ring is full.
+  void PushEntry(EventQueue* entry, Event event);
+
+  // Declares end of input: closes all entry edges. Workers drain, flush
+  // Finish() punctuations stage by stage, and exit.
+  void FinishInput();
+
+  // Waits for all workers to exit. Idempotent. After Join() the plan is
+  // back in deterministic mode and all queues are drained (except exit
+  // queues, which the caller owns).
+  void Join();
+
+  // Total events consumed across all stages (ring pops + intra-stage queue
+  // pops — the same unit as RoundRobinScheduler::total_processed). Exact
+  // after Join(); a relaxed snapshot while running.
+  uint64_t total_processed() const {
+    return total_processed_.load(std::memory_order_relaxed);
+  }
+
+  // Stage layout (valid after Start): operators per stage, topological
+  // order within each stage.
+  const std::vector<std::vector<Operator*>>& stage_operators() const {
+    return stage_ops_;
+  }
+  int num_stages() const { return static_cast<int>(stage_ops_.size()); }
+
+  // Aggregate SPSC accounting over all cross-stage edges (queue-memory
+  // reporting parity with EventQueue).
+  uint64_t edges_total_pushed() const;
+  size_t edges_high_water_mark() const;
+
+ private:
+  // A queue edge crossing stages (or entering the pipeline): the producer
+  // thread relays `queue` into `ring`; the consumer thread pops `ring` and
+  // feeds (`consumer`, `port`).
+  struct CrossEdge {
+    explicit CrossEdge(size_t capacity) : ring(capacity) {}
+    SpscQueue<Event> ring;
+    std::atomic<bool> closed{false};
+    EventQueue* queue = nullptr;  // producer-side EventQueue (accounting)
+    Operator* consumer = nullptr;
+    int port = 0;
+  };
+  // An intra-stage edge, drained by the owning stage's thread.
+  struct LocalEdge {
+    EventQueue* queue = nullptr;
+    Operator* consumer = nullptr;
+    int port = 0;
+  };
+  struct Stage {
+    std::vector<Operator*> ops;        // topological order within the stage
+    std::vector<CrossEdge*> inputs;    // rings feeding this stage
+    std::vector<LocalEdge> locals;     // intra-stage queues to drain
+    std::vector<CrossEdge*> outputs;   // rings this stage relays into
+    uint64_t processed = 0;            // events consumed by this stage
+    std::thread thread;
+  };
+
+  void BuildStages();
+  void RunStage(Stage* stage);
+  // Drains intra-stage queues to quiescence, relaying cross-stage output
+  // queues into their rings as events appear.
+  void DrainLocal(Stage* stage);
+  void RelayOutputs(Stage* stage);
+  void BlockingPush(CrossEdge* edge, Event event);
+
+  QueryPlan* plan_;
+  ParallelSchedulerOptions options_;
+
+  std::vector<std::unique_ptr<CrossEdge>> edges_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<std::vector<Operator*>> stage_ops_;
+  // Entry edges (no producer operator): fed by PushEntry.
+  std::vector<CrossEdge*> entry_edges_;
+
+  std::atomic<uint64_t> total_processed_{0};
+  bool started_ = false;
+  bool input_finished_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_PARALLEL_SCHEDULER_H_

@@ -106,6 +106,7 @@ size_t QueryPlan::TotalQueueSize() const {
 }
 
 void QueryPlan::RemoveOperatorWhileRunning(Operator* op) {
+  SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
   for (const auto& [queue, consumer] : consumer_edges_) {
     if (consumer.first == op) {
       SLICE_CHECK(queue->empty());
@@ -127,6 +128,7 @@ void QueryPlan::RemoveOperatorWhileRunning(Operator* op) {
 
 EventQueue* QueryPlan::ConnectWhileRunning(Operator* from, int out_port,
                                            Operator* to, int in_port) {
+  SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
   std::ostringstream name;
   name << from->name() << ":" << out_port << "->" << to->name() << ":"
        << in_port << " (live)";
@@ -142,6 +144,7 @@ EventQueue* QueryPlan::ConnectWhileRunning(Operator* from, int out_port,
 void QueryPlan::MoveQueueProducer(EventQueue* queue, Operator* old_from,
                                   int old_port, Operator* new_from,
                                   int new_port) {
+  SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
   old_from->DetachOutput(old_port, queue);
   new_from->AttachOutput(new_port, queue);
   for (auto& [producer, q] : producer_edges_) {
@@ -154,6 +157,7 @@ void QueryPlan::MoveQueueProducer(EventQueue* queue, Operator* old_from,
 }
 
 void QueryPlan::RetireQueue(EventQueue* queue) {
+  SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
   SLICE_CHECK(queue->empty());
   consumer_edges_.erase(
       std::remove_if(consumer_edges_.begin(), consumer_edges_.end(),
@@ -167,6 +171,7 @@ void QueryPlan::RetireQueue(EventQueue* queue) {
 
 void QueryPlan::ReplaceQueueConsumer(EventQueue* queue, Operator* to,
                                      int in_port) {
+  SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
   for (auto& [q, consumer] : consumer_edges_) {
     if (q == queue) {
       consumer = {to, in_port};

@@ -12,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/cost_counters.h"
+#include "src/runtime/execution_mode.h"
 #include "src/runtime/operator.h"
 #include "src/runtime/queue.h"
 
@@ -86,11 +88,37 @@ class QueryPlan {
   consumer_edges() const {
     return consumer_edges_;
   }
+  // Producer operator -> queue pairs (entry queues have no producer and
+  // are absent). The parallel scheduler uses this to classify each queue
+  // edge by the pipeline stage of its producer.
+  const std::vector<std::pair<Operator*, EventQueue*>>& producer_edges()
+      const {
+    return producer_edges_;
+  }
+
+  // Operators in a topological order following queue edges; CHECK-fails on
+  // a cycle. The parallel scheduler partitions this order into contiguous
+  // stages so that every cross-stage edge points forward (deadlock-free
+  // backpressure).
+  std::vector<Operator*> TopologicalOrder() const;
 
   CostCounters& cost_counters() { return cost_counters_; }
   const CostCounters& cost_counters() const { return cost_counters_; }
 
   bool started() const { return started_; }
+
+  // --- execution-mode bookkeeping --------------------------------------
+  // The active scheduler declares its mode for the duration of a run. The
+  // deterministic mode is the default; while a parallel execution is
+  // active, operators and queues are touched concurrently by worker
+  // threads, so plan surgery and whole-plan traversals from other threads
+  // are forbidden (the *WhileRunning hooks CHECK against it).
+  void BeginExecution(ExecutionMode mode) {
+    SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
+    active_mode_ = mode;
+  }
+  void EndExecution() { active_mode_ = ExecutionMode::kDeterministic; }
+  ExecutionMode active_mode() const { return active_mode_; }
 
   // Graphviz DOT rendering of the DAG for docs/debugging.
   std::string ToDot() const;
@@ -104,6 +132,7 @@ class QueryPlan {
   // into the running plan and starts it.
   template <typename OpT>
   OpT* InsertOperatorWhileRunning(std::unique_ptr<OpT> op) {
+    SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
     OpT* raw = op.get();
     RegisterOperator(std::move(op));
     raw->Start();
@@ -139,10 +168,6 @@ class QueryPlan {
  private:
   void RegisterOperator(std::unique_ptr<Operator> op);
 
-  // Topological order of operators following queue edges; CHECK-fails on a
-  // cycle.
-  std::vector<Operator*> TopologicalOrder() const;
-
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<std::unique_ptr<EventQueue>> queues_;
   // queue -> (consumer operator, port)
@@ -152,6 +177,7 @@ class QueryPlan {
   std::vector<std::pair<Operator*, EventQueue*>> producer_edges_;
   CostCounters cost_counters_;
   bool started_ = false;
+  ExecutionMode active_mode_ = ExecutionMode::kDeterministic;
 };
 
 }  // namespace stateslice

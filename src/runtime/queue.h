@@ -1,9 +1,14 @@
 // FIFO event queues connecting operators in a shared query plan.
 //
 // The paper distinguishes state memory from queue memory (Section 2); queues
-// here track their high-water mark so experiments can report both. The
-// runtime is single-threaded (deterministic round-robin scheduling, as in
-// CAPE), so no synchronization is needed.
+// here track their high-water mark so experiments can report both.
+//
+// Thread contract: an EventQueue is unsynchronized and must only ever be
+// touched by one thread at a time. The deterministic round-robin scheduler
+// (as in CAPE) trivially satisfies this; the parallel pipeline scheduler
+// satisfies it by assigning each queue to exactly one stage thread and
+// relaying cross-stage edges through SpscQueue rings
+// (src/runtime/spsc_queue.h). Pop()/Front() CHECK-fail on an empty queue.
 #ifndef STATESLICE_RUNTIME_QUEUE_H_
 #define STATESLICE_RUNTIME_QUEUE_H_
 

@@ -1,5 +1,6 @@
 #include "src/runtime/sink.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace stateslice {
@@ -35,6 +36,17 @@ std::map<std::string, int> CollectingSink::ResultMultiset() const {
     ++multiset[JoinPairKey(r)];
   }
   return multiset;
+}
+
+std::vector<std::pair<TimePoint, std::string>>
+CollectingSink::TimeSortedResults() const {
+  std::vector<std::pair<TimePoint, std::string>> sorted;
+  sorted.reserve(results_.size());
+  for (const JoinResult& r : results_) {
+    sorted.emplace_back(r.timestamp(), JoinPairKey(r));
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 }  // namespace stateslice

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/runtime/operator.h"
@@ -54,6 +55,13 @@ class CollectingSink : public Operator {
   // Multiset of JoinPairKey() -> count; the canonical form used by the
   // chain-equivalence property tests (Theorems 1-3).
   std::map<std::string, int> ResultMultiset() const;
+
+  // Result identity keys sorted by (timestamp, key): the timestamp-order
+  // canonical form for comparing a parallel run against the deterministic
+  // reference. Two runs that deliver the same results in the same
+  // per-timestamp order compare equal even when same-timestamp ties were
+  // released in a different arrival order.
+  std::vector<std::pair<TimePoint, std::string>> TimeSortedResults() const;
 
   // True if result timestamps arrived in non-decreasing order.
   bool saw_ordered_stream() const { return ordered_; }

@@ -1,0 +1,123 @@
+// Lock-free bounded single-producer/single-consumer ring queue.
+//
+// The parallel scheduler (src/runtime/parallel_scheduler.h) connects
+// pipeline stages with these rings: exactly one thread pushes and exactly
+// one thread pops, so a classic head/tail ring with acquire/release
+// ordering suffices — no locks, no CAS loops. Capacity is bounded, which is
+// what gives the pipeline backpressure: a producer whose downstream ring is
+// full must wait (spin/yield) until the consumer catches up.
+//
+// The queue keeps the same accounting as the deterministic EventQueue
+// (high_water_mark / total_pushed) so queue-memory reporting works in both
+// execution modes. Both counters are maintained by the producer; the
+// high-water mark is computed against the producer's cached view of the
+// consumer position, so it can over-estimate occupancy by the consumer's
+// lag, but never exceeds the capacity.
+#ifndef STATESLICE_RUNTIME_SPSC_QUEUE_H_
+#define STATESLICE_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+// Bounded SPSC FIFO of default-constructible, movable values.
+//
+// Thread contract: TryPush (and the producer-side accessors it maintains)
+// may be called by one thread at a time; TryPop by one (possibly different)
+// thread at a time. empty()/size() are safe from any thread but return a
+// snapshot that may be stale by the time the caller acts on it.
+template <typename T>
+class SpscQueue {
+ public:
+  // Rounds `min_capacity` up to the next power of two (>= 2) so the ring
+  // index is a mask instead of a modulo.
+  explicit SpscQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Attempts to append `value`. Returns false (leaving `value` untouched)
+  // when the ring is full. Producer thread only.
+  bool TryPush(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    total_pushed_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t occupancy = tail + 1 - head_cache_;
+    if (occupancy > high_water_mark_.load(std::memory_order_relaxed)) {
+      high_water_mark_.store(occupancy, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Attempts to move the front value into `*out`. Returns false when the
+  // ring is empty. Consumer thread only.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Snapshot emptiness / occupancy (any thread; may be stale).
+  bool empty() const { return size() == 0; }
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Largest producer-observed occupancy (see file comment for precision).
+  size_t high_water_mark() const {
+    return high_water_mark_.load(std::memory_order_relaxed);
+  }
+
+  // Total number of values ever pushed.
+  uint64_t total_pushed() const {
+    return total_pushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Cache-line layout: the two shared indices get a line each, then one
+  // line of producer-written state and one line of consumer-written state,
+  // so neither side's per-operation writes invalidate a line the other
+  // side touches. The trailing members are written only during
+  // construction; read-only sharing of their line is free.
+  alignas(64) std::atomic<uint64_t> head_{0};  // next slot to pop
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to fill
+  // -- producer-written --
+  alignas(64) uint64_t head_cache_ = 0;  // producer's view of head_
+  std::atomic<uint64_t> high_water_mark_{0};
+  std::atomic<uint64_t> total_pushed_{0};
+  // -- consumer-written --
+  alignas(64) uint64_t tail_cache_ = 0;  // consumer's view of tail_
+  // -- immutable after construction --
+  alignas(64) std::vector<T> slots_;
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_SPSC_QUEUE_H_

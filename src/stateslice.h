@@ -63,12 +63,15 @@
 #include "src/query/parser.h"
 #include "src/query/query.h"
 #include "src/query/workload.h"
+#include "src/runtime/execution_mode.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/operator.h"
+#include "src/runtime/parallel_scheduler.h"
 #include "src/runtime/plan.h"
 #include "src/runtime/queue.h"
 #include "src/runtime/scheduler.h"
+#include "src/runtime/spsc_queue.h"
 #include "src/runtime/sink.h"
 #include "src/runtime/source.h"
 

@@ -60,5 +60,17 @@ TEST(EventQueueDeathTest, PopOnEmptyAborts) {
   EXPECT_DEATH(q.Pop(), "CHECK failed");
 }
 
+TEST(EventQueueDeathTest, FrontOnEmptyAborts) {
+  EventQueue q("q");
+  EXPECT_DEATH(q.Front(), "CHECK failed");
+}
+
+TEST(EventQueueDeathTest, PopAfterDrainingAborts) {
+  EventQueue q("q");
+  q.Push(A(1, 1.0));
+  q.Pop();
+  EXPECT_DEATH(q.Pop(), "CHECK failed");
+}
+
 }  // namespace
 }  // namespace stateslice

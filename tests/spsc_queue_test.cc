@@ -1,0 +1,171 @@
+#include "src/runtime/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/tuple.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::A;
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscQueueTest, FifoOrderSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(int{i}));
+  for (int i = 0; i < 5; ++i) {
+    int v = -1;
+    EXPECT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(q.TryPop(&v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueueTest, PushFailsWhenFullAndPreservesValue) {
+  SpscQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  int v = 42;
+  EXPECT_FALSE(q.TryPush(std::move(v)));
+  EXPECT_EQ(v, 42);  // failed push must not consume the value
+  EXPECT_EQ(q.size(), 2u);
+  int out;
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPush(3));  // slot freed
+}
+
+TEST(SpscQueueTest, WrapAroundKeepsFifo) {
+  SpscQueue<int> q(4);
+  int out;
+  // Push/pop more than the capacity so head and tail wrap several times.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 10; ++round) {
+    while (q.TryPush(int{next_push})) ++next_push;
+    while (q.TryPop(&out)) {
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_GT(next_push, static_cast<int>(q.capacity()));
+}
+
+TEST(SpscQueueTest, AccountingMatchesEventQueueSemantics) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(int{i}));
+  int out;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_TRUE(q.TryPush(9));
+  EXPECT_EQ(q.total_pushed(), 6u);
+  // Producer-side HWM: at least the true peak of 5, never above capacity.
+  EXPECT_GE(q.high_water_mark(), 5u);
+  EXPECT_LE(q.high_water_mark(), q.capacity());
+}
+
+TEST(SpscQueueTest, CarriesEvents) {
+  SpscQueue<Event> q(4);
+  ASSERT_TRUE(q.TryPush(A(7, 1.5)));
+  ASSERT_TRUE(q.TryPush(Punctuation{.watermark = 5}));
+  Event e;
+  ASSERT_TRUE(q.TryPop(&e));
+  EXPECT_TRUE(IsTuple(e));
+  EXPECT_EQ(std::get<Tuple>(e).seq, 7u);
+  ASSERT_TRUE(q.TryPop(&e));
+  EXPECT_TRUE(IsPunctuation(e));
+}
+
+// Producer/consumer threads with randomized batch sizes: every value must
+// come out exactly once, in order, and the accounting must add up. Run
+// under TSan in CI (tsan preset) to certify the memory ordering.
+TEST(SpscQueueStressTest, TwoThreadsRandomBatches) {
+  constexpr uint64_t kCount = 200000;
+  SpscQueue<uint64_t> q(64);
+
+  std::thread producer([&q] {
+    Rng rng(1);
+    uint64_t next = 0;
+    while (next < kCount) {
+      const uint64_t batch = 1 + rng.NextBounded(97);
+      for (uint64_t i = 0; i < batch && next < kCount; ++i) {
+        uint64_t value = next;
+        if (q.TryPush(std::move(value))) {
+          ++next;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+
+  Rng rng(2);
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    const uint64_t batch = 1 + rng.NextBounded(97);
+    for (uint64_t i = 0; i < batch && expected < kCount; ++i) {
+      uint64_t value = 0;
+      if (q.TryPop(&value)) {
+        ASSERT_EQ(value, expected);  // FIFO, no loss, no duplication
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  producer.join();
+
+  EXPECT_EQ(q.total_pushed(), kCount);
+  EXPECT_TRUE(q.empty());
+  EXPECT_GE(q.high_water_mark(), 1u);
+  EXPECT_LE(q.high_water_mark(), q.capacity());
+}
+
+// Same stress but with Event payloads (the type the scheduler ships).
+TEST(SpscQueueStressTest, EventPayloadsAcrossThreads) {
+  constexpr uint32_t kCount = 50000;
+  SpscQueue<Event> q(32);
+
+  std::thread producer([&q] {
+    for (uint32_t i = 0; i < kCount;) {
+      Event e = A(i, static_cast<double>(i));
+      if (q.TryPush(std::move(e))) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  uint32_t expected = 0;
+  while (expected < kCount) {
+    Event e;
+    if (q.TryPop(&e)) {
+      ASSERT_TRUE(IsTuple(e));
+      ASSERT_EQ(std::get<Tuple>(e).seq, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.total_pushed(), kCount);
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -69,6 +69,58 @@ inline RunStats RunPlan(BuiltPlan* built, const Workload& workload,
   return exec.Run();
 }
 
+// A random query workload + chain partition drawn from a seed. Shared by
+// the fuzz equivalence tests and the parallel-vs-deterministic equivalence
+// tests so both explore the same configuration space.
+struct FuzzConfig {
+  std::vector<ContinuousQuery> queries;
+  ChainPlan chain;
+  double s1 = 0.1;
+  double rate = 25.0;
+  uint64_t workload_seed = 0;
+  bool use_lineage = false;
+  std::string DebugString() const {
+    std::string s = "queries:";
+    for (const auto& q : queries) s += " " + q.DebugString();
+    s += " partition " + chain.partition.DebugString();
+    return s;
+  }
+};
+
+inline FuzzConfig DrawFuzzConfig(uint64_t seed) {
+  Rng rng(seed);
+  FuzzConfig config;
+  const int num_queries = 1 + static_cast<int>(rng.NextBounded(6));
+  config.queries.resize(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    config.queries[q].id = q;
+    config.queries[q].name = "Q" + std::to_string(q + 1);
+    // Windows 0.5 .. 8.0 s in half-second steps; duplicates allowed.
+    const double w = 0.5 * (1 + static_cast<double>(rng.NextBounded(16)));
+    config.queries[q].window = WindowSpec::TimeSeconds(w);
+    // 50%: no selection; else selectivity in {0.2 .. 0.9}.
+    if (rng.NextBounded(2) == 1) {
+      config.queries[q].selection_a =
+          Predicate::WithSelectivity(0.2 + 0.1 * rng.NextBounded(8));
+    }
+  }
+  config.chain.spec = BuildChainSpec(config.queries);
+  // Random partition: keep each interior boundary with probability 1/2.
+  const int m = config.chain.spec.num_boundaries();
+  for (int k = 0; k + 1 < m; ++k) {
+    if (rng.NextBounded(2) == 0) {
+      config.chain.partition.slice_end_boundaries.push_back(k);
+    }
+  }
+  config.chain.partition.slice_end_boundaries.push_back(m - 1);
+  const double s1_choices[] = {0.025, 0.1, 0.25, 0.5};
+  config.s1 = s1_choices[rng.NextBounded(4)];
+  config.rate = 15.0 + static_cast<double>(rng.NextBounded(20));
+  config.workload_seed = rng.NextU64();
+  config.use_lineage = rng.NextBounded(4) == 0;
+  return config;
+}
+
 // Drains `queue` into a vector (test inspection).
 inline std::vector<Event> DrainQueue(EventQueue* queue) {
   std::vector<Event> events;
