@@ -53,6 +53,7 @@ figure_benches=(
   bench_fig19_memopt_cpuopt
   bench_chain_scaling
   bench_cost_model_validation
+  bench_engine_churn
   bench_lineage_ablation
   bench_parallel_scaling
 )

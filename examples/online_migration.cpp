@@ -1,7 +1,10 @@
-// Online chain migration (Section 5.3): queries enter and leave a *running*
-// shared plan. The chain is split when a new query's window falls inside an
-// existing slice, and merged back when a query leaves — with zero downtime
-// and no state rebuild (the next cross-purge migrates tuples lazily).
+// Online query churn (Section 5.3) through the Engine facade: queries
+// enter and leave a *running* session. On a selection-free state-slice
+// chain the engine serves registrations in place via ChainMigrator — the
+// chain is split when the new window falls inside an existing slice, the
+// newcomer receives exactly the post-registration results, and the chain
+// is compacted again when the query leaves — with zero downtime and no
+// state rebuild (the next cross-purge migrates tuples lazily).
 //
 //   $ ./examples/online_migration
 #include <cstdio>
@@ -12,89 +15,85 @@ using namespace stateslice;
 
 namespace {
 
-void PrintChain(const BuiltPlan& built, const char* label) {
+void PrintChain(Engine& engine, const char* label) {
   std::printf("%s:\n", label);
-  for (size_t s = 0; s < built.slices.size(); ++s) {
-    const SliceRange r = built.slices[s].join->range();
+  const auto slices = engine.ChainSlices();
+  for (size_t s = 0; s < slices.size(); ++s) {
     std::printf("  slice %zu: [%.0f s, %.0f s)  state=%zu tuples\n", s,
-                TicksToSeconds(r.start), TicksToSeconds(r.end),
-                built.slices[s].join->StateSize());
+                TicksToSeconds(slices[s].range.start),
+                TicksToSeconds(slices[s].range.end),
+                slices[s].state_tuples);
   }
 }
 
 }  // namespace
 
 int main() {
-  // Start with two selection-free queries at 4 s and 12 s.
-  std::vector<ContinuousQuery> queries(2);
-  queries[0] = {0, "Q1", WindowSpec::TimeSeconds(4), {}, {}};
-  queries[1] = {1, "Q2", WindowSpec::TimeSeconds(12), {}, {}};
-
   WorkloadSpec wspec;
   wspec.rate_a = wspec.rate_b = 40;
   wspec.duration_s = 60;
   wspec.join_selectivity = 0.1;
   const Workload workload = GenerateWorkload(wspec);
 
-  BuildOptions options;
-  options.condition = workload.condition;
-  BuiltPlan built =
-      BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
+  Engine::Options eopt;
+  eopt.condition = workload.condition;
+  Engine engine(eopt);
+  // Start with two selection-free queries at 4 s and 12 s.
+  const QueryHandle q1 =
+      engine.RegisterQuery("SELECT * FROM A A, B B WHERE A.key = B.key "
+                           "WINDOW 4 s");
+  const QueryHandle q2 =
+      engine.RegisterQuery("SELECT * FROM A A, B B WHERE A.key = B.key "
+                           "WINDOW 12 s");
 
-  // Merge both streams into one arrival-ordered feed we can pause.
-  std::vector<Tuple> merged;
-  merged.insert(merged.end(), workload.stream_a.begin(),
-                workload.stream_a.end());
-  merged.insert(merged.end(), workload.stream_b.begin(),
-                workload.stream_b.end());
-  std::stable_sort(
-      merged.begin(), merged.end(),
-      [](const Tuple& x, const Tuple& y) { return x.timestamp < y.timestamp; });
+  // One arrival-ordered feed we can pause at any virtual time.
+  std::vector<Tuple> merged = MergedArrivals(workload);
 
-  RoundRobinScheduler scheduler(built.plan.get());
   size_t fed = 0;
   auto feed_until = [&](double t_seconds) {
     const TimePoint horizon = SecondsToTicks(t_seconds);
     while (fed < merged.size() && merged[fed].timestamp < horizon) {
-      built.entry->Push(merged[fed++]);
-      scheduler.RunUntilQuiescent();
+      engine.Push(merged[fed].side, merged[fed]);
+      ++fed;
     }
   };
 
   feed_until(20);
-  PrintChain(built, "\nchain at t=20s (Q1[4s], Q2[12s])");
+  PrintChain(engine, "\nchain at t=20s (Q1[4s], Q2[12s])");
 
   // t=20 s: a new subscription Q3 with an 8 s window arrives. Its boundary
-  // is interior to the [4,12) slice, so the migrator splits it online.
-  ChainMigrator migrator(&built);
-  const int q3 = migrator.AddQuery(WindowSpec::TimeSeconds(8), "Q3");
-  std::printf("\n>>> t=20s: Q3[8s] registered (query id %d); slice [4,12) "
-              "split at 8 s\n", q3);
-  PrintChain(built, "chain after AddQuery");
+  // is interior to the [4,12) slice, so the engine splits it online.
+  const QueryHandle q3 = engine.RegisterQuery(
+      "SELECT * FROM A A, B B WHERE A.key = B.key WINDOW 8 s");
+  std::printf("\n>>> t=20s: Q3[8s] registered online (migrations=%llu, "
+              "rebuilds=%llu); slice [4,12) split at 8 s\n",
+              static_cast<unsigned long long>(engine.migrations()),
+              static_cast<unsigned long long>(engine.rebuilds()));
+  PrintChain(engine, "chain after RegisterQuery");
 
   feed_until(40);
   std::printf("\nat t=40s results so far: Q1=%llu Q2=%llu Q3=%llu\n",
-              static_cast<unsigned long long>(built.sinks[0]->result_count()),
-              static_cast<unsigned long long>(built.sinks[1]->result_count()),
-              static_cast<unsigned long long>(
-                  built.sinks[q3]->result_count()));
+              static_cast<unsigned long long>(engine.ResultCount(q1)),
+              static_cast<unsigned long long>(engine.ResultCount(q2)),
+              static_cast<unsigned long long>(engine.ResultCount(q3)));
 
   // t=40 s: Q3 unsubscribes. Remove it and compact the chain by merging
   // the [4,8) and [8,12) slices back together (Fig. 13).
-  migrator.RemoveQuery(q3);
-  migrator.MergeSlices(1);
-  std::printf("\n>>> t=40s: Q3 removed; slices [4,8)+[8,12) merged\n");
-  PrintChain(built, "chain after RemoveQuery + MergeSlices");
+  engine.UnregisterQuery(q3);
+  const int merges = engine.CompactChain();
+  std::printf("\n>>> t=40s: Q3 removed; %d slice merge(s) compacted the "
+              "chain\n", merges);
+  PrintChain(engine, "chain after UnregisterQuery + CompactChain");
 
   feed_until(60);
-  built.plan->FinishAll();
-  scheduler.RunUntilQuiescent();
+  engine.Finish();
 
-  std::printf("\nfinal results: Q1=%llu Q2=%llu (Q3 detached at t=40s)\n",
-              static_cast<unsigned long long>(built.sinks[0]->result_count()),
-              static_cast<unsigned long long>(
-                  built.sinks[1]->result_count()));
-  std::printf("migration primitives ran with zero dropped or duplicated "
-              "results for the surviving queries.\n");
+  std::printf("\nfinal results: Q1=%llu Q2=%llu (Q3 detached at t=40s "
+              "with %llu results)\n",
+              static_cast<unsigned long long>(engine.ResultCount(q1)),
+              static_cast<unsigned long long>(engine.ResultCount(q2)),
+              static_cast<unsigned long long>(engine.ResultCount(q3)));
+  std::printf("query churn ran with zero dropped or duplicated results "
+              "for the surviving queries.\n");
   return 0;
 }

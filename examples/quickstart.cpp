@@ -1,9 +1,9 @@
-// Quickstart: share two window-join queries with a state-slice chain.
+// Quickstart: share two window-join queries through the Engine facade.
 //
 // Builds the paper's running example — Q1 with a small window and Q2 with a
-// larger window plus a selection — as one shared Mem-Opt chain, runs a
-// synthetic Poisson workload through it, and prints per-query results and
-// resource usage.
+// larger window plus a selection — as one long-lived streaming session:
+// queries register, tuples are pushed, results are counted per query, and
+// the engine reports unified resource metrics.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
@@ -13,61 +13,61 @@
 using namespace stateslice;
 
 int main() {
-  // ---- 1. Declare the continuous queries.
-  std::vector<ContinuousQuery> queries(2);
-  queries[0].id = 0;
-  queries[0].name = "Q1";
-  queries[0].window = WindowSpec::TimeSeconds(10);  // WINDOW 10 s
-
-  queries[1].id = 1;
-  queries[1].name = "Q2";
-  queries[1].window = WindowSpec::TimeSeconds(60);  // WINDOW 60 s
-  queries[1].selection_a = Predicate::GreaterThan(0.9);  // A.Value > 0.9
-
-  std::printf("Registered queries:\n");
-  for (const auto& q : queries) {
-    std::printf("  %s\n", q.DebugString().c_str());
-  }
-
-  // ---- 2. Build the shared plan: a chain of sliced window joins.
-  const ChainPlan chain = BuildMemOptChain(queries);
-  std::printf("\nMem-Opt chain: %s over %s\n",
-              chain.partition.DebugString().c_str(),
-              chain.spec.DebugString().c_str());
-
+  // ---- 1. A synthetic Poisson workload (stand-in for live sensors).
   WorkloadSpec wspec;
   wspec.rate_a = wspec.rate_b = 50;   // tuples/sec per stream
   wspec.duration_s = 90;              // the paper's run length
   wspec.join_selectivity = 0.1;
   const Workload workload = GenerateWorkload(wspec);
 
-  BuildOptions options;
-  options.condition = workload.condition;
-  BuiltPlan built = BuildStateSlicePlan(queries, chain, options);
+  // ---- 2. Open a session. The engine owns the shared state-slice chain,
+  // the scheduler and the metrics for its whole lifetime.
+  Engine::Options eopt;
+  eopt.condition = workload.condition;
+  Engine engine(eopt);
 
-  std::printf("\nShared plan operators:\n");
-  for (const auto& op : built.plan->operators()) {
-    std::printf("  %s\n", op->name().c_str());
+  // ---- 3. Register the continuous queries (mini-CQL or structs).
+  const QueryHandle q1 = engine.RegisterQuery(
+      "SELECT A.* FROM Temperature A, Humidity B "
+      "WHERE A.LocationId = B.LocationId WINDOW 10 s");
+  ContinuousQuery spec;
+  spec.name = "Q2";
+  spec.window = WindowSpec::TimeSeconds(60);             // WINDOW 60 s
+  spec.selection_a = Predicate::GreaterThan(0.9);        // A.Value > 0.9
+  const QueryHandle q2 = engine.RegisterQuery(spec);
+  if (!q1.valid() || !q2.valid()) {
+    std::fprintf(stderr, "registration failed: %s\n",
+                 engine.last_error().c_str());
+    return 1;
   }
+  std::printf("registered %zu queries\n", engine.active_queries());
 
-  // ---- 3. Run the workload through the plan.
-  StreamSource source_a("Temperature", workload.stream_a);
-  StreamSource source_b("Humidity", workload.stream_b);
-  Executor exec(built.plan.get(),
-                {{&source_a, built.entry}, {&source_b, built.entry}});
-  for (auto* sink : built.sinks) exec.AddSink(sink);
-  const RunStats stats = exec.Run();
+  // ---- 4. Push both streams in global arrival order.
+  size_t ia = 0, ib = 0;
+  const auto& sa = workload.stream_a;
+  const auto& sb = workload.stream_b;
+  while (ia < sa.size() || ib < sb.size()) {
+    const bool take_a =
+        ib >= sb.size() ||
+        (ia < sa.size() && sa[ia].timestamp <= sb[ib].timestamp);
+    if (take_a) {
+      engine.Push(StreamId::kA, sa[ia++]);
+    } else {
+      engine.Push(StreamId::kB, sb[ib++]);
+    }
+  }
+  engine.Finish();
 
-  // ---- 4. Report.
-  std::printf("\nRun: %llu input tuples, %llu results, %.2f ms wall\n",
+  // ---- 5. Report.
+  const RunStats stats = engine.Snapshot();
+  std::printf("\nrun: %llu input tuples, %llu results, %.2f ms wall\n",
               static_cast<unsigned long long>(stats.input_tuples),
               static_cast<unsigned long long>(stats.results_delivered),
               stats.wall_seconds * 1e3);
-  for (const auto& q : queries) {
-    std::printf("  %s delivered %llu join results\n", q.name.c_str(),
-                static_cast<unsigned long long>(
-                    built.sinks[q.id]->result_count()));
-  }
+  std::printf("  Q1 delivered %llu join results\n",
+              static_cast<unsigned long long>(engine.ResultCount(q1)));
+  std::printf("  Q2 delivered %llu join results\n",
+              static_cast<unsigned long long>(engine.ResultCount(q2)));
   std::printf("  avg state memory: %.0f tuples (peak %zu)\n",
               stats.AvgStateTuples(SecondsToTicks(60)),
               stats.MaxStateTuples());

@@ -1,7 +1,9 @@
-// Sensor-monitoring scenario from the paper's introduction, driven through
-// the mini-CQL parser: several monitoring subscriptions join temperature
-// and humidity streams by location with different windows and thresholds,
-// and the system shares all of them in one state-slice chain.
+// Sensor-monitoring scenario from the paper's introduction, as a live
+// Engine session: monitoring subscriptions join temperature and humidity
+// streams by location with different windows and thresholds, the system
+// shares all of them in one state-slice chain, and one subscription
+// receives its matches through a push callback — including a subscription
+// that arrives while the streams are already flowing.
 //
 //   $ ./examples/sensor_monitoring
 #include <cstdio>
@@ -27,28 +29,6 @@ int main() {
       "WHERE A.LocationId = B.LocationId AND A.Value > 0.5 WINDOW 15 s",
   };
 
-  std::vector<ContinuousQuery> queries;
-  for (const std::string& text : subscription_text) {
-    const ParseResult parsed = ParseQuery(text);
-    if (!parsed.ok) {
-      std::fprintf(stderr, "parse error: %s\n  in: %s\n",
-                   parsed.error.c_str(), text.c_str());
-      return 1;
-    }
-    ContinuousQuery q = parsed.query;
-    q.id = static_cast<int>(queries.size());
-    q.name = "Q" + std::to_string(q.id + 1);
-    queries.push_back(q);
-  }
-  for (const auto& q : queries) {
-    std::printf("registered %s\n", q.DebugString().c_str());
-  }
-
-  // Share everything in one chain; selections are pushed into the chain
-  // (Section 6), so cold readings never reach the long-window slices.
-  const ChainPlan chain = BuildMemOptChain(queries);
-  std::printf("\nchain boundaries: %s\n", chain.spec.DebugString().c_str());
-
   WorkloadSpec wspec;
   wspec.rate_a = wspec.rate_b = 40;
   wspec.duration_s = 120;
@@ -56,30 +36,74 @@ int main() {
   wspec.seed = 2026;
   const Workload workload = GenerateWorkload(wspec);
 
-  BuildOptions options;
-  options.condition = workload.condition;
-  BuiltPlan built = BuildStateSlicePlan(queries, chain, options);
+  // Selections are pushed into the chain (Section 6), so cold readings
+  // never reach the long-window slices.
+  Engine::Options eopt;
+  eopt.condition = workload.condition;
+  Engine engine(eopt);
+  std::vector<QueryHandle> handles;
+  for (const std::string& text : subscription_text) {
+    const QueryHandle h = engine.RegisterQuery(text);
+    if (!h.valid()) {
+      std::fprintf(stderr, "rejected: %s\n  in: %s\n",
+                   engine.last_error().c_str(), text.c_str());
+      return 1;
+    }
+    handles.push_back(h);
+    std::printf("registered Q%zu\n", handles.size());
+  }
 
-  StreamSource temperature("Temperature", workload.stream_a);
-  StreamSource humidity("Humidity", workload.stream_b);
-  Executor exec(built.plan.get(),
-                {{&temperature, built.entry}, {&humidity, built.entry}});
-  for (auto* sink : built.sinks) exec.AddSink(sink);
-  const RunStats stats = exec.Run();
+  // The heat-alert desk wants a live feed, not a counter.
+  uint64_t alerts = 0;
+  engine.Subscribe(handles[1], [&alerts](const JoinResult& r) {
+    ++alerts;
+    if (alerts <= 3) {
+      std::printf("  ALERT %s: hot reading %.2f at location %lld\n",
+                  r.a.DebugId().c_str(), r.a.value,
+                  static_cast<long long>(r.a.key));
+    }
+  });
 
+  std::vector<Tuple> merged = MergedArrivals(workload);
+
+  // Stream the first half, then a fourth subscription joins mid-flight.
+  size_t fed = 0;
+  for (; fed < merged.size() / 2; ++fed) {
+    engine.Push(merged[fed].side, merged[fed]);
+  }
+  // Flush same-timestamp stragglers: registration advances the session
+  // watermark, so post-registration arrivals must not tie with earlier
+  // ones.
+  while (fed < merged.size() &&
+         merged[fed].timestamp <= engine.watermark()) {
+    engine.Push(merged[fed].side, merged[fed]);
+    ++fed;
+  }
+  const QueryHandle late = engine.RegisterQuery(
+      "SELECT A.* FROM Temperature A, Humidity B "
+      "WHERE A.LocationId = B.LocationId AND A.Value > 0.6 WINDOW 10 s");
+  std::printf("\nQ4 joined at t=%.0f s (results from %.0f s on)\n",
+              TicksToSeconds(engine.watermark()),
+              TicksToSeconds(engine.ResultsFrom(late)));
+  for (; fed < merged.size(); ++fed) {
+    engine.Push(merged[fed].side, merged[fed]);
+  }
+  engine.Finish();
+
+  const RunStats stats = engine.Snapshot();
   std::printf("\nprocessed %llu sensor readings in %.1f ms\n",
               static_cast<unsigned long long>(stats.input_tuples),
               stats.wall_seconds * 1e3);
-  for (const auto& q : queries) {
-    std::printf("  %-3s matched pairs: %llu\n", q.name.c_str(),
+  for (size_t i = 0; i < handles.size(); ++i) {
+    std::printf("  Q%zu  matched pairs: %llu\n", i + 1,
                 static_cast<unsigned long long>(
-                    built.sinks[q.id]->result_count()));
+                    engine.ResultCount(handles[i])));
   }
-  std::printf("  shared state: avg %.0f tuples across %zu slices\n",
-              stats.AvgStateTuples(SecondsToTicks(30)),
-              built.slices.size());
-
-  // Show the operator DAG for the curious (Graphviz DOT).
-  std::printf("\nplan DAG (dot):\n%s", built.plan->ToDot().c_str());
+  std::printf("  Q4  matched pairs: %llu (late join)\n",
+              static_cast<unsigned long long>(engine.ResultCount(late)));
+  std::printf("  heat alerts delivered by callback: %llu\n",
+              static_cast<unsigned long long>(alerts));
+  std::printf("  avg shared state: %.0f tuples\n",
+              stats.AvgStateTuples(SecondsToTicks(30)));
   return 0;
 }

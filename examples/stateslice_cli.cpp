@@ -1,4 +1,5 @@
-// stateslice_cli — run ad-hoc shared window-join workloads from the shell.
+// stateslice_cli — run ad-hoc shared window-join workloads from the shell,
+// through the Engine facade.
 //
 // Usage:
 //   stateslice_cli [options] "QUERY 1" "QUERY 2" ...
@@ -15,6 +16,8 @@
 //   --parallel=<N>   run on the parallel pipeline scheduler with N worker
 //                    threads (0 = hardware concurrency; default: the
 //                    deterministic single-threaded scheduler)
+//   --late=<K>       register the last K queries mid-stream (online churn
+//                    demo; default 0)
 //   --dot            print the operator DAG and exit
 //
 // Prints per-query result counts, state-memory and comparison-cost
@@ -39,6 +42,7 @@ struct CliOptions {
   uint64_t seed = 1;
   bool parallel = false;
   int workers = 0;
+  int late = 0;
   bool dot_only = false;
   std::vector<std::string> query_texts;
 };
@@ -57,7 +61,8 @@ int Usage() {
                "usage: stateslice_cli [--strategy=slice|slice-cpu|pullup|"
                "pushdown|unshared]\n"
                "                      [--rate=N] [--duration=S] [--s1=X] "
-               "[--seed=N] [--parallel=N] [--dot]\n"
+               "[--seed=N] [--parallel=N]\n"
+               "                      [--late=K] [--dot]\n"
                "                      \"SELECT ... WINDOW n s\" ...\n");
   return 2;
 }
@@ -81,6 +86,8 @@ int main(int argc, char** argv) {
     } else if (ParseArg(argv[i], "--parallel", &value)) {
       cli.parallel = true;
       cli.workers = std::atoi(value.c_str());
+    } else if (ParseArg(argv[i], "--late", &value)) {
+      cli.late = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       cli.dot_only = true;
     } else if (argv[i][0] == '-') {
@@ -101,20 +108,10 @@ int main(int argc, char** argv) {
     std::printf("(no queries given; running the paper's motivating "
                 "example)\n");
   }
-
-  std::vector<ContinuousQuery> queries;
-  for (const std::string& text : cli.query_texts) {
-    const ParseResult parsed = ParseQuery(text);
-    if (!parsed.ok) {
-      std::fprintf(stderr, "parse error: %s\n  in: %s\n",
-                   parsed.error.c_str(), text.c_str());
-      return 1;
-    }
-    ContinuousQuery q = parsed.query;
-    q.id = static_cast<int>(queries.size());
-    q.name = "Q" + std::to_string(q.id + 1);
-    queries.push_back(q);
-    std::printf("%s\n", q.DebugString().c_str());
+  if (cli.late < 0 ||
+      cli.late >= static_cast<int>(cli.query_texts.size())) {
+    std::fprintf(stderr, "--late must leave at least one initial query\n");
+    return Usage();
   }
 
   WorkloadSpec wspec;
@@ -124,52 +121,86 @@ int main(int argc, char** argv) {
   wspec.seed = cli.seed;
   const Workload workload = GenerateWorkload(wspec);
 
-  BuildOptions options;
+  Engine::Options options;
   options.condition = workload.condition;
-  ChainCostParams params;
-  params.lambda_a = params.lambda_b = cli.rate;
-  params.s1 = cli.s1;
-
-  BuiltPlan built = [&] {
-    if (cli.strategy == "slice") {
-      return BuildStateSlicePlan(queries, BuildMemOptChain(queries),
-                                 options);
-    }
-    if (cli.strategy == "slice-cpu") {
-      return BuildStateSlicePlan(queries,
-                                 BuildCpuOptChain(queries, params), options);
-    }
-    if (cli.strategy == "pullup") return BuildPullUpPlan(queries, options);
-    if (cli.strategy == "pushdown") {
-      return BuildPushDownPlan(queries, options);
-    }
-    if (cli.strategy == "unshared") {
-      return BuildUnsharedPlans(queries, options);
-    }
+  if (cli.strategy == "slice") {
+    options.strategy = SharingStrategy::kStateSlice;
+  } else if (cli.strategy == "slice-cpu") {
+    options.strategy = SharingStrategy::kStateSlice;
+    options.objective = ChainObjective::kCpuOpt;
+    options.cost_params.lambda_a = options.cost_params.lambda_b = cli.rate;
+    options.cost_params.s1 = cli.s1;
+  } else if (cli.strategy == "pullup") {
+    options.strategy = SharingStrategy::kPullUp;
+  } else if (cli.strategy == "pushdown") {
+    options.strategy = SharingStrategy::kPushDown;
+  } else if (cli.strategy == "unshared") {
+    options.strategy = SharingStrategy::kUnshared;
+  } else {
     std::fprintf(stderr, "unknown strategy '%s'\n", cli.strategy.c_str());
-    std::exit(Usage());
-  }();
+    return Usage();
+  }
+  if (cli.parallel) {
+    options.mode = ExecutionMode::kParallel;
+    options.worker_threads = cli.workers;
+  }
+  Engine engine(options);
+
+  const int initial =
+      static_cast<int>(cli.query_texts.size()) - cli.late;
+  std::vector<QueryHandle> handles;
+  for (int q = 0; q < initial; ++q) {
+    const QueryHandle h = engine.RegisterQuery(cli.query_texts[q]);
+    if (!h.valid()) {
+      std::fprintf(stderr, "rejected: %s\n  in: %s\n",
+                   engine.last_error().c_str(),
+                   cli.query_texts[q].c_str());
+      return 1;
+    }
+    handles.push_back(h);
+  }
 
   if (cli.dot_only) {
-    std::printf("%s", built.plan->ToDot().c_str());
+    std::printf("%s", engine.PlanDot().c_str());
     return 0;
   }
 
-  StreamSource source_a("A", workload.stream_a);
-  StreamSource source_b("B", workload.stream_b);
-  ExecutorOptions exec_options;
-  exec_options.cost_snapshot_time =
-      SecondsToTicks(cli.duration_s / 3.0);
-  if (cli.parallel) {
-    exec_options.mode = ExecutionMode::kParallel;
-    exec_options.worker_threads = cli.workers;
-  }
-  Executor exec(built.plan.get(),
-                {{&source_a, built.entry}, {&source_b, built.entry}},
-                exec_options);
-  for (auto* sink : built.sinks) exec.AddSink(sink);
-  const RunStats stats = exec.Run();
+  std::vector<Tuple> merged = MergedArrivals(workload);
 
+  // Late registrations spread evenly over the first half of the run.
+  size_t fed = 0;
+  for (int q = initial; q < static_cast<int>(cli.query_texts.size());
+       ++q) {
+    const size_t target =
+        merged.size() * static_cast<size_t>(q - initial + 1) /
+        (static_cast<size_t>(cli.late) + 1) / 2;
+    for (; fed < target; ++fed) {
+      engine.Push(merged[fed].side, merged[fed]);
+    }
+    // Flush same-timestamp stragglers: registration advances the session
+    // watermark past the last arrival.
+    while (fed < merged.size() &&
+           merged[fed].timestamp <= engine.watermark()) {
+      engine.Push(merged[fed].side, merged[fed]);
+      ++fed;
+    }
+    const QueryHandle h = engine.RegisterQuery(cli.query_texts[q]);
+    if (!h.valid()) {
+      std::fprintf(stderr, "rejected: %s\n  in: %s\n",
+                   engine.last_error().c_str(),
+                   cli.query_texts[q].c_str());
+      return 1;
+    }
+    std::printf(">>> Q%d registered online at t=%.1f s\n", q + 1,
+                TicksToSeconds(engine.watermark()));
+    handles.push_back(h);
+  }
+  for (; fed < merged.size(); ++fed) {
+    engine.Push(merged[fed].side, merged[fed]);
+  }
+  engine.Finish();
+
+  const RunStats stats = engine.Snapshot();
   std::printf("\nstrategy=%s rate=%.0f t/s duration=%.0f s S1=%g seed=%llu "
               "scheduler=%s\n",
               cli.strategy.c_str(), cli.rate, cli.duration_s, cli.s1,
@@ -178,19 +209,22 @@ int main(int argc, char** argv) {
                   ? ("parallel x" + std::to_string(stats.worker_threads))
                         .c_str()
                   : "deterministic");
-  std::printf("%llu inputs -> %llu results in %.1f ms wall\n",
+  std::printf("%llu inputs -> %llu results in %.1f ms wall "
+              "(%llu migrations, %llu rebuilds)\n",
               static_cast<unsigned long long>(stats.input_tuples),
               static_cast<unsigned long long>(stats.results_delivered),
-              stats.wall_seconds * 1e3);
-  for (const auto& q : queries) {
-    std::printf("  %-4s %10llu results\n", q.name.c_str(),
+              stats.wall_seconds * 1e3,
+              static_cast<unsigned long long>(engine.migrations()),
+              static_cast<unsigned long long>(engine.rebuilds()));
+  for (size_t q = 0; q < handles.size(); ++q) {
+    std::printf("  Q%-3zu %10llu results\n", q + 1,
                 static_cast<unsigned long long>(
-                    built.sinks[q.id]->result_count()));
+                    engine.ResultCount(handles[q])));
   }
   if (cli.parallel) {
-    // Parallel runs take a single end-of-run sample (periodic sampling
-    // would race with the workers); don't present it as a run average.
-    std::printf("state memory: %zu tuples at end of run "
+    // Parallel engines sample memory only at quiescent points; don't
+    // present the last sample as a run average.
+    std::printf("state memory: %zu tuples at last quiescent point "
                 "(parallel mode: no periodic sampling)\n",
                 stats.memory_samples.empty()
                     ? size_t{0}
@@ -200,8 +234,8 @@ int main(int argc, char** argv) {
                 stats.AvgStateTuples(SecondsToTicks(cli.duration_s / 3.0)),
                 stats.MaxStateTuples());
   }
-  std::printf("cpu: %.0f comparisons/s steady (%s)\n",
-              stats.SteadyComparisonsPerVirtualSecond(),
+  std::printf("cpu: %.0f comparisons/s (%s)\n",
+              stats.ComparisonsPerVirtualSecond(),
               stats.cost.DebugString().c_str());
   return 0;
 }

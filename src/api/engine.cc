@@ -1,0 +1,680 @@
+#include "src/api/engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/query/parser.h"
+
+namespace stateslice {
+namespace {
+
+// Folds `from` into `into` category by category (CostCounters are atomic
+// sums, not directly addable).
+void AddCost(const CostCounters& from, CostCounters* into) {
+  for (int c = 0; c < static_cast<int>(CostCategory::kCategoryCount); ++c) {
+    const auto category = static_cast<CostCategory>(c);
+    into->Add(category, from.Get(category));
+  }
+}
+
+void MergeMultiset(const std::map<std::string, int>& from,
+                   std::map<std::string, int>* into) {
+  for (const auto& [key, count] : from) (*into)[key] += count;
+}
+
+}  // namespace
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(Options options)
+    : options_(std::move(options)),
+      created_(std::chrono::steady_clock::now()) {}
+
+Engine::~Engine() {
+  if (par_scheduler_ != nullptr) PauseParallel();
+}
+
+// ------------------------------------------------------------ query churn
+
+Engine::QueryRecord* Engine::FindRecord(uint64_t token) {
+  for (QueryRecord& r : records_) {
+    if (r.token == token) return &r;
+  }
+  return nullptr;
+}
+
+const Engine::QueryRecord* Engine::FindRecord(uint64_t token) const {
+  for (const QueryRecord& r : records_) {
+    if (r.token == token) return &r;
+  }
+  return nullptr;
+}
+
+size_t Engine::active_queries() const { return active_count_; }
+
+bool Engine::ValidateNewQuery(const ContinuousQuery& query,
+                              std::string* error) const {
+  if (finished_) {
+    *error = "engine already finished";
+    return false;
+  }
+  if (query.window.extent <= 0) {
+    *error = "window must be positive";
+    return false;
+  }
+  if (active_queries() >= static_cast<size_t>(kMaxQueries)) {
+    *error = "query capacity reached";
+    return false;
+  }
+  for (const QueryRecord& r : records_) {
+    if (!r.active) continue;
+    if (r.query.window.kind != query.window.kind) {
+      *error = "mixed time- and count-based windows are unsupported";
+      return false;
+    }
+    break;
+  }
+  if ((options_.strategy == SharingStrategy::kStateSlice ||
+       options_.strategy == SharingStrategy::kPushDown) &&
+      !query.selection_b.IsTrue()) {
+    *error = "B-side selections are unsupported by this sharing strategy";
+    return false;
+  }
+  if (options_.strategy == SharingStrategy::kPushDown &&
+      !query.selection_a.IsTrue()) {
+    for (const QueryRecord& r : records_) {
+      if (!r.active || r.query.selection_a.IsTrue()) continue;
+      if (r.query.selection_a.description() !=
+          query.selection_a.description()) {
+        *error = "push-down sharing requires one shared selection predicate";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+QueryHandle Engine::RegisterQuery(const ContinuousQuery& query) {
+  std::string error;
+  if (!ValidateNewQuery(query, &error)) {
+    last_error_ = std::move(error);
+    return {};
+  }
+  QueryRecord rec;
+  rec.token = next_token_++;
+  rec.query = query;
+  rec.query.id = 0;  // dense id assigned at (re)build / migration
+  if (rec.query.name.empty()) {
+    rec.query.name = "Q" + std::to_string(rec.token);
+  }
+  const uint64_t token = rec.token;
+
+  // Until the first arrival there is nothing to cut off — whether or not
+  // a plan was already built lazily (e.g. by PlanDot).
+  const bool saw_input = (input_tuples_ + dropped_tuples_) > 0;
+  const TimePoint cutoff = saw_input ? Cutoff() : 0;
+  rec.results_from = cutoff;
+
+  if (!running()) {
+    // Idle (or lazy pre-build): the query joins the next plan. Tuples
+    // seen so far were either dropped or belong to a torn-down plan, so
+    // the query observes arrivals from here on.
+    records_.push_back(std::move(rec));
+    ++active_count_;
+    watermark_ = std::max(watermark_, cutoff);
+    return {token};
+  }
+
+  QuiesceForSurgery();
+  if (CanMigrateAdd(rec.query)) {
+    // In-place registration (Section 5.3): the shared slice states keep
+    // serving the existing queries; a ResultTimeGate gives the newcomer
+    // fresh-start semantics.
+    ChainMigrator migrator(&built_);
+    rec.query.id =
+        migrator.AddQuery(rec.query.window, rec.query.name, cutoff);
+    ValidateBuiltChain(built_);
+    ++migrations_;
+    records_.push_back(std::move(rec));
+  } else {
+    // Drain-rebuild: flush and retire the current plan, then stand up a
+    // fresh shared plan over the updated query set. Works for every
+    // strategy; operator state resets at `cutoff`.
+    TearDownPlan();
+    records_.push_back(std::move(rec));
+    if (cutoff > 0) rebuild_cutoffs_.push_back(cutoff);
+    ++rebuilds_;
+    BuildPlan();
+  }
+  ++active_count_;
+  // Registration advances the session watermark to the cutoff: arrivals
+  // after the registration cannot tie with arrivals before it, so both
+  // churn paths deliver exactly the post-cutoff join to the newcomer.
+  watermark_ = std::max(watermark_, cutoff);
+  ResumeAfterSurgery();
+  return {token};
+}
+
+QueryHandle Engine::RegisterQuery(std::string_view cql) {
+  const ParseResult parsed = ParseQuery(std::string(cql));
+  if (!parsed.ok) {
+    last_error_ = "parse error: " + parsed.error;
+    return {};
+  }
+  return RegisterQuery(parsed.query);
+}
+
+bool Engine::UnregisterQuery(QueryHandle handle) {
+  QueryRecord* rec = FindRecord(handle.token);
+  if (rec == nullptr || !rec->active) {
+    last_error_ = "unknown or inactive query handle";
+    return false;
+  }
+  if (!running()) {
+    rec->active = false;
+    --active_count_;
+  } else {
+    QuiesceForSurgery();
+    if (active_queries() == 1) {
+      // Last query out: flush and idle the engine.
+      TearDownPlan();
+      rec->active = false;
+    } else if (CanMigrateRemove()) {
+      const int qid = rec->query.id;
+      rec->delivered += built_.sinks[qid]->result_count();
+      if (built_.collectors[qid] != nullptr) {
+        MergeMultiset(built_.collectors[qid]->ResultMultiset(),
+                      &rec->collected);
+      }
+      ChainMigrator migrator(&built_);
+      migrator.RemoveQuery(qid);
+      ValidateBuiltChain(built_);
+      ++migrations_;
+      rec->active = false;
+    } else {
+      TearDownPlan();  // harvests every query, including this one
+      rec->active = false;
+      if ((input_tuples_ + dropped_tuples_) > 0) {
+        const TimePoint cutoff = Cutoff();
+        rebuild_cutoffs_.push_back(cutoff);
+        // The rebuild advances the watermark so post-rebuild arrivals
+        // cannot tie with pre-rebuild state (see RegisterQuery).
+        watermark_ = cutoff;
+      }
+      ++rebuilds_;
+      BuildPlan();
+    }
+    --active_count_;
+    ResumeAfterSurgery();
+  }
+  // The query's callback sinks died with its output path.
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [&](const SubscriptionRecord& s) {
+                       return s.query_token == handle.token;
+                     }),
+      subscriptions_.end());
+  return true;
+}
+
+bool Engine::CanMigrateAdd(const ContinuousQuery& query) const {
+  if (options_.strategy != SharingStrategy::kStateSlice ||
+      options_.use_lineage) {
+    return false;
+  }
+  if (!query.Unfiltered() || query.window.kind != WindowKind::kTime) {
+    return false;
+  }
+  for (const QueryRecord& r : records_) {
+    if (r.active && !r.query.Unfiltered()) return false;
+  }
+  if (built_.slices.empty() ||
+      built_.queries.size() >= static_cast<size_t>(kMaxQueries)) {
+    return false;
+  }
+  // The window must land inside the chain span, and if it splits a slice,
+  // that slice must be router-free (merged slices re-split via rebuild).
+  for (const BuiltSlice& slice : built_.slices) {
+    const SliceRange r = slice.join->range();
+    if (r.kind != WindowKind::kTime) return false;
+    if (query.window.extent == r.end) return true;
+    if (query.window.extent > r.start && query.window.extent < r.end) {
+      return slice.result_producer == static_cast<Operator*>(slice.join);
+    }
+  }
+  return false;  // window exceeds the chain span
+}
+
+bool Engine::CanMigrateRemove() const {
+  if (options_.strategy != SharingStrategy::kStateSlice ||
+      options_.use_lineage || built_.slices.empty()) {
+    return false;
+  }
+  for (const QueryRecord& r : records_) {
+    if (r.active && !r.query.Unfiltered()) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- lifecycle
+
+void Engine::BuildPlan() {
+  SLICE_CHECK(!running());
+  std::vector<ContinuousQuery> queries;
+  for (QueryRecord& r : records_) {
+    if (!r.active) continue;
+    r.query.id = static_cast<int>(queries.size());
+    queries.push_back(r.query);
+  }
+  SLICE_CHECK(!queries.empty());
+
+  BuildOptions bopt;
+  bopt.condition = options_.condition;
+  bopt.collect_results = options_.collect_results;
+  bopt.use_lineage = options_.use_lineage &&
+                     options_.strategy == SharingStrategy::kStateSlice;
+  switch (options_.strategy) {
+    case SharingStrategy::kStateSlice: {
+      const ChainPlan chain =
+          options_.objective == ChainObjective::kMemOpt
+              ? BuildMemOptChain(queries)
+              : BuildCpuOptChain(queries, options_.cost_params);
+      built_ = BuildStateSlicePlan(queries, chain, bopt);
+      break;
+    }
+    case SharingStrategy::kPullUp:
+      built_ = BuildPullUpPlan(queries, bopt);
+      break;
+    case SharingStrategy::kPushDown:
+      built_ = BuildPushDownPlan(queries, bopt);
+      break;
+    case SharingStrategy::kUnshared:
+      built_ = BuildUnsharedPlans(queries, bopt);
+      break;
+  }
+  if (options_.mode == ExecutionMode::kDeterministic) {
+    det_scheduler_ = std::make_unique<RoundRobinScheduler>(built_.plan.get());
+  }
+  for (SubscriptionRecord& sub : subscriptions_) {
+    const QueryRecord* rec = FindRecord(sub.query_token);
+    if (rec != nullptr && rec->active) WireSubscription(&sub);
+  }
+  if (options_.mode == ExecutionMode::kParallel && !finished_) {
+    StartParallel();
+  }
+}
+
+void Engine::EnsureBuilt() {
+  if (!running() && !finished_ && active_queries() > 0) BuildPlan();
+}
+
+void Engine::HarvestSinks() {
+  for (QueryRecord& r : records_) {
+    if (!r.active) continue;
+    const int qid = r.query.id;
+    if (built_.sinks[qid] != nullptr) {
+      r.delivered += built_.sinks[qid]->result_count();
+    }
+    if (qid < static_cast<int>(built_.collectors.size()) &&
+        built_.collectors[qid] != nullptr) {
+      MergeMultiset(built_.collectors[qid]->ResultMultiset(), &r.collected);
+    }
+  }
+}
+
+void Engine::FoldPlanCost() {
+  AddCost(built_.plan->cost_counters(), &cost_accum_);
+}
+
+void Engine::TearDownPlan() {
+  SLICE_CHECK(running());
+  if (par_scheduler_ != nullptr) PauseParallel();
+  RoundRobinScheduler drain(built_.plan.get());
+  drain.RunUntilQuiescent();
+  memory_samples_.push_back(MemorySample{
+      .time = watermark_,
+      .state_tuples = built_.plan->TotalStateSize(),
+      .queue_events = built_.plan->TotalQueueSize(),
+  });
+  // Flush end-of-stream punctuations so order-preserving unions release
+  // every held result before the plan goes away.
+  built_.plan->FinishAll();
+  drain.RunUntilQuiescent();
+  events_accum_ += drain.total_processed();
+  if (det_scheduler_ != nullptr) {
+    events_accum_ += det_scheduler_->total_processed();
+    det_scheduler_.reset();
+  }
+  HarvestSinks();
+  FoldPlanCost();
+  built_ = BuiltPlan{};
+  for (SubscriptionRecord& sub : subscriptions_) sub.sink = nullptr;
+}
+
+void Engine::StartParallel() {
+  SLICE_CHECK(running());
+  SLICE_CHECK(par_scheduler_ == nullptr);
+  ParallelSchedulerOptions popt;
+  const unsigned hw = std::thread::hardware_concurrency();  // may be 0
+  popt.num_workers = options_.worker_threads > 0
+                         ? options_.worker_threads
+                         : static_cast<int>(hw > 1 ? hw - 1 : 1);
+  popt.edge_capacity = options_.parallel_edge_capacity;
+  popt.finish_at_end = false;  // the engine flushes explicitly at teardown
+  par_scheduler_ =
+      std::make_unique<ParallelScheduler>(built_.plan.get(), popt);
+  par_scheduler_->Start();
+  last_parallel_stages_ = par_scheduler_->num_stages();
+}
+
+void Engine::PauseParallel() {
+  if (par_scheduler_ == nullptr) return;
+  par_scheduler_->FinishInput();
+  par_scheduler_->Join();
+  events_accum_ += par_scheduler_->total_processed();
+  parallel_edge_events_accum_ += par_scheduler_->edges_total_pushed();
+  parallel_edge_hwm_ =
+      std::max(parallel_edge_hwm_, par_scheduler_->edges_high_water_mark());
+  par_scheduler_.reset();
+}
+
+void Engine::QuiesceForSurgery() {
+  if (par_scheduler_ != nullptr) {
+    PauseParallel();
+  } else if (det_scheduler_ != nullptr) {
+    det_scheduler_->RunUntilQuiescent();
+  }
+}
+
+void Engine::ResumeAfterSurgery() {
+  if (running() && !finished_ &&
+      options_.mode == ExecutionMode::kParallel &&
+      par_scheduler_ == nullptr) {
+    StartParallel();
+  }
+}
+
+// --------------------------------------------------------------- ingestion
+
+void Engine::SampleMemory() {
+  memory_samples_.push_back(MemorySample{
+      .time = next_sample_,
+      .state_tuples = built_.plan->TotalStateSize(),
+      .queue_events = built_.plan->TotalQueueSize(),
+  });
+}
+
+void Engine::Push(StreamId stream, Tuple tuple) {
+  SLICE_CHECK(!finished_);
+  tuple.side = stream;
+  // The paper's Section 2 assumption: globally ordered arrivals.
+  SLICE_CHECK_GE(tuple.timestamp, watermark_);
+  if (active_queries() == 0) {
+    ++dropped_tuples_;
+    watermark_ = tuple.timestamp;
+    return;
+  }
+  EnsureBuilt();
+  if (options_.mode == ExecutionMode::kDeterministic) {
+    while (tuple.timestamp >= next_sample_) {
+      SampleMemory();
+      next_sample_ += options_.sample_interval;
+    }
+  }
+  watermark_ = tuple.timestamp;
+  ++input_tuples_;
+  if (par_scheduler_ != nullptr) {
+    par_scheduler_->PushEntry(built_.entry, std::move(tuple));
+  } else {
+    built_.entry->Push(std::move(tuple));
+    if (options_.auto_drain && det_scheduler_ != nullptr) {
+      det_scheduler_->RunUntilQuiescent();
+    }
+  }
+}
+
+void Engine::PushBatch(StreamId stream, const std::vector<Tuple>& tuples) {
+  for (const Tuple& t : tuples) Push(stream, t);
+}
+
+uint64_t Engine::Poll(uint64_t max_events) {
+  if (!running() || det_scheduler_ == nullptr) return 0;
+  return det_scheduler_->RunSome(max_events);
+}
+
+void Engine::Drain() {
+  if (!running()) return;
+  if (par_scheduler_ != nullptr) {
+    PauseParallel();  // pipeline barrier: workers drain everything
+    ResumeAfterSurgery();
+  } else if (det_scheduler_ != nullptr) {
+    det_scheduler_->RunUntilQuiescent();
+  }
+}
+
+void Engine::Finish() {
+  if (finished_) return;
+  if (running()) TearDownPlan();
+  finished_ = true;
+}
+
+// ----------------------------------------------------------------- results
+
+SubscriptionId Engine::Subscribe(QueryHandle handle,
+                                 ResultCallback callback) {
+  QueryRecord* rec = FindRecord(handle.token);
+  if (rec == nullptr || !rec->active) {
+    last_error_ = "unknown or inactive query handle";
+    return {};
+  }
+  if (callback == nullptr) {
+    last_error_ = "null callback";
+    return {};
+  }
+  SubscriptionRecord sub;
+  sub.token = next_token_++;
+  sub.query_token = handle.token;
+  sub.callback = std::move(callback);
+  const uint64_t token = sub.token;
+  subscriptions_.push_back(std::move(sub));
+  if (running()) {
+    QuiesceForSurgery();
+    WireSubscription(&subscriptions_.back());
+    ResumeAfterSurgery();
+  }
+  return {token};
+}
+
+bool Engine::Unsubscribe(SubscriptionId id) {
+  auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
+                         [&](const SubscriptionRecord& s) {
+                           return s.token == id.token;
+                         });
+  if (it == subscriptions_.end()) {
+    last_error_ = "unknown subscription";
+    return false;
+  }
+  if (it->sink != nullptr && running()) {
+    QuiesceForSurgery();
+    const QueryRecord* rec = FindRecord(it->query_token);
+    SLICE_CHECK(rec != nullptr);
+    std::vector<SinkEdge>& edges = built_.sink_edges[rec->query.id];
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].sink != it->sink) continue;
+      edges[e].producer->DetachOutput(edges[e].producer_port,
+                                      edges[e].queue);
+      built_.plan->RetireQueue(edges[e].queue);
+      built_.plan->RemoveOperatorWhileRunning(edges[e].sink);
+      edges.erase(edges.begin() + e);
+      break;
+    }
+    ResumeAfterSurgery();
+  }
+  subscriptions_.erase(it);
+  return true;
+}
+
+void Engine::WireSubscription(SubscriptionRecord* sub) {
+  const QueryRecord* rec = FindRecord(sub->query_token);
+  SLICE_CHECK(rec != nullptr && rec->active);
+  const int qid = rec->query.id;
+  SLICE_CHECK(!built_.sink_edges[qid].empty());
+  // Tap the same producer that feeds the query's counting sink (the gate,
+  // union, router branch, or slice — whichever terminates this query).
+  const SinkEdge proto = built_.sink_edges[qid].front();
+  auto* sink = built_.plan->InsertOperatorWhileRunning(
+      std::make_unique<CallbackSink>(
+          rec->query.name + ".cb" + std::to_string(sub->token),
+          sub->callback));
+  EventQueue* queue = built_.plan->ConnectWhileRunning(
+      proto.producer, proto.producer_port, sink, 0);
+  built_.sink_edges[qid].push_back(
+      SinkEdge{proto.producer, proto.producer_port, queue, sink});
+  sub->sink = sink;
+}
+
+uint64_t Engine::ResultCount(QueryHandle handle) {
+  const QueryRecord* rec = FindRecord(handle.token);
+  if (rec == nullptr) return 0;
+  uint64_t total = rec->delivered;
+  if (rec->active && running() &&
+      built_.sinks[rec->query.id] != nullptr) {
+    const bool was_parallel = par_scheduler_ != nullptr;
+    if (was_parallel) PauseParallel();  // quiescent, synchronized read
+    total += built_.sinks[rec->query.id]->result_count();
+    if (was_parallel) ResumeAfterSurgery();
+  }
+  return total;
+}
+
+std::map<std::string, int> Engine::CollectedResults(QueryHandle handle) {
+  const QueryRecord* rec = FindRecord(handle.token);
+  if (rec == nullptr) return {};
+  std::map<std::string, int> results = rec->collected;
+  if (rec->active && running() &&
+      built_.collectors[rec->query.id] != nullptr) {
+    const bool was_parallel = par_scheduler_ != nullptr;
+    if (was_parallel) PauseParallel();
+    MergeMultiset(built_.collectors[rec->query.id]->ResultMultiset(),
+                  &results);
+    if (was_parallel) ResumeAfterSurgery();
+  }
+  return results;
+}
+
+TimePoint Engine::ResultsFrom(QueryHandle handle) const {
+  const QueryRecord* rec = FindRecord(handle.token);
+  return rec != nullptr ? rec->results_from : 0;
+}
+
+bool Engine::IsActive(QueryHandle handle) const {
+  const QueryRecord* rec = FindRecord(handle.token);
+  return rec != nullptr && rec->active;
+}
+
+// ------------------------------------------------------------- maintenance
+
+int Engine::CompactChain() {
+  if (!running() || built_.slices.size() < 2 || !CanMigrateRemove()) {
+    return 0;
+  }
+  QuiesceForSurgery();
+  ChainMigrator migrator(&built_);
+  int merges = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t s = 0; s + 1 < built_.slices.size(); ++s) {
+      const BuiltSlice& left = built_.slices[s];
+      const BuiltSlice& right = built_.slices[s + 1];
+      // MergeSlices needs router-free operands, and the shared boundary
+      // must carry no registered query anymore.
+      if (left.result_producer != static_cast<Operator*>(left.join) ||
+          right.result_producer != static_cast<Operator*>(right.join)) {
+        continue;
+      }
+      if (!built_.chain.spec.queries_at_boundary[left.end_boundary]
+               .empty()) {
+        continue;
+      }
+      migrator.MergeSlices(static_cast<int>(s));
+      ++merges;
+      progress = true;
+      break;
+    }
+  }
+  if (merges > 0) {
+    ValidateBuiltChain(built_);
+    ++migrations_;
+  }
+  ResumeAfterSurgery();
+  return merges;
+}
+
+// ----------------------------------------------------------- introspection
+
+RunStats Engine::Snapshot() {
+  RunStats stats;
+  stats.mode = options_.mode;
+  stats.worker_threads = options_.mode == ExecutionMode::kParallel
+                             ? std::max(last_parallel_stages_, 1)
+                             : 1;
+  const bool was_parallel = par_scheduler_ != nullptr;
+  if (was_parallel) PauseParallel();  // consistent quiescent snapshot
+
+  stats.input_tuples = input_tuples_;
+  stats.events_processed = events_accum_;
+  if (det_scheduler_ != nullptr) {
+    stats.events_processed += det_scheduler_->total_processed();
+  }
+  for (const QueryRecord& r : records_) {
+    stats.results_delivered += r.delivered;
+    if (r.active && running() && built_.sinks[r.query.id] != nullptr) {
+      stats.results_delivered += built_.sinks[r.query.id]->result_count();
+    }
+  }
+  stats.virtual_end_time = watermark_;
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - created_)
+                           .count();
+  CostCounters cost = cost_accum_;
+  if (running()) AddCost(built_.plan->cost_counters(), &cost);
+  stats.cost = cost;
+  stats.memory_samples = memory_samples_;
+  if (running()) {
+    stats.memory_samples.push_back(MemorySample{
+        .time = watermark_,
+        .state_tuples = built_.plan->TotalStateSize(),
+        .queue_events = built_.plan->TotalQueueSize(),
+    });
+  }
+  stats.parallel_edge_events = parallel_edge_events_accum_;
+  stats.parallel_edge_high_water_mark = parallel_edge_hwm_;
+
+  if (was_parallel) ResumeAfterSurgery();
+  return stats;
+}
+
+std::vector<Engine::SliceInfo> Engine::ChainSlices() {
+  if (!running() || built_.slices.empty()) return {};
+  const bool was_parallel = par_scheduler_ != nullptr;
+  if (was_parallel) PauseParallel();
+  std::vector<SliceInfo> info;
+  for (const BuiltSlice& slice : built_.slices) {
+    info.push_back(SliceInfo{slice.join->range(), slice.join->StateSize()});
+  }
+  if (was_parallel) ResumeAfterSurgery();
+  return info;
+}
+
+std::string Engine::PlanDot() {
+  EnsureBuilt();
+  if (!running()) return "";
+  // Structure (operators/edges) is only mutated from this thread at
+  // surgery points, so rendering it does not race the workers.
+  return built_.plan->ToDot();
+}
+
+}  // namespace stateslice

@@ -1,0 +1,312 @@
+// Engine: the long-lived streaming facade over the stateslice library.
+//
+// The low-level layer (chain builders + shared-plan builders + Executor) is
+// batch-shaped: callers pre-materialize tuple vectors, wire sources and
+// sinks by hand, and drive ChainMigrator between feed steps. The paper's
+// setting, however, is a *continuously running* multi-query system where
+// subscriptions enter and leave while the shared sliced chain keeps serving
+// results (Section 5.3, Section 7). Engine packages that lifecycle:
+//
+//   Engine engine({.strategy = SharingStrategy::kStateSlice});
+//   QueryHandle q1 = engine.RegisterQuery(
+//       "SELECT A.* FROM A A, B B WHERE A.key = B.key WINDOW 10 s");
+//   engine.Subscribe(q1, [](const JoinResult& r) { ... });
+//   engine.Push(StreamId::kA, tuple);         // push-based ingestion
+//   QueryHandle q2 = engine.RegisterQuery(...);  // online, mid-stream
+//   engine.Push(StreamId::kB, tuple);
+//   engine.Finish();
+//   RunStats stats = engine.Snapshot();
+//
+// Online registration semantics (fresh start): a query registered while
+// the engine is running delivers exactly the join over tuples pushed at or
+// after its registration (Engine::ResultsFrom). On a selection-free
+// state-slice chain the engine routes registration through ChainMigrator —
+// the shared slice states keep serving the existing queries with zero
+// downtime, and a ResultTimeGate suppresses pairs that join
+// pre-registration state. For every other configuration (pull-up,
+// push-down, unshared, lineage mode, selections, count windows) the engine
+// falls back to a drain-rebuild path: the current plan is flushed (all
+// held results are delivered) and a fresh shared plan over the updated
+// query set takes over, so churn works for *every* sharing strategy. Each
+// rebuild resets operator state at a cutoff recorded in rebuild_cutoffs():
+// result pairs whose constituents straddle a rebuild cutoff are not
+// produced, so a query's cumulative delivery is exactly the windowed join
+// over its post-ResultsFrom suffix, segmented by the later cutoffs.
+//
+// Threading: the Engine itself is single-caller (one thread invokes its
+// methods). In ExecutionMode::kParallel it runs the multi-threaded pipeline
+// scheduler underneath; Push hands tuples to the workers, and surgery
+// points (register/unregister/subscribe/snapshot/drain) briefly pause the
+// pipeline (workers are joined, the plan is mutated in deterministic mode,
+// and a fresh pipeline resumes). Subscription callbacks fire on worker
+// threads in parallel mode.
+#ifndef STATESLICE_API_ENGINE_H_
+#define STATESLICE_API_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/query_handle.h"
+#include "src/api/subscription.h"
+#include "src/core/chain_builder.h"
+#include "src/core/cost_model.h"
+#include "src/core/migration.h"
+#include "src/core/shared_plan_builder.h"
+#include "src/operators/sliced_window_join.h"
+#include "src/query/query.h"
+#include "src/runtime/execution_mode.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/parallel_scheduler.h"
+#include "src/runtime/scheduler.h"
+
+namespace stateslice {
+
+// Multi-query sharing strategies the engine can serve a workload with
+// (the paper's Section 3 baselines plus its Section 4-6 contribution).
+enum class SharingStrategy {
+  kStateSlice,  // sliced chain (Sections 4-6); see ChainObjective
+  kPullUp,      // naive sharing with selection pull-up (Fig. 3)
+  kPushDown,    // stream partition with selection push-down (Fig. 4)
+  kUnshared,    // one join per query (no sharing baseline)
+};
+
+// Which chain the state-slice strategy builds (Section 5).
+enum class ChainObjective {
+  kMemOpt,  // one slice per distinct window — minimal state memory
+  kCpuOpt,  // Dijkstra-optimal merge pattern under the CPU cost model
+};
+
+// Stream identifier for push-based ingestion. Binary joins ingest A and B.
+using StreamId = StreamSide;
+
+// A long-lived multi-query streaming session.
+class Engine {
+ public:
+  struct Options {
+    SharingStrategy strategy = SharingStrategy::kStateSlice;
+    ChainObjective objective = ChainObjective::kMemOpt;
+    // State-slice only: lineage bitmask filtering (Section 6.1).
+    bool use_lineage = false;
+    // Keep per-query result multisets (CollectedResults); costs memory.
+    bool collect_results = false;
+    ExecutionMode mode = ExecutionMode::kDeterministic;
+    // kParallel: pipeline stages; 0 = hardware_concurrency() - 1.
+    int worker_threads = 0;
+    // kParallel: per-edge SPSC ring capacity, in events.
+    size_t parallel_edge_capacity = 1024;
+    JoinCondition condition = JoinCondition::EquiKey();
+    // CPU-Opt objective inputs (stream rates, S1, C_sys).
+    ChainCostParams cost_params;
+    // Virtual-time spacing of memory samples (deterministic mode).
+    Duration sample_interval = kTicksPerSecond;
+    // Deterministic mode: process each pushed tuple to quiescence (the
+    // executor's feed_batch=1 discipline). When false, Push only enqueues
+    // and the caller drives processing with Poll()/Drain().
+    bool auto_drain = true;
+  };
+
+  Engine();  // default options
+  explicit Engine(Options options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- query churn ------------------------------------------------------
+  // Registers a continuous query (id is assigned by the engine; an empty
+  // name gets a generated one). Returns an invalid handle and sets
+  // last_error() when the query is rejected (bad window, mixed window
+  // kinds, a selection the chosen strategy cannot serve, capacity).
+  // Registering on a running engine advances the session watermark one
+  // tick past the last arrival (see Push), which pins ResultsFrom exactly
+  // between the pre- and post-registration arrivals.
+  QueryHandle RegisterQuery(const ContinuousQuery& query);
+
+  // Parses `cql` with ParseQuery and registers the result. Parse errors
+  // surface through last_error().
+  QueryHandle RegisterQuery(std::string_view cql);
+
+  // Removes a query: its results stop, its totals stay readable. Returns
+  // false (with last_error) for unknown/inactive handles.
+  bool UnregisterQuery(QueryHandle handle);
+
+  // Message for the most recent rejected call.
+  const std::string& last_error() const { return last_error_; }
+
+  // --- ingestion --------------------------------------------------------
+  // Pushes one tuple into `stream`. Tuples must arrive in global
+  // non-decreasing timestamp order (the paper's Section 2 assumption;
+  // CHECK-enforced against watermark()). Note that churn operations
+  // advance the watermark one tick past the last arrival, so a tuple
+  // pushed after a registration must not tie with pre-registration
+  // arrivals. Tuples pushed while no query is registered are dropped
+  // (counted in dropped_tuples). Must not be called after Finish.
+  void Push(StreamId stream, Tuple tuple);
+
+  // Pushes a timestamp-ordered batch into `stream`.
+  void PushBatch(StreamId stream, const std::vector<Tuple>& tuples);
+
+  // Deterministic mode with auto_drain=false: processes up to `max_events`
+  // pending events and returns how many ran (< max_events implies
+  // quiescence). No-op (returns 0) in parallel mode, where the worker
+  // pipeline processes continuously.
+  uint64_t Poll(uint64_t max_events = 4096);
+
+  // Processes everything in flight. In parallel mode this is a pipeline
+  // barrier (workers drain and the pipeline restarts).
+  void Drain();
+
+  // Declares end of input: flushes end-of-stream punctuations, delivers
+  // all held results, and retires the plan. Terminal — no further Push or
+  // churn; counts and Snapshot stay readable.
+  void Finish();
+
+  // --- results ----------------------------------------------------------
+  // Attaches `callback` to the query's output path; fires once per
+  // delivered JoinResult, surviving migrations and plan rebuilds.
+  SubscriptionId Subscribe(QueryHandle handle, ResultCallback callback);
+  bool Unsubscribe(SubscriptionId id);
+
+  // Results delivered to the query so far (across all plan epochs). On a
+  // running parallel engine this briefly pauses the pipeline for a
+  // consistent read — prefer one Snapshot() over per-handle loops there.
+  uint64_t ResultCount(QueryHandle handle);
+
+  // Result multiset (JoinPairKey -> count) delivered to the query, across
+  // all plan epochs. Requires Options::collect_results. Same parallel-mode
+  // pause note as ResultCount.
+  std::map<std::string, int> CollectedResults(QueryHandle handle);
+
+  // The query observes tuples with timestamp >= this cutoff (set once, at
+  // registration): its cumulative delivered results are exactly the
+  // windowed join over that suffix, minus pairs split by a later rebuild
+  // cutoff (see rebuild_cutoffs). 0 for queries registered before the
+  // first push.
+  TimePoint ResultsFrom(QueryHandle handle) const;
+
+  bool IsActive(QueryHandle handle) const;
+
+  // --- maintenance ------------------------------------------------------
+  // State-slice chains only: merges adjacent slices whose shared boundary
+  // no longer carries a registered query (Section 5.3's compaction).
+  // Returns the number of merges performed (0 when not applicable).
+  int CompactChain();
+
+  // --- introspection ----------------------------------------------------
+  // Unified run metrics across all plan epochs: volumes, cost counters,
+  // memory samples, wall/virtual time. Briefly pauses the pipeline in
+  // parallel mode so the numbers are a consistent quiescent snapshot.
+  RunStats Snapshot();
+
+  // Live slice ranges and state sizes of the current chain (empty for
+  // non-chain strategies or an idle engine).
+  struct SliceInfo {
+    SliceRange range;
+    size_t state_tuples = 0;
+  };
+  std::vector<SliceInfo> ChainSlices();
+
+  // Graphviz DOT of the current shared plan (builds the plan if queries
+  // are registered but nothing was pushed yet; empty string when idle).
+  std::string PlanDot();
+
+  size_t active_queries() const;
+  TimePoint watermark() const { return watermark_; }
+  bool running() const { return built_.plan != nullptr; }
+  bool finished() const { return finished_; }
+  uint64_t input_tuples() const { return input_tuples_; }
+  uint64_t dropped_tuples() const { return dropped_tuples_; }
+  // Churn operations served in place by ChainMigrator — registrations,
+  // removals, and CompactChain passes — without a plan rebuild.
+  uint64_t migrations() const { return migrations_; }
+  // Drain-rebuild transitions; each entry of rebuild_cutoffs() is the
+  // cutoff timestamp of one rebuild (operator state reset at that point).
+  uint64_t rebuilds() const { return rebuilds_; }
+  const std::vector<TimePoint>& rebuild_cutoffs() const {
+    return rebuild_cutoffs_;
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  struct QueryRecord {
+    uint64_t token = 0;
+    ContinuousQuery query;  // id = dense id in the current plan epoch
+    TimePoint results_from = 0;
+    bool active = true;
+    uint64_t delivered = 0;                 // finalized plan epochs
+    std::map<std::string, int> collected;   // finalized plan epochs
+  };
+  struct SubscriptionRecord {
+    uint64_t token = 0;
+    uint64_t query_token = 0;
+    ResultCallback callback;
+    CallbackSink* sink = nullptr;  // current epoch's operator (if wired)
+  };
+
+  QueryRecord* FindRecord(uint64_t token);
+  const QueryRecord* FindRecord(uint64_t token) const;
+  bool ValidateNewQuery(const ContinuousQuery& query, std::string* error)
+      const;
+
+  // Builds the shared plan over the active queries and starts execution.
+  void BuildPlan();
+  void EnsureBuilt();
+  // Harvests sinks, folds metrics, flushes (FinishAll) and destroys the
+  // current plan. The engine is idle afterwards.
+  void TearDownPlan();
+  void HarvestSinks();
+  void FoldPlanCost();
+
+  void StartParallel();
+  void PauseParallel();
+  // Brings the plan to a quiescent, deterministic-mode state so plan
+  // surgery is legal; ResumeAfterSurgery restarts the pipeline if needed.
+  void QuiesceForSurgery();
+  void ResumeAfterSurgery();
+
+  bool CanMigrateAdd(const ContinuousQuery& query) const;
+  bool CanMigrateRemove() const;
+  // The cutoff new arrivals are guaranteed to be at or beyond.
+  TimePoint Cutoff() const { return watermark_ + 1; }
+
+  void WireSubscription(SubscriptionRecord* sub);
+  void SampleMemory();
+
+  Options options_;
+  std::string last_error_;
+  uint64_t next_token_ = 1;
+  std::vector<QueryRecord> records_;             // registration order
+  size_t active_count_ = 0;  // records_ with active=true (Push hot path)
+  std::vector<SubscriptionRecord> subscriptions_;
+
+  BuiltPlan built_;  // built_.plan == nullptr while idle
+  std::unique_ptr<RoundRobinScheduler> det_scheduler_;
+  std::unique_ptr<ParallelScheduler> par_scheduler_;
+  int last_parallel_stages_ = 0;
+
+  TimePoint watermark_ = 0;
+  TimePoint next_sample_ = 0;
+  bool finished_ = false;
+  uint64_t input_tuples_ = 0;
+  uint64_t dropped_tuples_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t rebuilds_ = 0;
+  std::vector<TimePoint> rebuild_cutoffs_;
+
+  // Metrics folded in from finished plan epochs / scheduler segments.
+  uint64_t events_accum_ = 0;
+  uint64_t parallel_edge_events_accum_ = 0;
+  size_t parallel_edge_hwm_ = 0;
+  CostCounters cost_accum_;
+  std::vector<MemorySample> memory_samples_;
+  std::chrono::steady_clock::time_point created_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_API_ENGINE_H_

@@ -1,0 +1,27 @@
+// Opaque handle to a continuous query registered with a stateslice::Engine.
+//
+// Handles are engine-scoped tokens, stable across online migrations and
+// plan rebuilds (unlike the dense plan-internal query ids, which the engine
+// remaps freely as queries come and go). A default-constructed handle is
+// invalid; Engine::RegisterQuery returns an invalid handle on rejected
+// input (see Engine::last_error).
+#ifndef STATESLICE_API_QUERY_HANDLE_H_
+#define STATESLICE_API_QUERY_HANDLE_H_
+
+#include <cstdint>
+
+namespace stateslice {
+
+// Identifies one registered query for the lifetime of its Engine.
+struct QueryHandle {
+  uint64_t token = 0;  // 0 = invalid
+
+  bool valid() const { return token != 0; }
+  explicit operator bool() const { return valid(); }
+
+  friend bool operator==(const QueryHandle&, const QueryHandle&) = default;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_API_QUERY_HANDLE_H_

@@ -8,12 +8,21 @@
 
 #include "src/common/check.h"
 #include "src/operators/router.h"
+#include "src/operators/selection.h"
 
 namespace stateslice {
 namespace {
 
 // Fresh operator names for migrated plan elements.
 int g_migration_serial = 0;
+
+// Index of `value` in `boundaries`, or -1.
+int BoundaryIndexOf(const std::vector<int64_t>& boundaries, int64_t value) {
+  for (size_t k = 0; k < boundaries.size(); ++k) {
+    if (boundaries[k] == value) return static_cast<int>(k);
+  }
+  return -1;
+}
 
 }  // namespace
 
@@ -30,6 +39,46 @@ ChainMigrator::ChainMigrator(BuiltPlan* built) : built_(built) {
 
 void ChainMigrator::CheckQuiescent() const {
   SLICE_CHECK_EQ(built_->plan->TotalQueueSize(), size_t{0});
+}
+
+int ChainMigrator::EnsureBoundaryIndex(int64_t value) {
+  ChainSpec& spec = built_->chain.spec;
+  const int existing = BoundaryIndexOf(spec.boundaries, value);
+  if (existing >= 0) return existing;
+  // Insert keeping the ascending order, then shift every stored index at
+  // or beyond the insertion point.
+  int p = 0;
+  while (p < static_cast<int>(spec.boundaries.size()) &&
+         spec.boundaries[p] < value) {
+    ++p;
+  }
+  spec.boundaries.insert(spec.boundaries.begin() + p, value);
+  spec.queries_at_boundary.insert(spec.queries_at_boundary.begin() + p,
+                                  std::vector<int>{});
+  for (int& k : spec.query_boundary) {
+    if (k >= p) ++k;
+  }
+  return p;
+}
+
+void ChainMigrator::SyncChainMetadata() {
+  // The live join ranges are authoritative; re-derive the boundary indices
+  // of every slice and the partition's slice ends from them.
+  for (BuiltSlice& slice : built_->slices) {
+    EnsureBoundaryIndex(slice.join->range().end);
+  }
+  const ChainSpec& spec = built_->chain.spec;
+  std::vector<int>& ends = built_->chain.partition.slice_end_boundaries;
+  ends.clear();
+  int prev_end = -1;
+  for (BuiltSlice& slice : built_->slices) {
+    slice.start_boundary = prev_end;
+    slice.end_boundary = BoundaryIndexOf(spec.boundaries,
+                                         slice.join->range().end);
+    SLICE_CHECK_GE(slice.end_boundary, 0);
+    ends.push_back(slice.end_boundary);
+    prev_end = slice.end_boundary;
+  }
 }
 
 int ChainMigrator::SplitSlice(int slice_index, Duration boundary) {
@@ -80,17 +129,27 @@ int ChainMigrator::SplitSlice(int slice_index, Duration boundary) {
     const int qid = edge.query_id;
     UnionMerge* merge = built_->merges[qid];
     if (merge == nullptr) {
-      // The query was direct-wired to the old slice; it now reads two
-      // producers and needs a union inserted in front of its sinks.
+      // The query read the old slice alone; it now reads two producers and
+      // needs a union inserted in front of its gate (when registered with
+      // fresh-start semantics) or its sinks.
       merge = plan->InsertOperatorWhileRunning(std::make_unique<UnionMerge>(
           built_->queries[qid].name + ".union.m" +
               std::to_string(g_migration_serial++),
           /*input_count=*/1));
-      for (SinkEdge& se : built_->sink_edges[qid]) {
-        plan->MoveQueueProducer(se.queue, se.producer, se.producer_port,
-                                merge, UnionMerge::kOutPort);
-        se.producer = merge;
-        se.producer_port = UnionMerge::kOutPort;
+      if (built_->result_gates[qid] != nullptr) {
+        // slice -> gate becomes union -> gate; the old slice edge's queue
+        // is exactly the gate's input.
+        SLICE_CHECK(edge.queue != nullptr);
+        plan->MoveQueueProducer(edge.queue, edge.producer,
+                                edge.producer_port, merge,
+                                UnionMerge::kOutPort);
+      } else {
+        for (SinkEdge& se : built_->sink_edges[qid]) {
+          plan->MoveQueueProducer(se.queue, se.producer, se.producer_port,
+                                  merge, UnionMerge::kOutPort);
+          se.producer = merge;
+          se.producer_port = UnionMerge::kOutPort;
+        }
       }
       // Re-route the old direct edge through port 0 of the new union.
       EventQueue* q0 = plan->ConnectWhileRunning(
@@ -129,6 +188,7 @@ int ChainMigrator::SplitSlice(int slice_index, Duration boundary) {
   left.next_queue = connector;
   built_->slices.insert(built_->slices.begin() + slice_index + 1,
                         right_slice);
+  SyncChainMetadata();
   return slice_index + 1;
 }
 
@@ -266,10 +326,12 @@ int ChainMigrator::MergeSlices(int slice_index) {
   merged_slice.full_port = all_port;
   built_->slices[slice_index] = merged_slice;
   built_->slices.erase(built_->slices.begin() + slice_index + 1);
+  SyncChainMetadata();
   return slice_index;
 }
 
-int ChainMigrator::AddQuery(WindowSpec window, const std::string& name) {
+int ChainMigrator::AddQuery(WindowSpec window, const std::string& name,
+                            TimePoint results_from) {
   CheckQuiescent();
   SLICE_CHECK(window.kind == WindowKind::kTime);
   SLICE_CHECK_LT(built_->queries.size(), static_cast<size_t>(kMaxQueries));
@@ -302,6 +364,15 @@ int ChainMigrator::AddQuery(WindowSpec window, const std::string& name) {
   built_->collectors.push_back(nullptr);
   built_->sink_edges.push_back({});
   built_->merges.push_back(nullptr);
+  built_->result_gates.push_back(nullptr);
+
+  // Register the query in the chain spec (its boundary exists after the
+  // split above).
+  ChainSpec& spec = built_->chain.spec;
+  const int bidx = BoundaryIndexOf(spec.boundaries, window.extent);
+  SLICE_CHECK_GE(bidx, 0);
+  spec.query_boundary.push_back(bidx);
+  spec.queries_at_boundary[bidx].push_back(qid);
 
   // Terminal sinks.
   auto* counting = plan->InsertOperatorWhileRunning(
@@ -319,9 +390,6 @@ int ChainMigrator::AddQuery(WindowSpec window, const std::string& name) {
   if (prefix_end == 0) {
     terminal = built_->slices[0].result_producer;
     terminal_port = built_->slices[0].full_port;
-    built_->result_edges.push_back(ResultEdge{qid, 0, terminal,
-                                              terminal_port, nullptr,
-                                              nullptr, 0});
   } else {
     auto* merge = plan->InsertOperatorWhileRunning(
         std::make_unique<UnionMerge>(name + ".union", prefix_end + 1));
@@ -336,6 +404,28 @@ int ChainMigrator::AddQuery(WindowSpec window, const std::string& name) {
     }
     terminal = merge;
     terminal_port = UnionMerge::kOutPort;
+  }
+  if (results_from > 0) {
+    // Fresh-start semantics: suppress results joining pre-registration
+    // state so the query delivers exactly the join over tuples with
+    // timestamp >= results_from.
+    auto* gate = plan->InsertOperatorWhileRunning(
+        std::make_unique<ResultTimeGate>(name + ".fresh", results_from));
+    built_->result_gates[qid] = gate;
+    EventQueue* gq =
+        plan->ConnectWhileRunning(terminal, terminal_port, gate, 0);
+    if (prefix_end == 0) {
+      // Record the slice -> gate edge so split/merge can re-route it.
+      built_->result_edges.push_back(ResultEdge{qid, 0, terminal,
+                                                terminal_port, gq, nullptr,
+                                                0});
+    }
+    terminal = gate;
+    terminal_port = ResultTimeGate::kOutPort;
+  } else if (prefix_end == 0) {
+    built_->result_edges.push_back(ResultEdge{qid, 0, terminal,
+                                              terminal_port, nullptr,
+                                              nullptr, 0});
   }
   EventQueue* cq =
       plan->ConnectWhileRunning(terminal, terminal_port, counting, 0);
@@ -357,7 +447,7 @@ void ChainMigrator::RemoveQuery(int query_id) {
   SLICE_CHECK(built_->sinks[query_id] != nullptr);  // not already removed
   QueryPlan* plan = built_->plan.get();
 
-  // Detach result edges feeding this query's union (if any).
+  // Detach result edges feeding this query's union or gate (if any).
   std::vector<ResultEdge> kept;
   for (const ResultEdge& e : built_->result_edges) {
     if (e.query_id != query_id) {
@@ -371,21 +461,94 @@ void ChainMigrator::RemoveQuery(int query_id) {
   }
   built_->result_edges = std::move(kept);
 
-  // Detach and remove the sinks (and the union, when present).
+  // Detach and remove the sinks (fed by the gate, the union, or a slice).
   for (const SinkEdge& se : built_->sink_edges[query_id]) {
     se.producer->DetachOutput(se.producer_port, se.queue);
     plan->RetireQueue(se.queue);
     plan->RemoveOperatorWhileRunning(se.sink);
   }
   built_->sink_edges[query_id].clear();
-  if (built_->merges[query_id] != nullptr) {
-    plan->RemoveOperatorWhileRunning(built_->merges[query_id]);
+  Operator* gate = built_->result_gates[query_id];
+  UnionMerge* merge = built_->merges[query_id];
+  if (gate != nullptr && merge != nullptr) {
+    // The union -> gate queue is recorded nowhere else; detach it here.
+    EventQueue* gq = gate->input(0);
+    SLICE_CHECK(gq != nullptr);
+    merge->DetachOutput(UnionMerge::kOutPort, gq);
+    plan->RetireQueue(gq);
+  }
+  if (gate != nullptr) {
+    plan->RemoveOperatorWhileRunning(gate);
+    built_->result_gates[query_id] = nullptr;
+  }
+  if (merge != nullptr) {
+    plan->RemoveOperatorWhileRunning(merge);
     built_->merges[query_id] = nullptr;
   }
   built_->sinks[query_id] = nullptr;
   built_->collectors[query_id] = nullptr;
+
+  // Deregister from the chain spec (the boundary itself stays; compact
+  // with MergeSlices as Section 5.3 suggests).
+  ChainSpec& spec = built_->chain.spec;
+  if (query_id < static_cast<int>(spec.query_boundary.size())) {
+    std::vector<int>& at = spec.queries_at_boundary[
+        spec.query_boundary[query_id]];
+    at.erase(std::remove(at.begin(), at.end(), query_id), at.end());
+  }
   // The query entry stays (ids are stable); slices keep running and can be
   // compacted with MergeSlices, as Section 5.3 suggests.
+}
+
+void ValidateBuiltChain(const BuiltPlan& built) {
+  const ChainSpec& spec = built.chain.spec;
+  const ChainPartition& partition = built.chain.partition;
+  SLICE_CHECK(!built.slices.empty());
+  SLICE_CHECK_EQ(partition.num_slices(),
+                 static_cast<int>(built.slices.size()));
+  for (size_t k = 1; k < spec.boundaries.size(); ++k) {
+    SLICE_CHECK_LT(spec.boundaries[k - 1], spec.boundaries[k]);
+  }
+  SLICE_CHECK_EQ(spec.queries_at_boundary.size(), spec.boundaries.size());
+
+  int64_t prev_end = 0;
+  int prev_end_index = -1;
+  for (size_t s = 0; s < built.slices.size(); ++s) {
+    const BuiltSlice& slice = built.slices[s];
+    const SliceRange r = slice.join->range();
+    // Slices tile [0, w_max) contiguously.
+    SLICE_CHECK_EQ(r.start, prev_end);
+    SLICE_CHECK_LT(r.start, r.end);
+    // Boundary indices agree with the live range.
+    SLICE_CHECK_EQ(slice.start_boundary, prev_end_index);
+    SLICE_CHECK_GE(slice.end_boundary, 0);
+    SLICE_CHECK_LT(slice.end_boundary,
+                   static_cast<int>(spec.boundaries.size()));
+    SLICE_CHECK_EQ(spec.boundaries[slice.end_boundary], r.end);
+    if (slice.start_boundary >= 0) {
+      SLICE_CHECK_EQ(spec.boundaries[slice.start_boundary], r.start);
+    }
+    // The partition mirrors the slice ends.
+    SLICE_CHECK_EQ(partition.slice_end_boundaries[s], slice.end_boundary);
+    prev_end = r.end;
+    prev_end_index = slice.end_boundary;
+  }
+
+  // Every live query is registered at the boundary its window names, and
+  // that boundary is covered by the chain.
+  SLICE_CHECK_EQ(spec.query_boundary.size(), built.queries.size());
+  for (size_t qid = 0; qid < built.queries.size(); ++qid) {
+    if (qid < built.sinks.size() && built.sinks[qid] == nullptr) {
+      continue;  // unregistered
+    }
+    const int k = spec.query_boundary[qid];
+    SLICE_CHECK_GE(k, 0);
+    SLICE_CHECK_LT(k, static_cast<int>(spec.boundaries.size()));
+    SLICE_CHECK_EQ(spec.boundaries[k], built.queries[qid].window.extent);
+    const std::vector<int>& at = spec.queries_at_boundary[k];
+    SLICE_CHECK(std::find(at.begin(), at.end(), static_cast<int>(qid)) !=
+                at.end());
+  }
 }
 
 }  // namespace stateslice

@@ -48,20 +48,40 @@ class ChainMigrator {
   // Registers a new selection-free query with window `window` while the
   // plan runs: splits a slice if `window` is not an existing slice end,
   // then wires a union over the covering slice prefix to fresh sinks.
-  // The query starts receiving results produced from now on. Returns the
-  // new query id.
-  int AddQuery(WindowSpec window, const std::string& name);
+  // The query starts receiving results produced from now on. When
+  // `results_from` > 0, a ResultTimeGate is inserted in front of the new
+  // query's sinks so it delivers exactly the join over tuples with
+  // timestamp >= results_from (fresh-start registration semantics; the
+  // shared slice states still serve the other queries unchanged). Returns
+  // the new query id.
+  int AddQuery(WindowSpec window, const std::string& name,
+               TimePoint results_from = 0);
 
-  // Unregisters query `query_id`: detaches its result edges and sinks.
-  // The slices it used remain (call MergeSlices to compact afterwards, as
-  // the paper suggests).
+  // Unregisters query `query_id`: detaches its result edges, gate, union
+  // and sinks. The slices it used remain (call MergeSlices to compact
+  // afterwards, as the paper suggests).
   void RemoveQuery(int query_id);
 
  private:
   void CheckQuiescent() const;
+  // Re-derives every BuiltSlice's boundary indices and the partition's
+  // slice ends from the live join ranges, inserting new boundary values
+  // into the chain spec as needed. Called after every chain mutation so
+  // BuiltPlan::chain and BuiltSlice indices never go stale.
+  void SyncChainMetadata();
+  // Index of `value` in chain.spec.boundaries, inserting it (and shifting
+  // existing query-boundary indices) if absent.
+  int EnsureBoundaryIndex(int64_t value);
 
   BuiltPlan* built_;
 };
+
+// Asserts (CHECK-fails on violation) that a state-slice BuiltPlan's chain
+// metadata is internally consistent — slices contiguous from 0, boundary
+// indices matching join->range(), partition matching the slices, and every
+// live query registered at the boundary its window names. Holds right after
+// BuildStateSlicePlan and after every ChainMigrator operation.
+void ValidateBuiltChain(const BuiltPlan& built);
 
 }  // namespace stateslice
 

@@ -47,6 +47,7 @@ BuiltPlan NewBuiltPlan(const std::vector<ContinuousQuery>& queries,
   built.collectors.assign(queries.size(), nullptr);
   built.sink_edges.assign(queries.size(), {});
   built.merges.assign(queries.size(), nullptr);
+  built.result_gates.assign(queries.size(), nullptr);
   return built;
 }
 

@@ -47,8 +47,10 @@ struct BuiltSlice {
   SlicedWindowJoin* join = nullptr;
   int start_boundary = -1;  // boundary index before this slice (-1 = 0);
   int end_boundary = 0;     // boundary index where this slice ends.
-                            // Stale after migrations; join->range() is
-                            // authoritative.
+                            // ChainMigrator keeps both indices (and the
+                            // owning BuiltPlan's chain spec/partition) in
+                            // sync with join->range() across migrations;
+                            // ValidateBuiltChain() asserts the invariant.
   // Queue from this slice's kNextPort toward the next chain element
   // (filter or slice); nullptr at the chain tail.
   EventQueue* next_queue = nullptr;
@@ -91,6 +93,10 @@ struct BuiltPlan {
   std::vector<BuiltSlice> slices;
   std::vector<UnionMerge*> merges;           // [query id]; null if direct
   std::vector<ResultEdge> result_edges;
+  // [query id] fresh-start ResultTimeGate in front of the query's sinks
+  // (queries registered on a running chain; see ChainMigrator::AddQuery).
+  // Null for queries wired at build time.
+  std::vector<Operator*> result_gates;
 
   // The queries the plan was built for (by value; migration updates it).
   std::vector<ContinuousQuery> queries;

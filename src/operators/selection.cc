@@ -141,4 +141,29 @@ void ResultGate::Finish() {
   Emit(kOutPort, Punctuation{.watermark = kMaxTime});
 }
 
+// ----------------------------------------------------------- ResultTimeGate
+
+ResultTimeGate::ResultTimeGate(std::string name, TimePoint cutoff)
+    : Operator(std::move(name)), cutoff_(cutoff) {}
+
+void ResultTimeGate::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    Emit(kOutPort, event);
+    return;
+  }
+  SLICE_CHECK(IsJoinResult(event));
+  const JoinResult& r = std::get<JoinResult>(event);
+  const TimePoint older =
+      r.a.timestamp < r.b.timestamp ? r.a.timestamp : r.b.timestamp;
+  Charge(CostCategory::kGate, 1);
+  if (older >= cutoff_) {
+    Emit(kOutPort, event);
+  }
+}
+
+void ResultTimeGate::Finish() {
+  Emit(kOutPort, Punctuation{.watermark = kMaxTime});
+}
+
 }  // namespace stateslice

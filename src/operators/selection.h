@@ -104,6 +104,28 @@ class ResultGate : public Operator {
   StreamSide target_side_;
 };
 
+// Passes JoinResults whose *older* constituent arrived at or after a cutoff
+// timestamp. A query registered on a running chain (Section 5.3) inherits
+// the shared slice states, so the chain also produces pairs joining new
+// arrivals with pre-registration state; gating on min(Ta, Tb) >= cutoff
+// gives the registration fresh-start semantics — the query observes exactly
+// the tuples pushed after it registered — independent of sharing strategy.
+// One kGate comparison per result; punctuations are forwarded.
+class ResultTimeGate : public Operator {
+ public:
+  static constexpr int kOutPort = 0;
+
+  ResultTimeGate(std::string name, TimePoint cutoff);
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  TimePoint cutoff() const { return cutoff_; }
+
+ private:
+  TimePoint cutoff_;
+};
+
 }  // namespace stateslice
 
 #endif  // STATESLICE_OPERATORS_SELECTION_H_

@@ -199,12 +199,18 @@ class Parser {
     } else if (unit == "min" || unit == "mins" || unit == "minute" ||
                unit == "minutes") {
       query->window = WindowSpec::TimeSeconds(magnitude * 60.0);
+    } else if (unit == "h" || unit == "hr" || unit == "hrs" ||
+               unit == "hour" || unit == "hours") {
+      query->window = WindowSpec::TimeSeconds(magnitude * 3600.0);
     } else if (unit == "rows" || unit == "tuples") {
       query->window = WindowSpec::Count(static_cast<int64_t>(magnitude));
     } else {
       return Fail("unknown window unit '" + unit + "'", error);
     }
     if (query->window.extent <= 0) {
+      // Covers literal zero/negative magnitudes and positive magnitudes
+      // that round to zero ticks/rows (e.g. "WINDOW 0.4 rows"). A malformed
+      // window is a user error, so it surfaces as ok=false, never a CHECK.
       return Fail("window must be positive", error);
     }
     return true;

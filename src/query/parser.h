@@ -14,6 +14,7 @@
 //   filter    := alias "." ident cmp number
 //   cmp       := ">" | "<" | ">=" | "<="
 //   unit      := "ms" | "s" | "sec" | "second(s)" | "min" | "minute(s)"
+//                | "h" | "hr(s)" | "hour(s)"
 //                | "rows" | "tuples"          (count-based windows)
 //
 // The first FROM entry is bound to stream A, the second to stream B.

@@ -5,9 +5,47 @@
 #include <sstream>
 
 #include "src/common/check.h"
+#include "src/common/timestamp.h"
 #include "src/common/tuple.h"
 
 namespace stateslice {
+namespace {
+
+// Rewrites a predicate description produced by the parser's combinators
+// ("(value > 0.5)", "((value > 0.1) AND (value < 0.9))") into mini-CQL
+// filter conjuncts ("A.Value > 0.5"). Returns false for predicates outside
+// that grammar (Range/Or/Not/Custom), which ToCql cannot express.
+bool AppendCqlConjuncts(const std::string& desc, const std::string& alias,
+                        std::vector<std::string>* out) {
+  if (desc == "true") return true;
+  if (desc.size() < 2 || desc.front() != '(' || desc.back() != ')') {
+    return false;
+  }
+  const std::string body = desc.substr(1, desc.size() - 2);
+  // Split a conjunction at the top nesting level.
+  int depth = 0;
+  for (size_t i = 0; i + 5 <= body.size(); ++i) {
+    if (body[i] == '(') ++depth;
+    if (body[i] == ')') --depth;
+    if (depth == 0 && body.compare(i, 5, " AND ") == 0) {
+      return AppendCqlConjuncts(body.substr(0, i), alias, out) &&
+             AppendCqlConjuncts(body.substr(i + 5), alias, out);
+    }
+  }
+  constexpr const char kGreater[] = "value > ";
+  constexpr const char kLess[] = "value < ";
+  if (body.rfind(kGreater, 0) == 0) {
+    out->push_back(alias + ".Value > " + body.substr(sizeof(kGreater) - 1));
+    return true;
+  }
+  if (body.rfind(kLess, 0) == 0) {
+    out->push_back(alias + ".Value < " + body.substr(sizeof(kLess) - 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 std::string ContinuousQuery::DebugString() const {
   std::ostringstream out;
@@ -24,6 +62,29 @@ std::string WindowSpec::DebugString() const {
     out << "[" << TicksToSeconds(extent) << "s]";
   } else {
     out << "[#" << extent << "]";
+  }
+  return out.str();
+}
+
+std::optional<std::string> ContinuousQuery::ToCql() const {
+  std::vector<std::string> conjuncts;
+  if (!AppendCqlConjuncts(selection_a.description(), "A", &conjuncts) ||
+      !AppendCqlConjuncts(selection_b.description(), "B", &conjuncts)) {
+    return std::nullopt;
+  }
+  if (window.extent <= 0) return std::nullopt;
+  std::ostringstream out;
+  out << "SELECT * FROM A A, B B WHERE A.key = B.key";
+  for (const std::string& c : conjuncts) out << " AND " << c;
+  out << " WINDOW ";
+  if (window.kind == WindowKind::kCount) {
+    out << window.extent << " rows";
+  } else if (window.extent % kTicksPerSecond == 0) {
+    out << window.extent / kTicksPerSecond << " s";
+  } else if (window.extent % (kTicksPerSecond / 1000) == 0) {
+    out << window.extent / (kTicksPerSecond / 1000) << " ms";
+  } else {
+    return std::nullopt;  // finer than the parser's millisecond unit
   }
   return out.str();
 }

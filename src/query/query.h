@@ -6,6 +6,7 @@
 #ifndef STATESLICE_QUERY_QUERY_H_
 #define STATESLICE_QUERY_QUERY_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,13 @@ struct ContinuousQuery {
   }
 
   std::string DebugString() const;
+
+  // Canonical mini-CQL text re-parseable by ParseQuery (round-trip:
+  // ParseQuery(*q.ToCql()) yields the same window and selections). Returns
+  // nullopt when the query is outside the parser's dialect — a selection
+  // that is not a conjunction of value comparisons, or a time window finer
+  // than the parser's millisecond unit.
+  std::optional<std::string> ToCql() const;
 };
 
 // Validates a workload: non-empty, dense ids 0..N-1, positive windows, all

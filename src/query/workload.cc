@@ -71,6 +71,20 @@ Workload GenerateWorkload(const WorkloadSpec& spec) {
   return workload;
 }
 
+std::vector<Tuple> MergedArrivals(const Workload& workload) {
+  std::vector<Tuple> merged;
+  merged.reserve(workload.stream_a.size() + workload.stream_b.size());
+  merged.insert(merged.end(), workload.stream_a.begin(),
+                workload.stream_a.end());
+  merged.insert(merged.end(), workload.stream_b.begin(),
+                workload.stream_b.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tuple& x, const Tuple& y) {
+                     return x.timestamp < y.timestamp;
+                   });
+  return merged;
+}
+
 std::vector<double> Section72Windows(WindowDistribution3 dist) {
   switch (dist) {
     case WindowDistribution3::kMostlySmall:

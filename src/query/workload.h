@@ -44,6 +44,10 @@ struct Workload {
 // condition (see JoinCondition).
 Workload GenerateWorkload(const WorkloadSpec& spec);
 
+// Both workload streams merged into one globally timestamp-ordered
+// arrival feed — what a long-lived Engine session ingests tuple by tuple.
+std::vector<Tuple> MergedArrivals(const Workload& workload);
+
 // Chooses (mod, band) with band/mod == s1 for reasonable rational s1; falls
 // back to a 1000-denominator approximation. Exposed for tests.
 JoinCondition ConditionForSelectivity(double s1);

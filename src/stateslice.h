@@ -4,24 +4,39 @@
 // Multi-query Optimization of Window-based Stream Queries" (VLDB 2006):
 // a deterministic stream-operator runtime, the sliced window join chain,
 // the Mem-Opt / CPU-Opt chain builders, the baseline sharing strategies,
-// the analytic cost model, and online chain migration.
+// the analytic cost model, and online chain migration — behind a
+// long-lived streaming Engine facade.
 //
-// Quick start:
+// The API has two layers:
 //
-//   #include "src/stateslice.h"
-//   using namespace stateslice;
+//  1. Engine facade (src/api) — the session API most callers want: a
+//     stateslice::Engine owns the shared plan, scheduler and metrics for
+//     its whole lifetime; queries register and unregister online (routed
+//     through ChainMigrator when the chain allows, drain-rebuild
+//     otherwise), tuples arrive by Push, and results leave through
+//     counting sinks or Subscribe callbacks.
 //
-//   std::vector<ContinuousQuery> queries = ...;        // or ParseQuery()
-//   ChainPlan chain = BuildMemOptChain(queries);
-//   BuildOptions opt{.condition = JoinCondition::EquiKey()};
-//   BuiltPlan built = BuildStateSlicePlan(queries, chain, opt);
+//       Engine engine({.strategy = SharingStrategy::kStateSlice});
+//       QueryHandle q = engine.RegisterQuery(
+//           "SELECT A.* FROM A A, B B WHERE A.key = B.key WINDOW 10 s");
+//       engine.Subscribe(q, [](const JoinResult& r) { /* deliver */ });
+//       engine.Push(StreamId::kA, tuple);   // ... keep pushing
+//       engine.Finish();
+//       RunStats stats = engine.Snapshot();
 //
-//   Workload w = GenerateWorkload({...});
-//   StreamSource a("A", w.stream_a), b("B", w.stream_b);
-//   Executor exec(built.plan.get(),
-//                 {{&a, built.entry}, {&b, built.entry}});
-//   for (auto* sink : built.sinks) exec.AddSink(sink);
-//   RunStats stats = exec.Run();
+//  2. Low-level builders (src/core, src/runtime) — the batch-shaped
+//     layer the Engine is made of, kept public for experiments that wire
+//     plans by hand: BuildMemOptChain/BuildCpuOptChain + the
+//     Build*Plan() strategy builders + StreamSource/Executor/sinks, and
+//     ChainMigrator for manual Section 5.3 surgery.
+//
+//       ChainPlan chain = BuildMemOptChain(queries);
+//       BuiltPlan built = BuildStateSlicePlan(queries, chain, {...});
+//       StreamSource a("A", w.stream_a), b("B", w.stream_b);
+//       Executor exec(built.plan.get(),
+//                     {{&a, built.entry}, {&b, built.entry}});
+//       for (auto* sink : built.sinks) exec.AddSink(sink);
+//       RunStats stats = exec.Run();
 #ifndef STATESLICE_STATESLICE_H_
 #define STATESLICE_STATESLICE_H_
 
@@ -38,6 +53,9 @@
 #error "stateslice requires C++20 or newer; compile with -std=c++20"
 #endif
 
+#include "src/api/engine.h"
+#include "src/api/query_handle.h"
+#include "src/api/subscription.h"
 #include "src/common/check.h"
 #include "src/common/cost_counters.h"
 #include "src/common/predicate.h"

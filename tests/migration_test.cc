@@ -79,6 +79,7 @@ TEST(MigrationTest, SplitPreservesAllQueryResults) {
         // Split the [2,6) slice at 4 s: chain becomes [0,2),[2,4),[4,6).
         migrator.SplitSlice(1, SecondsToTicks(4.0));
         ASSERT_EQ(plan->slices.size(), 3u);
+        ValidateBuiltChain(*plan);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -97,6 +98,7 @@ TEST(MigrationTest, SplitOfFirstSliceRewiresDirectQuery) {
         ChainMigrator migrator(plan);
         migrator.SplitSlice(0, SecondsToTicks(2.0));
         EXPECT_NE(plan->merges[0], nullptr);  // union inserted for Q1
+        ValidateBuiltChain(*plan);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -116,6 +118,7 @@ TEST(MigrationTest, MergePreservesAllQueryResults) {
         // out of the merged slice by |Ta-Tb| < 4 s.
         migrator.MergeSlices(1);
         ASSERT_EQ(plan->slices.size(), 2u);
+        ValidateBuiltChain(*plan);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -133,6 +136,7 @@ TEST(MigrationTest, MergeThenSplitRoundTrip) {
         ChainMigrator migrator(plan);
         migrator.MergeSlices(0);
         ASSERT_EQ(plan->slices.size(), 1u);
+        ValidateBuiltChain(*plan);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -153,6 +157,7 @@ TEST(MigrationTest, AddQueryReceivesResultsFromRegistrationOn) {
         ChainMigrator migrator(plan);
         new_id = migrator.AddQuery(WindowSpec::TimeSeconds(4.0), "Q3");
         registration_time = 0;  // set below from delivered results
+        ValidateBuiltChain(*plan);
       });
   ASSERT_EQ(new_id, 2);
   ASSERT_NE(built.collectors[new_id], nullptr);
@@ -193,6 +198,7 @@ TEST(MigrationTest, RemoveQueryStopsDeliveryOthersUnaffected) {
         ChainMigrator migrator(plan);
         migrator.RemoveQuery(1);
         EXPECT_EQ(plan->sinks[1], nullptr);
+        ValidateBuiltChain(*plan);
       });
   (void)removed_sink;  // destroyed by RemoveQuery; must not be dereferenced
   for (int qid : {0, 2}) {
@@ -200,6 +206,99 @@ TEST(MigrationTest, RemoveQueryStopsDeliveryOthersUnaffected) {
               OracleJoin(workload.stream_a, workload.stream_b,
                          workload.condition, queries[qid]))
         << queries[qid].DebugString();
+  }
+}
+
+TEST(MigrationTest, BoundaryMetadataStaysInSyncAcrossMigrations) {
+  // The BuiltSlice boundary indices and the chain spec/partition must
+  // track join->range() through every migration primitive (they used to
+  // go stale after SplitSlice/MergeSlices).
+  const auto queries = PlainQueries({2, 6});
+  BuildOptions options;
+  BuiltPlan built =
+      BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
+  ValidateBuiltChain(built);
+  ChainMigrator migrator(&built);
+
+  // Split [2,6) at 4 s: a brand-new boundary value enters the spec.
+  migrator.SplitSlice(1, SecondsToTicks(4.0));
+  ValidateBuiltChain(built);
+  ASSERT_EQ(built.chain.spec.boundaries.size(), 3u);
+  EXPECT_EQ(built.chain.spec.boundaries[1], SecondsToTicks(4.0));
+  EXPECT_EQ(built.slices[1].start_boundary, 0);
+  EXPECT_EQ(built.slices[1].end_boundary, 1);
+  EXPECT_EQ(built.slices[2].end_boundary, 2);
+  // Q2's boundary index shifted with the insertion.
+  EXPECT_EQ(built.chain.spec.query_boundary[1], 2);
+
+  // AddQuery at 3 s splits [2,4) and registers the query at the new
+  // boundary.
+  const int q3 = migrator.AddQuery(WindowSpec::TimeSeconds(3.0), "Q3");
+  ValidateBuiltChain(built);
+  ASSERT_EQ(built.chain.spec.boundaries.size(), 4u);
+  EXPECT_EQ(built.chain.spec.query_boundary[q3], 1);
+  EXPECT_EQ(built.chain.spec.queries_at_boundary[1],
+            std::vector<int>{q3});
+
+  // RemoveQuery deregisters it from the boundary (the boundary stays).
+  migrator.RemoveQuery(q3);
+  ValidateBuiltChain(built);
+  EXPECT_TRUE(built.chain.spec.queries_at_boundary[1].empty());
+
+  // Merging [2,3)+[3,4) keeps every index consistent.
+  migrator.MergeSlices(1);
+  ValidateBuiltChain(built);
+  ASSERT_EQ(built.slices.size(), 3u);
+  EXPECT_EQ(built.slices[1].join->range().end, SecondsToTicks(4.0));
+  EXPECT_EQ(built.chain.partition.slice_end_boundaries,
+            (std::vector<int>{0, 2, 3}));
+}
+
+TEST(MigrationTest, AddQueryWithResultsFromDeliversExactlySuffix) {
+  // Fresh-start registration: with a results_from cutoff, the new query
+  // delivers exactly the oracle join over tuples at or after the cutoff —
+  // no pairs against pre-registration slice state.
+  const auto queries = PlainQueries({2, 6});
+  const Workload workload = SmallWorkload(101);
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  const size_t head = testing::StrictIncreaseAt(merged, merged.size() / 2);
+  ASSERT_LT(head, merged.size());
+  const TimePoint cutoff = merged[head].timestamp;
+
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  BuiltPlan built =
+      BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
+  RoundRobinScheduler scheduler(built.plan.get());
+  size_t i = 0;
+  for (; i < head; ++i) {
+    built.entry->Push(merged[i]);
+    scheduler.RunUntilQuiescent();
+  }
+  ChainMigrator migrator(&built);
+  const int q3 =
+      migrator.AddQuery(WindowSpec::TimeSeconds(4.0), "Q3", cutoff);
+  ValidateBuiltChain(built);
+  for (; i < merged.size(); ++i) {
+    built.entry->Push(merged[i]);
+    scheduler.RunUntilQuiescent();
+  }
+  built.plan->FinishAll();
+  scheduler.RunUntilQuiescent();
+
+  ContinuousQuery suffix_query;
+  suffix_query.window = WindowSpec::TimeSeconds(4.0);
+  EXPECT_EQ(built.collectors[q3]->ResultMultiset(),
+            testing::SegmentedOracle(workload.stream_a, workload.stream_b,
+                                     workload.condition, suffix_query,
+                                     cutoff, {}));
+  // The old queries still deliver their full oracle.
+  for (const ContinuousQuery& q : queries) {
+    EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
+              OracleJoin(workload.stream_a, workload.stream_b,
+                         workload.condition, q))
+        << q.DebugString();
   }
 }
 

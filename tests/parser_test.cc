@@ -122,10 +122,67 @@ TEST(ParserTest, ErrorBadNumber) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(ParserTest, HourUnits) {
+  for (const char* unit : {"h", "hr", "hrs", "hour", "hours"}) {
+    const ParseResult r = ParseQuery(
+        std::string("SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 2 ") +
+        unit);
+    ASSERT_TRUE(r.ok) << unit << ": " << r.error;
+    EXPECT_EQ(r.query.window.extent, SecondsToTicks(2 * 3600)) << unit;
+  }
+}
+
 TEST(ParserTest, ErrorNonPositiveWindow) {
-  const ParseResult r = ParseQuery(
-      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 0 s");
-  EXPECT_FALSE(r.ok);
+  // Zero, negative, and rounds-to-zero windows all surface as ok=false
+  // with a message — never a CHECK abort.
+  for (const char* window : {"0 s", "-5 min", "0 rows", "-3 hours",
+                             "0.4 rows"}) {
+    const ParseResult r = ParseQuery(
+        std::string("SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW ") +
+        window);
+    EXPECT_FALSE(r.ok) << window;
+    EXPECT_NE(r.error.find("window must be positive"), std::string::npos)
+        << window << ": " << r.error;
+  }
+}
+
+TEST(ParserTest, ToCqlRoundTrip) {
+  // Parse -> ToCql -> parse reproduces window and selections exactly.
+  const char* texts[] = {
+      "SELECT A.* FROM Temperature A, Humidity B "
+      "WHERE A.LocationId = B.LocationId WINDOW 1 min",
+      "SELECT A.* FROM T A, H B WHERE A.loc = B.loc AND A.Value > 0.7 "
+      "WINDOW 60 min",
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k AND A.v > 0.25 "
+      "AND A.v < 0.75 AND B.w < 0.5 WINDOW 250 ms",
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 100 rows",
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 3 hours",
+  };
+  for (const char* text : texts) {
+    const ParseResult first = ParseQuery(text);
+    ASSERT_TRUE(first.ok) << text << ": " << first.error;
+    const std::optional<std::string> cql = first.query.ToCql();
+    ASSERT_TRUE(cql.has_value()) << text;
+    const ParseResult second = ParseQuery(*cql);
+    ASSERT_TRUE(second.ok) << *cql << ": " << second.error;
+    EXPECT_EQ(second.query.window, first.query.window) << *cql;
+    EXPECT_EQ(second.query.selection_a.description(),
+              first.query.selection_a.description())
+        << *cql;
+    EXPECT_EQ(second.query.selection_b.description(),
+              first.query.selection_b.description())
+        << *cql;
+  }
+}
+
+TEST(ParserTest, ToCqlRejectsNonDialectQueries) {
+  ContinuousQuery q;
+  q.window = WindowSpec::TimeSeconds(10);
+  q.selection_a = Predicate::Range(0.2, 0.8);  // not a parser conjunct
+  EXPECT_FALSE(q.ToCql().has_value());
+  q.selection_a = Predicate();
+  q.window.extent = 1;  // one tick: finer than the millisecond unit
+  EXPECT_FALSE(q.ToCql().has_value());
 }
 
 TEST(ParserTest, ErrorUnknownUnit) {

@@ -2,6 +2,7 @@
 #ifndef STATESLICE_TESTS_TEST_UTIL_H_
 #define STATESLICE_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -119,6 +120,49 @@ inline FuzzConfig DrawFuzzConfig(uint64_t seed) {
   config.workload_seed = rng.NextU64();
   config.use_lineage = rng.NextBounded(4) == 0;
   return config;
+}
+
+// First index k >= target where merged[k] strictly increases the arrival
+// timestamp — a clean churn point: everything before has timestamp
+// <= merged[k-1] and everything after has timestamp >= merged[k] >
+// merged[k-1], so an Engine cutoff (watermark + 1) splits the stream
+// exactly there. Returns merged.size() when no such index exists.
+inline size_t StrictIncreaseAt(const std::vector<Tuple>& merged,
+                               size_t target) {
+  for (size_t k = std::max<size_t>(target, 1); k < merged.size(); ++k) {
+    if (merged[k].timestamp > merged[k - 1].timestamp) return k;
+  }
+  return merged.size();
+}
+
+// Expected cumulative delivery of an Engine query: the oracle join
+// restricted to pairs whose constituents both arrive at or after
+// `results_from` (Engine::ResultsFrom) and do not straddle any rebuild
+// cutoff (Engine::rebuild_cutoffs — operator state resets there, so pairs
+// across a cutoff are never produced).
+inline std::map<std::string, int> SegmentedOracle(
+    const std::vector<Tuple>& stream_a, const std::vector<Tuple>& stream_b,
+    const JoinCondition& cond, const ContinuousQuery& q,
+    TimePoint results_from, const std::vector<TimePoint>& cutoffs) {
+  auto segment = [&cutoffs](TimePoint t) {
+    size_t s = 0;
+    for (const TimePoint c : cutoffs) {
+      if (t >= c) ++s;
+    }
+    return s;
+  };
+  std::map<std::string, int> expected;
+  for (const Tuple& a : stream_a) {
+    if (a.timestamp < results_from || !q.selection_a.Eval(a)) continue;
+    for (const Tuple& b : stream_b) {
+      if (b.timestamp < results_from || !q.selection_b.Eval(b)) continue;
+      if (!cond.Match(a, b)) continue;
+      if (std::llabs(a.timestamp - b.timestamp) >= q.window.extent) continue;
+      if (segment(a.timestamp) != segment(b.timestamp)) continue;
+      ++expected[JoinPairKey(JoinResult{a, b})];
+    }
+  }
+  return expected;
 }
 
 // Drains `queue` into a vector (test inspection).
