@@ -55,6 +55,7 @@ figure_benches=(
   bench_cost_model_validation
   bench_engine_churn
   bench_lineage_ablation
+  bench_multiway_scaling
   bench_parallel_scaling
 )
 

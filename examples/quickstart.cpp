@@ -51,9 +51,9 @@ int main() {
         ib >= sb.size() ||
         (ia < sa.size() && sa[ia].timestamp <= sb[ib].timestamp);
     if (take_a) {
-      engine.Push(StreamId::kA, sa[ia++]);
+      engine.Push(StreamSide::kA, sa[ia++]);
     } else {
-      engine.Push(StreamId::kB, sb[ib++]);
+      engine.Push(StreamSide::kB, sb[ib++]);
     }
   }
   engine.Finish();

@@ -54,6 +54,14 @@ const Engine::QueryRecord* Engine::FindRecord(uint64_t token) const {
 
 size_t Engine::active_queries() const { return active_count_; }
 
+void Engine::RecomputeMaxStreams() {
+  int n = 0;
+  for (const QueryRecord& r : records_) {
+    if (r.active) n = std::max(n, r.query.num_streams());
+  }
+  max_streams_ = n;
+}
+
 bool Engine::ValidateNewQuery(const ContinuousQuery& query,
                               std::string* error) const {
   if (finished_) {
@@ -65,8 +73,53 @@ bool Engine::ValidateNewQuery(const ContinuousQuery& query,
     return false;
   }
   if (active_queries() >= static_cast<size_t>(kMaxQueries)) {
+    // Lineage tracks one bit per query; the stream count of each query
+    // does not consume capacity.
     *error = "query capacity reached";
     return false;
+  }
+  const int n = query.num_streams();
+  if (n < 2) {
+    // A non-empty stream_names list must name every stream (a 1-entry
+    // list is a malformed spec, not a binary default).
+    *error = "a query needs at least two streams";
+    return false;
+  }
+  if (n > kMaxStreams) {
+    *error = "query exceeds the " + std::to_string(kMaxStreams) +
+             "-stream limit";
+    return false;
+  }
+  if (!query.join_anchors.empty()) {
+    if (static_cast<int>(query.join_anchors.size()) != n - 1) {
+      *error = "join_anchors must have one entry per stream after the first";
+      return false;
+    }
+    for (int k = 0; k < n - 1; ++k) {
+      if (query.join_anchors[k] < 0 || query.join_anchors[k] > k) {
+        *error = "join anchor must reference an earlier stream";
+        return false;
+      }
+    }
+  }
+  if (query.extra_selections.size() >
+      static_cast<size_t>(n > 2 ? n - 2 : 0)) {
+    *error = "more selections than streams beyond the binary pair";
+    return false;
+  }
+  if (n > 2) {
+    if (options_.strategy != SharingStrategy::kStateSlice) {
+      *error = "multi-way queries require the state-slice strategy";
+      return false;
+    }
+    if (options_.use_lineage) {
+      *error = "lineage mode is binary-only";
+      return false;
+    }
+    if (query.window.kind != WindowKind::kTime) {
+      *error = "multi-way queries require time-based windows";
+      return false;
+    }
   }
   for (const QueryRecord& r : records_) {
     if (!r.active) continue;
@@ -76,9 +129,25 @@ bool Engine::ValidateNewQuery(const ContinuousQuery& query,
     }
     break;
   }
+  // Join-tree-prefix compatibility: streams are positional, so the shared
+  // tree serves the new query iff its anchors agree with every active
+  // query on the common prefix.
+  for (const QueryRecord& r : records_) {
+    if (!r.active) continue;
+    const int shared = std::min(n, r.query.num_streams()) - 1;
+    for (int k = 0; k < shared; ++k) {
+      if (query.anchor(k) != r.query.anchor(k)) {
+        *error = "join-tree prefix is incompatible with registered queries";
+        return false;
+      }
+    }
+  }
   if ((options_.strategy == SharingStrategy::kStateSlice ||
        options_.strategy == SharingStrategy::kPushDown) &&
-      !query.selection_b.IsTrue()) {
+      n == 2 && !query.selection_b.IsTrue()) {
+    // Binary chains push σ down on stream 0 only. Multi-way terminals
+    // gate every stream's σ at their tree level instead, so the
+    // restriction applies to the binary (level-0) queries alone.
     *error = "B-side selections are unsupported by this sharing strategy";
     return false;
   }
@@ -123,6 +192,7 @@ QueryHandle Engine::RegisterQuery(const ContinuousQuery& query) {
     // the query observes arrivals from here on.
     records_.push_back(std::move(rec));
     ++active_count_;
+    RecomputeMaxStreams();
     watermark_ = std::max(watermark_, cutoff);
     return {token};
   }
@@ -149,6 +219,7 @@ QueryHandle Engine::RegisterQuery(const ContinuousQuery& query) {
     BuildPlan();
   }
   ++active_count_;
+  RecomputeMaxStreams();
   // Registration advances the session watermark to the cutoff: arrivals
   // after the registration cannot tie with arrivals before it, so both
   // churn paths deliver exactly the post-cutoff join to the newcomer.
@@ -209,6 +280,7 @@ bool Engine::UnregisterQuery(QueryHandle handle) {
     --active_count_;
     ResumeAfterSurgery();
   }
+  RecomputeMaxStreams();
   // The query's callback sinks died with its output path.
   subscriptions_.erase(
       std::remove_if(subscriptions_.begin(), subscriptions_.end(),
@@ -222,6 +294,12 @@ bool Engine::UnregisterQuery(QueryHandle handle) {
 bool Engine::CanMigrateAdd(const ContinuousQuery& query) const {
   if (options_.strategy != SharingStrategy::kStateSlice ||
       options_.use_lineage) {
+    return false;
+  }
+  // In-place migration is binary-chain-only: a multi-way newcomer, or any
+  // running multi-level tree, rebuilds (cutoff recorded in
+  // rebuild_cutoffs).
+  if (query.num_streams() > 2 || built_.num_levels != 1) {
     return false;
   }
   if (!query.Unfiltered() || query.window.kind != WindowKind::kTime) {
@@ -249,7 +327,8 @@ bool Engine::CanMigrateAdd(const ContinuousQuery& query) const {
 
 bool Engine::CanMigrateRemove() const {
   if (options_.strategy != SharingStrategy::kStateSlice ||
-      options_.use_lineage || built_.slices.empty()) {
+      options_.use_lineage || built_.slices.empty() ||
+      built_.num_levels != 1) {
     return false;
   }
   for (const QueryRecord& r : records_) {
@@ -277,11 +356,13 @@ void Engine::BuildPlan() {
                      options_.strategy == SharingStrategy::kStateSlice;
   switch (options_.strategy) {
     case SharingStrategy::kStateSlice: {
-      const ChainPlan chain =
+      // The tree builders yield a single-level tree for binary workloads,
+      // which BuildStateSlicePlan wires exactly as the historical chain.
+      const JoinTreePlan tree =
           options_.objective == ChainObjective::kMemOpt
-              ? BuildMemOptChain(queries)
-              : BuildCpuOptChain(queries, options_.cost_params);
-      built_ = BuildStateSlicePlan(queries, chain, bopt);
+              ? BuildMemOptTree(queries)
+              : BuildCpuOptTree(queries, options_.cost_params);
+      built_ = BuildStateSlicePlan(queries, tree, bopt);
       break;
     }
     case SharingStrategy::kPullUp:
@@ -408,10 +489,12 @@ void Engine::SampleMemory() {
 
 void Engine::Push(StreamId stream, Tuple tuple) {
   SLICE_CHECK(!finished_);
+  SLICE_CHECK_GE(stream, 0);
   tuple.side = stream;
   // The paper's Section 2 assumption: globally ordered arrivals.
   SLICE_CHECK_GE(tuple.timestamp, watermark_);
-  if (active_queries() == 0) {
+  if (active_queries() == 0 || stream >= max_streams_) {
+    // No query registered, or no active query reads this stream id.
     ++dropped_tuples_;
     watermark_ = tuple.timestamp;
     return;

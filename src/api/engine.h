@@ -11,11 +11,19 @@
 //   QueryHandle q1 = engine.RegisterQuery(
 //       "SELECT A.* FROM A A, B B WHERE A.key = B.key WINDOW 10 s");
 //   engine.Subscribe(q1, [](const JoinResult& r) { ... });
-//   engine.Push(StreamId::kA, tuple);         // push-based ingestion
+//   engine.Push(StreamSide::kA, tuple);       // push-based ingestion
 //   QueryHandle q2 = engine.RegisterQuery(...);  // online, mid-stream
-//   engine.Push(StreamId::kB, tuple);
+//   engine.Push(StreamSide::kB, tuple);
 //   engine.Finish();
 //   RunStats stats = engine.Snapshot();
+//
+// Multi-way queries (FROM S1, S2, S3, ...) are served by the kStateSlice
+// strategy as a left-deep tree of sliced chains shared across queries with
+// compatible join-tree prefixes (binary queries share the tree's level 0).
+// Registering or removing queries on a multi-level tree always takes the
+// drain-flush-rebuild path: in-place ChainMigrator migration is defined
+// for single binary chains only, and the rebuild's cutoff is recorded in
+// rebuild_cutoffs() exactly like any other rebuild.
 //
 // Online registration semantics (fresh start): a query registered while
 // the engine is running delivers exactly the join over tuples pushed at or
@@ -81,8 +89,11 @@ enum class ChainObjective {
   kCpuOpt,  // Dijkstra-optimal merge pattern under the CPU cost model
 };
 
-// Stream identifier for push-based ingestion. Binary joins ingest A and B.
-using StreamId = StreamSide;
+// Streams are identified by their 0-based FROM-list position (StreamId,
+// src/common/tuple.h): binary joins ingest streams 0 and 1 (the
+// StreamSide::kA / kB constants), an N-way workload ingests 0..N-1.
+// Tuples pushed into streams no active query reads are dropped (counted
+// in dropped_tuples).
 
 // A long-lived multi-query streaming session.
 class Engine {
@@ -144,8 +155,9 @@ class Engine {
   // CHECK-enforced against watermark()). Note that churn operations
   // advance the watermark one tick past the last arrival, so a tuple
   // pushed after a registration must not tie with pre-registration
-  // arrivals. Tuples pushed while no query is registered are dropped
-  // (counted in dropped_tuples). Must not be called after Finish.
+  // arrivals. Tuples pushed while no query is registered, or into a
+  // stream id no active query reads, are dropped (counted in
+  // dropped_tuples). Must not be called after Finish.
   void Push(StreamId stream, Tuple tuple);
 
   // Pushes a timestamp-ordered batch into `stream`.
@@ -252,6 +264,7 @@ class Engine {
   const QueryRecord* FindRecord(uint64_t token) const;
   bool ValidateNewQuery(const ContinuousQuery& query, std::string* error)
       const;
+  void RecomputeMaxStreams();
 
   // Builds the shared plan over the active queries and starts execution.
   void BuildPlan();
@@ -290,6 +303,7 @@ class Engine {
   int last_parallel_stages_ = 0;
 
   TimePoint watermark_ = 0;
+  int max_streams_ = 0;  // streams read by active queries (Push drop check)
   TimePoint next_sample_ = 0;
   bool finished_ = false;
   uint64_t input_tuples_ = 0;

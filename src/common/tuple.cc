@@ -1,12 +1,18 @@
 #include "src/common/tuple.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace stateslice {
 
 std::string Tuple::DebugId() const {
   std::ostringstream out;
-  out << (side == StreamSide::kA ? 'a' : 'b') << seq;
+  // Streams 0..25 print as 'a'..'z'; beyond that fall back to "s<N>_".
+  if (side >= 0 && side < 26) {
+    out << static_cast<char>('a' + side) << seq;
+  } else {
+    out << 's' << side << '_' << seq;
+  }
   return out.str();
 }
 
@@ -19,9 +25,53 @@ std::string Tuple::DebugString() const {
   return out.str();
 }
 
-std::string JoinResult::DebugString() const {
+TimePoint CompositeTuple::timestamp() const {
+  TimePoint max = a.timestamp > b.timestamp ? a.timestamp : b.timestamp;
+  for (const Tuple& t : tail) {
+    if (t.timestamp > max) max = t.timestamp;
+  }
+  return max;
+}
+
+uint64_t CompositeTuple::lineage() const {
+  uint64_t mask = a.lineage & b.lineage;
+  for (const Tuple& t : tail) mask &= t.lineage;
+  return mask;
+}
+
+CompositeTuple CompositeTuple::WithAppended(const Tuple& t) const {
+  CompositeTuple extended = *this;
+  extended.tail.push_back(t);
+  extended.role = TupleRole::kBoth;
+  return extended;
+}
+
+Duration CompositeTuple::LastGap() const {
+  const int n = size();
+  TimePoint prefix_max = kMinTime;
+  for (int i = 0; i < n - 1; ++i) {
+    if (part(i).timestamp > prefix_max) prefix_max = part(i).timestamp;
+  }
+  return std::llabs(prefix_max - part(n - 1).timestamp);
+}
+
+Duration CompositeTuple::MaxGap() const {
+  const int n = size();
+  TimePoint prefix_max = a.timestamp;
+  Duration max_gap = 0;
+  for (int i = 1; i < n; ++i) {
+    const Duration gap = std::llabs(prefix_max - part(i).timestamp);
+    if (gap > max_gap) max_gap = gap;
+    if (part(i).timestamp > prefix_max) prefix_max = part(i).timestamp;
+  }
+  return max_gap;
+}
+
+std::string CompositeTuple::DebugString() const {
   std::ostringstream out;
-  out << "(" << a.DebugId() << "," << b.DebugId() << ")@" << timestamp();
+  out << "(" << a.DebugId();
+  for (int i = 1; i < size(); ++i) out << "," << part(i).DebugId();
+  out << ")@" << timestamp();
   return out.str();
 }
 
@@ -39,7 +89,8 @@ bool SameTuple(const Tuple& x, const Tuple& y) {
 
 std::string JoinPairKey(const JoinResult& r) {
   std::ostringstream out;
-  out << r.a.DebugId() << "|" << r.b.DebugId();
+  out << r.a.DebugId();
+  for (int i = 1; i < r.size(); ++i) out << "|" << r.part(i).DebugId();
   return out.str();
 }
 

@@ -1,28 +1,52 @@
-// Stream tuples, joined results, punctuations, and the Event variant that
-// flows through operator queues.
+// Stream tuples, composite (joined) tuples, punctuations, and the Event
+// variant that flows through operator queues.
 //
 // Tuples are small value types: the runtime copies them freely. A tuple's
 // identity for testing/trace purposes is (stream_id, seq). The `lineage`
 // bitmask implements the tuple-lineage idea of Section 6.1 of the paper:
 // bit q is set iff the tuple satisfies the selection predicate of query q,
-// so downstream routing never re-evaluates predicates.
+// so downstream routing never re-evaluates predicates. Lineage is indexed
+// by *query*, never by stream: an N-way workload still consumes one bit per
+// registered query, so kMaxQueries bounds queries only — the stream count
+// is bounded separately by kMaxStreams.
 #ifndef STATESLICE_COMMON_TUPLE_H_
 #define STATESLICE_COMMON_TUPLE_H_
 
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "src/common/timestamp.h"
 
 namespace stateslice {
 
-// Identifies which input stream a tuple belongs to. A binary join has
-// streams A and B; the ids generalize to more streams for future use.
-enum class StreamSide : uint8_t { kA = 0, kB = 1 };
+// Identifies which input stream a tuple belongs to: the 0-based position of
+// the stream in a query's ordered FROM list. A binary join reads streams 0
+// and 1; an N-way join tree reads streams 0..N-1. A narrow integer: the id
+// lives in every Tuple, and keeping the tuple at 40 bytes matters to the
+// queue-bound parallel runtime.
+using StreamId = int16_t;
 
-// Returns the opposite side (A<->B).
-constexpr StreamSide Opposite(StreamSide side) {
+// Maximum number of streams a single query (and hence a shared join tree)
+// may read. This bounds the fan-out of the StreamDispatch operator that
+// routes raw arrivals to tree levels; ValidateQueries CHECKs it and the
+// parser rejects longer FROM lists with ok=false. Independent of
+// kMaxQueries (lineage is per-query, not per-stream).
+inline constexpr int kMaxStreams = 16;
+
+// Legacy named ids for the binary case. StreamSide used to be a scoped
+// enum when the whole system was binary-join-shaped; it survives as plain
+// StreamId constants so `StreamSide::kA` / `StreamSide::kB` keep reading
+// naturally at binary call sites. (Unscoped enum: converts to StreamId.)
+enum StreamSide : StreamId { kA = 0, kB = 1 };
+
+// Returns the opposite side of a *binary* stream pair (0 <-> 1). Only
+// meaningful inside one binary join level, where the two inputs are the
+// level's left (composite or stream k) and right (stream k+1) feeds; it
+// does not generalize to the N-stream id space, so tree-level code tracks
+// explicit left/right stream ids instead of calling this.
+constexpr StreamId Opposite(StreamId side) {
   return side == StreamSide::kA ? StreamSide::kB : StreamSide::kA;
 }
 
@@ -34,10 +58,15 @@ constexpr StreamSide Opposite(StreamSide side) {
 //    chain when purged.
 // Regular (non-sliced) operators ignore the role and treat every tuple as
 // kBoth (a single arrival performing purge+probe+insert, paper Fig. 1).
+// Composite tuples flowing through the higher levels of an N-way join tree
+// carry the same roles: a chain level treats an incoming composite exactly
+// like a raw left-stream tuple (the binary discipline is the degenerate
+// case where every constituent list has length one).
 enum class TupleRole : uint8_t { kBoth = 0, kMale = 1, kFemale = 2 };
 
 // Maximum number of queries whose predicate satisfaction can be tracked in
-// the lineage bitmask of a tuple.
+// the lineage bitmask of a tuple. One bit per *query* (regardless of how
+// many streams each query reads); enforced by ValidateQueries.
 inline constexpr int kMaxQueries = 64;
 
 // A single stream tuple.
@@ -46,36 +75,69 @@ struct Tuple {
   int64_t key = 0;           // equi-join attribute (e.g. LocationId)
   double value = 0.0;        // attribute referenced by selections (A.Value)
   uint32_t seq = 0;          // per-stream sequence number (identity/testing)
-  StreamSide side = StreamSide::kA;
+  StreamId side = StreamSide::kA;  // 0-based FROM-list position
   TupleRole role = TupleRole::kBoth;
   // Query-satisfaction bitmask (Section 6.1 lineage): bit q set iff this
   // tuple passes query q's selection on its stream. Sources set all bits;
   // chain-input filters narrow it. Tuples with lineage == 0 are dropped.
   uint64_t lineage = ~uint64_t{0};
 
-  // Human-readable id like "a3" / "b1" used by traces and test failures.
+  // Human-readable id like "a3" / "b1" / "c7" used by traces and test
+  // failures ('a' + stream id).
   std::string DebugId() const;
   std::string DebugString() const;
 };
 
-// The output of joining one tuple from A with one from B. Per the paper's
-// semantics (Section 2) the result timestamp is max(Ta, Tb).
-struct JoinResult {
+// A composite tuple: the output of joining 2..N constituent stream tuples,
+// ordered by FROM-list position. Per the paper's semantics (Section 2) the
+// composite timestamp is the max over constituents and the lineage is the
+// AND over constituents (queries that accept every part). The binary join
+// result is the degenerate two-constituent case, aliased as JoinResult:
+// `a` and `b` are the first two constituents and `tail` holds any further
+// streams an N-way tree appended.
+struct CompositeTuple {
   Tuple a;
   Tuple b;
+  std::vector<Tuple> tail{};  // constituents of streams 2..N-1 (FROM order)
+  // Chain-propagation role for composites flowing through a sliced chain
+  // at tree levels >= 1 (same discipline as Tuple::role). Final results
+  // keep the default.
+  TupleRole role = TupleRole::kBoth;
 
-  TimePoint timestamp() const {
-    return a.timestamp > b.timestamp ? a.timestamp : b.timestamp;
+  int size() const { return 2 + static_cast<int>(tail.size()); }
+  const Tuple& part(int i) const {
+    return i == 0 ? a : (i == 1 ? b : tail[static_cast<size_t>(i) - 2]);
   }
-  // Lineage of a joined tuple: queries that accept both constituents.
-  uint64_t lineage() const { return a.lineage & b.lineage; }
+  // The latest constituent arrival: the composite's event time.
+  TimePoint timestamp() const;
+  // Queries that accept every constituent.
+  uint64_t lineage() const;
+
+  // Returns a copy with `t` appended as the next constituent (the next
+  // tree level's output), role reset to kBoth.
+  CompositeTuple WithAppended(const Tuple& t) const;
+
+  // |max(t_0..t_{n-2}) - t_{n-1}|: the timestamp gap introduced by the
+  // *last* join level. For a binary result this is |Ta - Tb| — the routing
+  // distance of the paper's Fig. 3 / Fig. 13 routers.
+  Duration LastGap() const;
+  // Max over k >= 1 of |max(t_0..t_{k-1}) - t_k|: the largest gap any
+  // level introduced. A composite satisfies a query window w iff
+  // MaxGap() < w (the left-deep prefix window semantics; see
+  // src/operators/multiway.h).
+  Duration MaxGap() const;
+
   std::string DebugString() const;
 };
+
+// The binary spelling: a CompositeTuple with (usually) two constituents.
+using JoinResult = CompositeTuple;
 
 // A punctuation [26] asserting that no event with timestamp < `watermark`
 // will follow on this queue. The union operator uses punctuations emitted by
 // the last slice's male tuples to perform its order-preserving merge
-// (paper Section 4.3).
+// (paper Section 4.3); in an N-way tree the same punctuations also gate the
+// per-level input merges, cascading across levels.
 struct Punctuation {
   TimePoint watermark = kMinTime;
 };
@@ -98,8 +160,9 @@ inline bool IsPunctuation(const Event& e) {
 // Equality on tuple identity (stream, seq) — used by equivalence tests.
 bool SameTuple(const Tuple& x, const Tuple& y);
 
-// Canonical string key "a3|b7" identifying a join pair regardless of the
-// processing order; equivalence tests compare result multisets with it.
+// Canonical string key "a3|b7" (binary) or "a3|b7|c2|..." (N-way)
+// identifying a join result regardless of the processing order;
+// equivalence tests compare result multisets with it.
 std::string JoinPairKey(const JoinResult& r);
 
 }  // namespace stateslice

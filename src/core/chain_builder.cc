@@ -1,10 +1,12 @@
 #include "src/core/chain_builder.h"
 
+#include "src/common/check.h"
 #include "src/core/cpu_opt.h"
 
 namespace stateslice {
 
 ChainPlan BuildMemOptChain(const std::vector<ContinuousQuery>& queries) {
+  SLICE_CHECK_EQ(MaxStreams(queries), 2);
   ChainPlan plan;
   plan.spec = BuildChainSpec(queries);
   plan.partition = MemOptPartition(plan.spec);
@@ -13,12 +15,42 @@ ChainPlan BuildMemOptChain(const std::vector<ContinuousQuery>& queries) {
 
 ChainPlan BuildCpuOptChain(const std::vector<ContinuousQuery>& queries,
                            const ChainCostParams& params) {
+  SLICE_CHECK_EQ(MaxStreams(queries), 2);
   ChainPlan plan;
   plan.spec = BuildChainSpec(queries);
   const ChainCostModel model(queries, plan.spec, params);
   plan.partition = BuildCpuOptPartition(model);
   ValidatePartition(plan.spec, plan.partition);
   return plan;
+}
+
+JoinTreePlan BuildMemOptTree(const std::vector<ContinuousQuery>& queries) {
+  JoinTreePlan tree;
+  for (const TreeLevelQueries& level : TreeLevels(queries)) {
+    ChainPlan plan;
+    plan.spec = BuildChainSpec(level.local);
+    plan.partition = MemOptPartition(plan.spec);
+    tree.levels.push_back(std::move(plan));
+  }
+  return tree;
+}
+
+JoinTreePlan BuildCpuOptTree(const std::vector<ContinuousQuery>& queries,
+                             const ChainCostParams& params) {
+  JoinTreePlan tree;
+  const std::vector<TreeLevelQueries> levels = TreeLevels(queries);
+  const std::vector<ChainCostParams> level_params =
+      TreeLevelCostParams(levels, params);
+  SLICE_CHECK_EQ(levels.size(), level_params.size());
+  for (size_t l = 0; l < levels.size(); ++l) {
+    ChainPlan plan;
+    plan.spec = BuildChainSpec(levels[l].local);
+    const ChainCostModel model(levels[l].local, plan.spec, level_params[l]);
+    plan.partition = BuildCpuOptPartition(model);
+    ValidatePartition(plan.spec, plan.partition);
+    tree.levels.push_back(std::move(plan));
+  }
+  return tree;
 }
 
 }  // namespace stateslice

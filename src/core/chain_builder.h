@@ -1,6 +1,7 @@
 // Chain builders: Mem-Opt (Section 5.1) and CPU-Opt (Section 5.2) slicing
 // decisions for a query workload, as partition specs consumed by the shared
-// plan builder.
+// plan builder — plus their N-way generalizations, which resolve one chain
+// per level of the left-deep shared join tree.
 #ifndef STATESLICE_CORE_CHAIN_BUILDER_H_
 #define STATESLICE_CORE_CHAIN_BUILDER_H_
 
@@ -12,19 +13,26 @@
 
 namespace stateslice {
 
-// A fully-resolved chain plan: the boundary structure plus the partition.
-struct ChainPlan {
-  ChainSpec spec;
-  ChainPartition partition;
-};
-
 // One slice per distinct window — provably minimal state memory
-// (Theorems 3 and 4).
+// (Theorems 3 and 4). Binary workloads only (the N = 1-level case).
 ChainPlan BuildMemOptChain(const std::vector<ContinuousQuery>& queries);
 
 // Dijkstra-optimal merge pattern under the generalized CPU cost model.
+// Binary workloads only.
 ChainPlan BuildCpuOptChain(const std::vector<ContinuousQuery>& queries,
                            const ChainCostParams& params);
+
+// Mem-Opt tree: one slice per distinct window at every level. For a
+// binary workload this is exactly {BuildMemOptChain(queries)}.
+JoinTreePlan BuildMemOptTree(const std::vector<ContinuousQuery>& queries);
+
+// CPU-Opt tree: each level's merge pattern is Dijkstra-optimized under
+// the cost model with that level's estimated input rates (the left input
+// of level k is the composite output of level k-1; see
+// TreeLevelCostParams). For a binary workload this is exactly
+// {BuildCpuOptChain(queries, params)}.
+JoinTreePlan BuildCpuOptTree(const std::vector<ContinuousQuery>& queries,
+                             const ChainCostParams& params);
 
 }  // namespace stateslice
 

@@ -75,6 +75,40 @@ ChainPartition MemOptPartition(const ChainSpec& spec) {
   return partition;
 }
 
+std::vector<TreeLevelQueries> TreeLevels(
+    const std::vector<ContinuousQuery>& queries) {
+  ValidateQueries(queries);
+  std::vector<TreeLevelQueries> levels(
+      static_cast<size_t>(MaxStreams(queries)) - 1);
+  for (size_t l = 0; l < levels.size(); ++l) {
+    TreeLevelQueries& level = levels[l];
+    const int terminal_streams = static_cast<int>(l) + 2;
+    int64_t pass_window = 0;
+    for (const ContinuousQuery& q : queries) {
+      if (q.num_streams() == terminal_streams) {
+        ContinuousQuery local = q;
+        local.id = static_cast<int>(level.local.size());
+        level.local.push_back(std::move(local));
+        level.global_ids.push_back(q.id);
+      } else if (q.num_streams() > terminal_streams) {
+        pass_window = std::max(pass_window, q.window.extent);
+      }
+    }
+    if (pass_window > 0) {
+      ContinuousQuery pass;
+      pass.id = static_cast<int>(level.local.size());
+      pass.name = "l" + std::to_string(l) + ".pass";
+      pass.window = WindowSpec{queries[0].window.kind, pass_window};
+      level.pseudo = pass.id;
+      level.pass_window = pass_window;
+      level.local.push_back(std::move(pass));
+      level.global_ids.push_back(-1);
+    }
+    SLICE_CHECK(!level.local.empty());
+  }
+  return levels;
+}
+
 void ValidatePartition(const ChainSpec& spec,
                        const ChainPartition& partition) {
   SLICE_CHECK(!partition.slice_end_boundaries.empty());

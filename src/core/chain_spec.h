@@ -64,6 +64,42 @@ ChainPartition MemOptPartition(const ChainSpec& spec);
 // Validates that `partition` is a legal path v_0 -> v_m for `spec`.
 void ValidatePartition(const ChainSpec& spec, const ChainPartition& partition);
 
+// A fully-resolved chain plan: the boundary structure plus the partition.
+struct ChainPlan {
+  ChainSpec spec;
+  ChainPartition partition;
+};
+
+// A fully-resolved N-way join tree: one sliced chain per level of the
+// left-deep tree (level k joins the composite results of level k-1 with
+// stream k+1). A binary workload has exactly one level — the plain chain.
+struct JoinTreePlan {
+  std::vector<ChainPlan> levels;
+
+  int num_levels() const { return static_cast<int>(levels.size()); }
+};
+
+// The per-level local query set the shared tree builders work with.
+// Level l's chain is shared by the *terminal* queries (exactly l+2
+// streams, which read their final results at this level) and — when
+// deeper levels exist — a synthetic unfiltered "pass-through" query whose
+// window is the largest window among deeper queries: its result edges
+// carry the composite stream into level l+1. Local ids are dense per
+// level; `global_ids` maps them back to workload ids (-1 for the
+// pass-through).
+struct TreeLevelQueries {
+  std::vector<ContinuousQuery> local;  // dense local ids; pseudo last
+  std::vector<int> global_ids;         // local id -> workload id; -1 pseudo
+  int pseudo = -1;                     // local id of the pass-through, -1
+  int64_t pass_window = 0;             // its window extent (0 when absent)
+};
+
+// Splits a validated workload into per-level local query sets (one entry
+// per tree level; a binary workload yields one level that is the workload
+// itself). Queries must pass ValidateQueries.
+std::vector<TreeLevelQueries> TreeLevels(
+    const std::vector<ContinuousQuery>& queries);
+
 }  // namespace stateslice
 
 #endif  // STATESLICE_CORE_CHAIN_SPEC_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/common/timestamp.h"
 
 namespace stateslice {
 
@@ -160,6 +161,53 @@ double ChainCostModel::PartitionMemoryKb(const ChainPartition& p) const {
   for (int end : p.slice_end_boundaries) {
     total += EdgeMemoryKb(start, end);
     start = end;
+  }
+  return total;
+}
+
+// ----------------------------------------------------- join-tree costs
+
+std::vector<ChainCostParams> TreeLevelCostParams(
+    const std::vector<ContinuousQuery>& queries,
+    const ChainCostParams& params) {
+  return TreeLevelCostParams(TreeLevels(queries), params);
+}
+
+std::vector<ChainCostParams> TreeLevelCostParams(
+    const std::vector<TreeLevelQueries>& levels,
+    const ChainCostParams& params) {
+  std::vector<ChainCostParams> out;
+  out.reserve(levels.size());
+  double lambda_left = params.lambda_a;
+  for (size_t l = 0; l < levels.size(); ++l) {
+    ChainCostParams level_params = params;
+    level_params.lambda_a = lambda_left;
+    out.push_back(level_params);
+    // Composite output rate carried into the next level: the windowed-join
+    // output-rate model 2 * lambda_L * lambda_R * S1 * W over the level's
+    // pass-through window (the widest composite the next level consumes).
+    const double pass_seconds =
+        static_cast<double>(levels[l].pass_window) / kTicksPerSecond;
+    lambda_left =
+        2.0 * lambda_left * params.lambda_b * params.s1 * pass_seconds;
+  }
+  return out;
+}
+
+TreeCostEstimate TreeCost(const std::vector<ContinuousQuery>& queries,
+                          const JoinTreePlan& tree,
+                          const ChainCostParams& params) {
+  const std::vector<TreeLevelQueries> levels = TreeLevels(queries);
+  const std::vector<ChainCostParams> level_params =
+      TreeLevelCostParams(levels, params);
+  SLICE_CHECK_EQ(tree.levels.size(), levels.size());
+  TreeCostEstimate total;
+  for (size_t l = 0; l < levels.size(); ++l) {
+    const ChainCostModel model(levels[l].local, tree.levels[l].spec,
+                               level_params[l]);
+    total.cpu_per_sec +=
+        model.PartitionCpuCost(tree.levels[l].partition);
+    total.memory_kb += model.PartitionMemoryKb(tree.levels[l].partition);
   }
   return total;
 }

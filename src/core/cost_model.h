@@ -111,6 +111,37 @@ class ChainCostModel {
   std::vector<double> disjunction_selectivity_;
 };
 
+// ---------------------------------------------------------------------
+// N-way join-tree costs (one sliced chain per level; see chain_spec.h).
+// ---------------------------------------------------------------------
+
+// Per-level cost-model parameters for the left-deep tree over `queries`:
+// entry l describes level l's inputs. Level 0 sees the raw stream rates;
+// at level l >= 1 the left input is the composite output of level l-1,
+// whose rate is estimated with the paper's windowed-join output-rate model
+// (2 * lambda_left * lambda_right * S1 * W_pass seconds within the
+// pass-through window). The right input keeps the raw per-stream rate
+// (params.lambda_b). One entry per level; binary workloads get exactly
+// {params}.
+std::vector<ChainCostParams> TreeLevelCostParams(
+    const std::vector<ContinuousQuery>& queries,
+    const ChainCostParams& params);
+// Overload for callers that already computed TreeLevels(queries) — avoids
+// re-validating and re-copying the per-level query sets.
+std::vector<ChainCostParams> TreeLevelCostParams(
+    const std::vector<TreeLevelQueries>& levels,
+    const ChainCostParams& params);
+
+// Total predicted cost of a join-tree plan: the per-level partition costs
+// (each under its TreeLevelCostParams entry) summed across levels.
+struct TreeCostEstimate {
+  double cpu_per_sec = 0.0;
+  double memory_kb = 0.0;
+};
+TreeCostEstimate TreeCost(const std::vector<ContinuousQuery>& queries,
+                          const JoinTreePlan& tree,
+                          const ChainCostParams& params);
+
 }  // namespace stateslice
 
 #endif  // STATESLICE_CORE_COST_MODEL_H_

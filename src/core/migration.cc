@@ -28,6 +28,10 @@ int BoundaryIndexOf(const std::vector<int64_t>& boundaries, int64_t value) {
 
 ChainMigrator::ChainMigrator(BuiltPlan* built) : built_(built) {
   SLICE_CHECK(built != nullptr);
+  // In-place migration is defined on a single binary chain; multi-level
+  // join trees take the Engine's drain-rebuild path instead (the rebuild
+  // cutoff is recorded in Engine::rebuild_cutoffs).
+  SLICE_CHECK_EQ(built->num_levels, 1);
   SLICE_CHECK(!built->slices.empty());
   for (const ContinuousQuery& q : built->queries) {
     // Section 5.3 presents migration for plain chains; selections would
@@ -62,6 +66,8 @@ int ChainMigrator::EnsureBoundaryIndex(int64_t value) {
 }
 
 void ChainMigrator::SyncChainMetadata() {
+  // Single-level plans keep slice_level parallel to slices (all level 0).
+  built_->slice_level.assign(built_->slices.size(), 0);
   // The live join ranges are authoritative; re-derive the boundary indices
   // of every slice and the partition's slice ends from them.
   for (BuiltSlice& slice : built_->slices) {
@@ -501,6 +507,7 @@ void ChainMigrator::RemoveQuery(int query_id) {
 }
 
 void ValidateBuiltChain(const BuiltPlan& built) {
+  SLICE_CHECK_EQ(built.num_levels, 1);  // invariants below are chain-shaped
   const ChainSpec& spec = built.chain.spec;
   const ChainPartition& partition = built.chain.partition;
   SLICE_CHECK(!built.slices.empty());

@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/core/selection_pushdown.h"
+#include "src/operators/multiway.h"
 #include "src/operators/router.h"
 #include "src/operators/selection.h"
 #include "src/operators/sliding_window_join.h"
@@ -58,6 +59,7 @@ BuiltPlan NewBuiltPlan(const std::vector<ContinuousQuery>& queries,
 BuiltPlan BuildUnsharedPlans(const std::vector<ContinuousQuery>& queries,
                              const BuildOptions& options) {
   ValidateQueries(queries);
+  SLICE_CHECK_EQ(MaxStreams(queries), 2);
   BuiltPlan built = NewBuiltPlan(queries, options);
   QueryPlan* plan = built.plan.get();
 
@@ -98,6 +100,7 @@ BuiltPlan BuildUnsharedPlans(const std::vector<ContinuousQuery>& queries,
 BuiltPlan BuildPullUpPlan(const std::vector<ContinuousQuery>& queries,
                           const BuildOptions& options) {
   ValidateQueries(queries);
+  SLICE_CHECK_EQ(MaxStreams(queries), 2);
   BuiltPlan built = NewBuiltPlan(queries, options);
   QueryPlan* plan = built.plan.get();
   const ChainSpec spec = BuildChainSpec(queries);
@@ -167,6 +170,7 @@ BuiltPlan BuildPullUpPlan(const std::vector<ContinuousQuery>& queries,
 BuiltPlan BuildPushDownPlan(const std::vector<ContinuousQuery>& queries,
                             const BuildOptions& options) {
   ValidateQueries(queries);
+  SLICE_CHECK_EQ(MaxStreams(queries), 2);
   BuiltPlan built = NewBuiltPlan(queries, options);
   QueryPlan* plan = built.plan.get();
 
@@ -343,66 +347,108 @@ BuiltPlan BuildPushDownPlan(const std::vector<ContinuousQuery>& queries,
 
 // ------------------------------------------------------------- state-slice
 
-BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
-                              const ChainPlan& chain,
-                              const BuildOptions& options) {
-  ValidateQueries(queries);
+namespace {
+
+// Wiring handed back by one chain level: the producer/port of the
+// pass-through composite stream feeding the next level's input merge
+// (null at the tree's last level, which has no pass-through).
+struct LevelWiring {
+  Operator* pass_producer = nullptr;
+  int pass_port = 0;
+};
+
+// Builds one sliced-chain level of the (possibly one-level) join tree into
+// `built`. `local` is the level's query set with dense local ids
+// (`global_ids` maps them to workload ids; `pseudo` is the local id of the
+// pass-through consumer, -1 when absent), `chain` its chain plan,
+// `upstream` the level's input (nullptr = the plan entry queue), `prefix`
+// the operator-name prefix ("" keeps the historical binary names), and
+// `gate_floor` the largest pass-through window among earlier levels —
+// terminal queries with a smaller window gate their outputs with a
+// WindowGate because earlier levels produced composites wider than their
+// window.
+LevelWiring BuildChainLevel(QueryPlan* plan, BuiltPlan* built,
+                            const std::vector<ContinuousQuery>& local,
+                            const std::vector<int>& global_ids, int pseudo,
+                            const ChainPlan& chain,
+                            const BuildOptions& options,
+                            const std::string& prefix, int level, int anchor,
+                            Operator* level_upstream, int level_upstream_port,
+                            int64_t gate_floor) {
   ValidatePartition(chain.spec, chain.partition);
-  BuiltPlan built = NewBuiltPlan(queries, options);
-  built.chain = chain;
-  QueryPlan* plan = built.plan.get();
+  LevelWiring wiring;
   const ChainSpec& spec = chain.spec;
   const ChainPartition& partition = chain.partition;
   const int num_slices = partition.num_slices();
+  // Levels >= 1 join the previous level's composites against stream
+  // level+1; level 0 is the plain binary chain over streams 0 and 1.
+  const bool composite = level > 0;
 
   // ---- the chain spine: [stamper] -> [filter_1] -> J_1 -> [filter_2] ->
-  // J_2 -> ... (filters are the σ'_i disjunctions of Fig. 15).
+  // J_2 -> ... (filters are the σ'_i disjunctions of Fig. 15; composite
+  // levels have no input filters — their selections are gated at the
+  // result side, and the pass-through consumer keeps every input anyway).
   Operator* spine_tail = nullptr;  // last operator on the spine so far
   int spine_port = 0;
 
   std::vector<Predicate> query_preds;
-  for (const ContinuousQuery& q : queries) {
+  for (const ContinuousQuery& q : local) {
     query_preds.push_back(q.selection_a);
-    SLICE_CHECK(q.selection_b.IsTrue());  // σ on A; B-side is an extension
+    if (!composite) {
+      SLICE_CHECK(q.selection_b.IsTrue());  // σ on A; B-side is an extension
+    }
   }
 
-  if (options.use_lineage) {
+  if (options.use_lineage && !composite) {
     auto* stamper = plan->AddOperator(std::make_unique<LineageStamper>(
         "lineage.stamper", query_preds, StreamSide::kA));
-    built.entry = plan->AddEntryQueue("entry", stamper, 0);
+    built->entry = plan->AddEntryQueue("entry", stamper, 0);
     spine_tail = stamper;
     spine_port = LineageStamper::kOutPort;
   }
 
   std::vector<BuiltSlice> slices;
+  // Feeds `op` from the spine (or the level input / plan entry when the
+  // spine is still empty), recording the previous slice's next-queue.
+  auto attach_to_spine = [&](Operator* op) {
+    if (spine_tail == nullptr) {
+      if (level_upstream == nullptr) {
+        built->entry = plan->AddEntryQueue("entry", op, 0);
+      } else {
+        plan->Connect(level_upstream, level_upstream_port, op, 0);
+      }
+    } else {
+      EventQueue* q = plan->Connect(spine_tail, spine_port, op, 0);
+      if (!slices.empty() && slices.back().next_queue == nullptr) {
+        slices.back().next_queue = q;
+      }
+    }
+  };
+
   for (int s = 0; s < num_slices; ++s) {
     const int lo = partition.SliceStartBoundary(s);
     const int hi = partition.slice_end_boundaries[s];
     // σ'_{lo+1}: the disjunction over queries with boundary > lo.
     Operator* filter = nullptr;
-    const Predicate disjunction =
-        SliceInputPredicate(queries, spec, /*first_boundary=*/lo + 1);
-    if (options.use_lineage) {
-      const uint64_t mask = LineageMaskAtOrBeyond(spec, lo + 1);
-      // The stamper already dropped tuples matching no query, so the
-      // first filter is redundant in lineage mode.
-      if (s > 0 && !disjunction.IsTrue()) {
-        filter = plan->AddOperator(std::make_unique<LineageFilter>(
-            "filter.s" + std::to_string(s), mask, StreamSide::kA));
+    if (!composite) {
+      const Predicate disjunction =
+          SliceInputPredicate(local, spec, /*first_boundary=*/lo + 1);
+      if (options.use_lineage) {
+        const uint64_t mask = LineageMaskAtOrBeyond(spec, lo + 1);
+        // The stamper already dropped tuples matching no query, so the
+        // first filter is redundant in lineage mode.
+        if (s > 0 && !disjunction.IsTrue()) {
+          filter = plan->AddOperator(std::make_unique<LineageFilter>(
+              prefix + "filter.s" + std::to_string(s), mask, StreamSide::kA));
+        }
+      } else if (!disjunction.IsTrue()) {
+        filter = plan->AddOperator(std::make_unique<Selection>(
+            prefix + "filter.s" + std::to_string(s), disjunction,
+            StreamSide::kA));
       }
-    } else if (!disjunction.IsTrue()) {
-      filter = plan->AddOperator(std::make_unique<Selection>(
-          "filter.s" + std::to_string(s), disjunction, StreamSide::kA));
     }
     if (filter != nullptr) {
-      if (spine_tail == nullptr) {
-        built.entry = plan->AddEntryQueue("entry", filter, 0);
-      } else {
-        EventQueue* q = plan->Connect(spine_tail, spine_port, filter, 0);
-        if (!slices.empty() && slices.back().next_queue == nullptr) {
-          slices.back().next_queue = q;
-        }
-      }
+      attach_to_spine(filter);
       spine_tail = filter;
       spine_port = 0;
     }
@@ -410,18 +456,17 @@ BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
     SlicedWindowJoin::Options sopt;
     sopt.condition = options.condition;
     sopt.punctuate_results = true;
+    if (composite) {
+      sopt.composite_left = true;
+      sopt.right_stream = level + 1;
+      sopt.anchor = anchor;
+      sopt.left_arity = level + 1;
+    }
     const SliceRange range{spec.kind, lo < 0 ? 0 : spec.boundaries[lo],
                            spec.boundaries[hi]};
     auto* join = plan->AddOperator(std::make_unique<SlicedWindowJoin>(
-        "slice." + std::to_string(s), range, sopt));
-    if (spine_tail == nullptr) {
-      built.entry = plan->AddEntryQueue("entry", join, 0);
-    } else {
-      EventQueue* q = plan->Connect(spine_tail, spine_port, join, 0);
-      if (!slices.empty() && slices.back().next_queue == nullptr) {
-        slices.back().next_queue = q;
-      }
-    }
+        prefix + "slice." + std::to_string(s), range, sopt));
+    attach_to_spine(join);
     spine_tail = join;
     spine_port = SlicedWindowJoin::kNextPort;
     slices.push_back(BuiltSlice{join, lo, hi, nullptr});
@@ -430,8 +475,8 @@ BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
   // ---- result side: per query, collect edges from every slice it reads.
   // edge_count[q] = slices fully covered + (1 if q's boundary is interior
   // to some merged slice).
-  std::vector<int> edge_count(queries.size(), 0);
-  for (const ContinuousQuery& q : queries) {
+  std::vector<int> edge_count(local.size(), 0);
+  for (const ContinuousQuery& q : local) {
     const int k = spec.query_boundary[q.id];
     for (int s = 0; s < num_slices; ++s) {
       const int hi = partition.slice_end_boundaries[s];
@@ -441,45 +486,98 @@ BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
     }
   }
 
-  // Pre-create merges (or mark direct-wired queries).
-  std::vector<int> next_port(queries.size(), 0);
-  for (const ContinuousQuery& q : queries) {
+  // Pre-create merges (or mark direct-wired queries). The pass-through's
+  // merge is level-local (the next level consumes it); terminal queries
+  // register theirs in the BuiltPlan under their workload id.
+  UnionMerge* pass_merge = nullptr;
+  std::vector<int> next_port(local.size(), 0);
+  for (const ContinuousQuery& q : local) {
     SLICE_CHECK_GT(edge_count[q.id], 0);
-    if (edge_count[q.id] > 1) {
+    if (edge_count[q.id] <= 1) continue;
+    if (q.id == pseudo) {
+      pass_merge = plan->AddOperator(std::make_unique<UnionMerge>(
+          prefix + "pass.union", edge_count[q.id]));
+      wiring.pass_producer = pass_merge;
+      wiring.pass_port = UnionMerge::kOutPort;
+    } else {
+      const int gid = global_ids[q.id];
       auto* merge = plan->AddOperator(std::make_unique<UnionMerge>(
           q.name + ".union", edge_count[q.id]));
-      built.merges[q.id] = merge;
-      AttachSinks(plan, merge, UnionMerge::kOutPort, q, options, &built);
+      built->merges[gid] = merge;
+      AttachSinks(plan, merge, UnionMerge::kOutPort, built->queries[gid],
+                  options, built);
     }
   }
 
-  // Wires one result edge from `producer` to query q, inserting a σ' gate
-  // when needed; terminates at the query's union or directly at its sinks.
-  auto wire_result_edge = [&](Operator* producer, int port,
-                              const ContinuousQuery& q, bool needs_gate,
-                              int slice_index) {
+  // Wires one result edge from `producer` to local query `local_id`,
+  // inserting gates as needed; terminates at the query's union, directly
+  // at its sinks, or — for the pass-through — at the next level's feed.
+  auto wire_result_edge = [&](Operator* producer, int port, int local_id,
+                              bool needs_gate, int slice_index) {
     Operator* upstream = producer;
     int upstream_port = port;
-    if (needs_gate) {
-      auto* gate = plan->AddOperator(std::make_unique<ResultGate>(
-          q.name + ".gate.s" + std::to_string(slice_index), q.selection_a,
-          StreamSide::kA));
-      plan->Connect(upstream, upstream_port, gate, 0);
-      upstream = gate;
-      upstream_port = ResultGate::kOutPort;
+    if (local_id == pseudo) {
+      // The pass-through never gates: the next level consumes the widest
+      // composite stream and each deeper query gates its own output.
+      if (pass_merge != nullptr) {
+        const int p = next_port[local_id]++;
+        plan->Connect(upstream, upstream_port, pass_merge, p);
+      } else {
+        wiring.pass_producer = upstream;
+        wiring.pass_port = upstream_port;
+      }
+      return;
     }
-    if (built.merges[q.id] != nullptr) {
-      const int p = next_port[q.id]++;
-      EventQueue* eq =
-          plan->Connect(upstream, upstream_port, built.merges[q.id], p);
-      built.result_edges.push_back(ResultEdge{q.id, slice_index, upstream,
-                                              upstream_port, eq,
-                                              built.merges[q.id], p});
+    const int gid = global_ids[local_id];
+    const ContinuousQuery& gq = built->queries[gid];
+    if (!composite) {
+      // Binary level: selection push-down left exactly σ'_A to re-check
+      // (Fig. 10); NeedsResultGate decided it against the slice's input
+      // filter.
+      if (needs_gate) {
+        auto* gate = plan->AddOperator(std::make_unique<ResultGate>(
+            gq.name + ".gate.s" + std::to_string(slice_index),
+            gq.selection_a, StreamSide::kA));
+        plan->Connect(upstream, upstream_port, gate, 0);
+        upstream = gate;
+        upstream_port = ResultGate::kOutPort;
+      }
     } else {
-      AttachSinks(plan, upstream, upstream_port, q, options, &built);
-      built.result_edges.push_back(ResultEdge{q.id, slice_index, upstream,
-                                              upstream_port, nullptr,
-                                              nullptr, 0});
+      // Composite level: earlier levels produced composites up to the
+      // pass-through window, so a narrower query re-checks the prefix
+      // window; selections on any stream were never pushed down and gate
+      // here.
+      if (gq.window.extent < gate_floor) {
+        auto* gate = plan->AddOperator(std::make_unique<WindowGate>(
+            gq.name + ".wgate.s" + std::to_string(slice_index),
+            gq.window.extent));
+        plan->Connect(upstream, upstream_port, gate, 0);
+        upstream = gate;
+        upstream_port = WindowGate::kOutPort;
+      }
+      for (int v = 0; v < gq.num_streams(); ++v) {
+        if (gq.selection(v).IsTrue()) continue;
+        auto* gate = plan->AddOperator(std::make_unique<ResultGate>(
+            gq.name + ".gate.s" + std::to_string(slice_index) + ".v" +
+                std::to_string(v),
+            gq.selection(v), v));
+        plan->Connect(upstream, upstream_port, gate, 0);
+        upstream = gate;
+        upstream_port = ResultGate::kOutPort;
+      }
+    }
+    if (built->merges[gid] != nullptr) {
+      const int p = next_port[local_id]++;
+      EventQueue* eq =
+          plan->Connect(upstream, upstream_port, built->merges[gid], p);
+      built->result_edges.push_back(ResultEdge{gid, slice_index, upstream,
+                                               upstream_port, eq,
+                                               built->merges[gid], p});
+    } else {
+      AttachSinks(plan, upstream, upstream_port, gq, options, built);
+      built->result_edges.push_back(ResultEdge{gid, slice_index, upstream,
+                                               upstream_port, nullptr,
+                                               nullptr, 0});
     }
   };
 
@@ -489,7 +587,7 @@ BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
     // Queries whose boundary is interior to this (merged) slice: they need
     // a router over the slice's results (Fig. 13(b)).
     std::vector<int> interior;
-    for (const ContinuousQuery& q : queries) {
+    for (const ContinuousQuery& q : local) {
       const int k = spec.query_boundary[q.id];
       if (k > lo && k < hi) interior.push_back(q.id);
     }
@@ -505,16 +603,17 @@ BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
       std::vector<Router::Branch> branches;
       for (size_t b = 0; b < interior.size(); ++b) {
         branches.push_back(Router::Branch{
-            queries[interior[b]].window.extent, static_cast<int>(b)});
+            local[interior[b]].window.extent, static_cast<int>(b)});
       }
       const int all_port = static_cast<int>(branches.size());
       auto* router = plan->AddOperator(std::make_unique<Router>(
-          "router.s" + std::to_string(s), branches, all_port));
+          prefix + "router.s" + std::to_string(s), branches, all_port));
       plan->Connect(slices[s].join, SlicedWindowJoin::kResultPort, router, 0);
       for (size_t b = 0; b < interior.size(); ++b) {
-        const ContinuousQuery& q = queries[interior[b]];
-        wire_result_edge(router, static_cast<int>(b), q,
-                         NeedsResultGate(queries, input_consumers, q.id), s);
+        const int local_id = interior[b];
+        wire_result_edge(router, static_cast<int>(b), local_id,
+                         NeedsResultGate(local, input_consumers, local_id),
+                         s);
       }
       result_producer = router;
       all_port_for_full = all_port;
@@ -522,12 +621,94 @@ BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
     slices[s].result_producer = result_producer;
     slices[s].full_port = all_port_for_full;
     for (int qid : full) {
-      wire_result_edge(result_producer, all_port_for_full, queries[qid],
-                       NeedsResultGate(queries, input_consumers, qid), s);
+      wire_result_edge(result_producer, all_port_for_full, qid,
+                       NeedsResultGate(local, input_consumers, qid), s);
     }
   }
 
-  built.slices = std::move(slices);
+  for (const BuiltSlice& slice : slices) {
+    built->slices.push_back(slice);
+    built->slice_level.push_back(level);
+  }
+  return wiring;
+}
+
+}  // namespace
+
+BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
+                              const ChainPlan& chain,
+                              const BuildOptions& options) {
+  SLICE_CHECK_EQ(MaxStreams(queries), 2);
+  JoinTreePlan tree;
+  tree.levels.push_back(chain);
+  return BuildStateSlicePlan(queries, tree, options);
+}
+
+BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
+                              const JoinTreePlan& tree,
+                              const BuildOptions& options) {
+  ValidateQueries(queries);
+  const std::vector<TreeLevelQueries> levels = TreeLevels(queries);
+  SLICE_CHECK_EQ(static_cast<size_t>(tree.num_levels()), levels.size());
+  BuiltPlan built = NewBuiltPlan(queries, options);
+  built.num_levels = tree.num_levels();
+  built.chain = tree.levels[0];
+  QueryPlan* plan = built.plan.get();
+
+  if (levels.size() == 1) {
+    // Binary workload: exactly the historical single-chain plan.
+    BuildChainLevel(plan, &built, levels[0].local, levels[0].global_ids,
+                    levels[0].pseudo, tree.levels[0], options, "",
+                    /*level=*/0, /*anchor=*/0, /*level_upstream=*/nullptr,
+                    /*level_upstream_port=*/0, /*gate_floor=*/0);
+    plan->Start();
+    return built;
+  }
+
+  // Lineage masks index chain-local query ids and are only wired through
+  // the binary chain spine; the tree keeps them off.
+  SLICE_CHECK(!options.use_lineage);
+  const int num_streams = static_cast<int>(levels.size()) + 1;
+  auto* dispatch = plan->AddOperator(
+      std::make_unique<StreamDispatch>("dispatch", num_streams));
+  built.entry = plan->AddEntryQueue("entry", dispatch, 0);
+
+  // anchor(l) is identical across queries deep enough to define it
+  // (ValidateQueries' prefix compatibility).
+  auto anchor_of = [&queries](int level) {
+    for (const ContinuousQuery& q : queries) {
+      if (q.num_streams() >= level + 2) return q.anchor(level);
+    }
+    SLICE_CHECK(false);
+    return 0;
+  };
+
+  Operator* upstream = dispatch;
+  int upstream_port = 0;
+  LevelWiring prev;
+  int64_t gate_floor = 0;
+  for (size_t l = 0; l < levels.size(); ++l) {
+    if (l > 0) {
+      // The level's input: the previous level's composite stream merged
+      // with stream l+1's tuples in timestamp order (both sides carry
+      // punctuations — per-male from the chains, per-arrival from the
+      // dispatch — so the merge never stalls).
+      SLICE_CHECK(prev.pass_producer != nullptr);
+      auto* in = plan->AddOperator(std::make_unique<UnionMerge>(
+          "l" + std::to_string(l) + ".in", /*input_count=*/2));
+      plan->Connect(prev.pass_producer, prev.pass_port, in, 0);
+      plan->Connect(dispatch, static_cast<int>(l), in, 1);
+      upstream = in;
+      upstream_port = UnionMerge::kOutPort;
+    }
+    prev = BuildChainLevel(plan, &built, levels[l].local,
+                           levels[l].global_ids, levels[l].pseudo,
+                           tree.levels[l], options,
+                           "l" + std::to_string(l) + ".",
+                           static_cast<int>(l), anchor_of(static_cast<int>(l)),
+                           upstream, upstream_port, gate_floor);
+    gate_floor = std::max(gate_floor, levels[l].pass_window);
+  }
   plan->Start();
   return built;
 }

@@ -83,14 +83,20 @@ struct SinkEdge {
 // A fully wired, started executable plan.
 struct BuiltPlan {
   std::unique_ptr<QueryPlan> plan;
-  EventQueue* entry = nullptr;               // feed both streams here
+  EventQueue* entry = nullptr;               // feed all streams here
   std::vector<CountingSink*> sinks;          // [query id]
   std::vector<CollectingSink*> collectors;   // [query id]; null w/o collect
   std::vector<std::vector<SinkEdge>> sink_edges;  // [query id]
 
   // State-slice metadata (empty for other strategies).
+  // For an N-way tree, `chain` holds level 0's chain plan, `slices` holds
+  // every level's slices in level-major order, and slice_level[i] is the
+  // tree level of slices[i] (all zero for a binary chain). Online
+  // migration (ChainMigrator) supports single-level plans only.
+  int num_levels = 1;
   ChainPlan chain;
   std::vector<BuiltSlice> slices;
+  std::vector<int> slice_level;              // parallel to `slices`
   std::vector<UnionMerge*> merges;           // [query id]; null if direct
   std::vector<ResultEdge> result_edges;
   // [query id] fresh-start ResultTimeGate in front of the query's sinks
@@ -103,24 +109,43 @@ struct BuiltPlan {
   BuildOptions options;
 };
 
-// One join per query behind a fanout; the no-sharing baseline.
+// One join per query behind a fanout; the no-sharing baseline. Binary
+// workloads only (an unshared N-way baseline is a per-query single-query
+// state-slice tree).
 BuiltPlan BuildUnsharedPlans(const std::vector<ContinuousQuery>& queries,
                              const BuildOptions& options = {});
 
 // Selection pull-up (Fig. 3): one join at the largest window, a router
-// dispatching by |Ta-Tb|, per-query σ gates after the router.
+// dispatching by |Ta-Tb|, per-query σ gates after the router. Binary
+// workloads only.
 BuiltPlan BuildPullUpPlan(const std::vector<ContinuousQuery>& queries,
                           const BuildOptions& options = {});
 
 // Stream partition with selection push-down (Fig. 4). Requires all
 // filtered queries to share one predicate (the paper's experimental
-// setting); CHECK-fails otherwise.
+// setting); CHECK-fails otherwise. Binary workloads only.
 BuiltPlan BuildPushDownPlan(const std::vector<ContinuousQuery>& queries,
                             const BuildOptions& options = {});
 
 // State-slice chain for the given ChainPlan (Mem-Opt or CPU-Opt).
+// Binary workloads only — the single-level degenerate case of the tree
+// overload below.
 BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
                               const ChainPlan& chain,
+                              const BuildOptions& options = {});
+
+// State-slice join tree for a (possibly multi-way) workload: one sliced
+// chain per tree level (see chain_spec.h TreeLevels). Level 0 is wired
+// exactly like the binary chain — with selection push-down and, for
+// multi-level trees, an extra unfiltered pass-through consumer whose
+// result edges feed level 1 through an order-preserving input merge; a
+// StreamDispatch at the entry routes each stream to the level that
+// consumes it. Queries terminal at level >= 1 gate their outputs with a
+// WindowGate (prefix-window semantics; see operators/multiway.h) and one
+// ResultGate per filtered stream. `use_lineage` is binary-only
+// (CHECK-enforced for multi-level trees).
+BuiltPlan BuildStateSlicePlan(const std::vector<ContinuousQuery>& queries,
+                              const JoinTreePlan& tree,
                               const BuildOptions& options = {});
 
 }  // namespace stateslice

@@ -1,56 +1,10 @@
 #include "src/operators/join_state.h"
 
-#include "src/common/check.h"
-
 namespace stateslice {
 
-void JoinState::Insert(const Tuple& t, std::vector<Tuple>* evicted) {
-  if (!tuples_.empty()) {
-    SLICE_CHECK_LE(tuples_.back().timestamp, t.timestamp);
-  }
-  tuples_.push_back(t);
-  if (window_.kind == WindowKind::kCount) {
-    // Count windows purge on insertion: keep the newest `extent` tuples.
-    while (static_cast<int64_t>(tuples_.size()) > window_.extent) {
-      if (evicted != nullptr) evicted->push_back(tuples_.front());
-      tuples_.pop_front();
-    }
-  }
-}
-
-uint64_t JoinState::Purge(TimePoint now, std::vector<Tuple>* purged) {
-  if (window_.kind == WindowKind::kCount) return 0;  // purge-on-insert
-  uint64_t comparisons = 0;
-  while (!tuples_.empty()) {
-    ++comparisons;
-    // Window semantics (Section 2): tuple is alive iff now - ts < extent.
-    if (now - tuples_.front().timestamp < window_.extent) break;
-    if (purged != nullptr) purged->push_back(tuples_.front());
-    tuples_.pop_front();
-  }
-  return comparisons;
-}
-
-uint64_t JoinState::Probe(const Tuple& probe, const JoinCondition& cond,
-                          std::vector<Tuple>* matches) const {
-  for (const Tuple& t : tuples_) {
-    if (cond.Match(t, probe)) matches->push_back(t);
-  }
-  // Nested-loop probing compares against every stored tuple (Section 3).
-  return tuples_.size();
-}
-
-std::vector<Tuple> JoinState::TakeAll() {
-  std::vector<Tuple> all(tuples_.begin(), tuples_.end());
-  tuples_.clear();
-  return all;
-}
-
-void JoinState::PrependOlder(const std::vector<Tuple>& older) {
-  if (!older.empty() && !tuples_.empty()) {
-    SLICE_CHECK_LE(older.back().timestamp, tuples_.front().timestamp);
-  }
-  tuples_.insert(tuples_.begin(), older.begin(), older.end());
-}
+// Anchor the template instantiations used across the library in one
+// translation unit (the header stays usable for other entry types).
+template class BasicJoinState<Tuple>;
+template class BasicJoinState<CompositeTuple>;
 
 }  // namespace stateslice

@@ -1,14 +1,23 @@
 // JoinState: the window state of one side of a (sliced) window join.
 //
-// Holds tuples of one stream in arrival order (oldest first). Supports the
+// Holds entries of one input in arrival order (oldest first). Supports the
 // three primitive steps of the paper's join execution (Fig. 1 / Fig. 6):
-// insert, cross-purge (with expired tuples optionally handed back so a
+// insert, cross-purge (with expired entries optionally handed back so a
 // sliced join can propagate them down the chain), and probe.
 //
+// The state is a template over its entry type:
+//  - BasicJoinState<Tuple>          (alias JoinState) — a plain stream
+//    side, the binary-join case;
+//  - BasicJoinState<CompositeTuple> (alias CompositeJoinState) — the left
+//    input of a sliced chain at level >= 1 of an N-way join tree, whose
+//    entries are the composite results of the previous level. An entry's
+//    event time is its max-constituent timestamp, so the purge discipline
+//    is unchanged.
+//
 // Window kinds:
-//  - kTime:  a tuple expires when now - ts >= extent; purging happens on
+//  - kTime:  an entry expires when now - ts >= extent; purging happens on
 //    opposite-stream arrivals (cross-purge, footnote 1 of the paper).
-//  - kCount: the state keeps the `extent` most recent tuples; "purging" is
+//  - kCount: the state keeps the `extent` most recent entries; "purging" is
 //    eviction on insert, which is how count-based slices propagate tuples
 //    down a chain (the rank of a tuple only changes when its own stream
 //    receives a new tuple).
@@ -19,54 +28,115 @@
 #include <deque>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/tuple.h"
 #include "src/operators/join_condition.h"
 #include "src/operators/window_spec.h"
 
 namespace stateslice {
 
-// Ordered window state for one stream side of a join.
-class JoinState {
- public:
-  explicit JoinState(WindowSpec window) : window_(window) {}
+// Event time of a state entry: arrival timestamp for a stream tuple, the
+// max-constituent timestamp for a composite.
+inline TimePoint EntryTime(const Tuple& t) { return t.timestamp; }
+inline TimePoint EntryTime(const CompositeTuple& c) { return c.timestamp(); }
 
-  // Appends `t` (arrival order; timestamps must be non-decreasing). For
+// Ordered window state for one input of a join.
+template <typename EntryT>
+class BasicJoinState {
+ public:
+  explicit BasicJoinState(WindowSpec window) : window_(window) {}
+
+  // Appends `e` (arrival order; event times must be non-decreasing). For
   // count windows, evicts overflow into `evicted` (oldest first) when
   // non-null, else discards it. Time windows never evict on insert.
-  void Insert(const Tuple& t, std::vector<Tuple>* evicted = nullptr);
+  void Insert(const EntryT& e, std::vector<EntryT>* evicted = nullptr) {
+    if (!entries_.empty()) {
+      SLICE_CHECK_LE(EntryTime(entries_.back()), EntryTime(e));
+    }
+    entries_.push_back(e);
+    if (window_.kind == WindowKind::kCount) {
+      // Count windows purge on insertion: keep the newest `extent` entries.
+      while (static_cast<int64_t>(entries_.size()) > window_.extent) {
+        if (evicted != nullptr) evicted->push_back(entries_.front());
+        entries_.pop_front();
+      }
+    }
+  }
 
-  // Cross-purge against an arriving opposite-stream tuple at time `now`
+  // Cross-purge against an arriving opposite-input event at time `now`
   // (paper Fig. 1 step 1 / Fig. 6 step 1). Only meaningful for kTime
-  // windows (kCount purges on insert and returns 0 here). Expired tuples
+  // windows (kCount purges on insert and returns 0 here). Expired entries
   // are appended to `purged` (oldest first) when non-null. Returns the
   // number of timestamp comparisons performed (cost-model unit).
-  uint64_t Purge(TimePoint now, std::vector<Tuple>* purged);
+  uint64_t Purge(TimePoint now, std::vector<EntryT>* purged) {
+    if (window_.kind == WindowKind::kCount) return 0;  // purge-on-insert
+    uint64_t comparisons = 0;
+    while (!entries_.empty()) {
+      ++comparisons;
+      // Window semantics (Section 2): entry is alive iff now - ts < extent.
+      if (now - EntryTime(entries_.front()) < window_.extent) break;
+      if (purged != nullptr) purged->push_back(entries_.front());
+      entries_.pop_front();
+    }
+    return comparisons;
+  }
 
-  // Nested-loop probe: appends all stored tuples matching `probe` under
-  // `cond` to `matches` (oldest first). Returns the number of comparisons,
-  // which equals the state size — the unit the paper's cost model charges
-  // per probe (Section 3).
+  // Nested-loop probe with an arbitrary match functor: appends all stored
+  // entries for which `match(entry)` holds to `matches` (oldest first).
+  // Returns the number of comparisons, which equals the state size — the
+  // unit the paper's cost model charges per probe (Section 3).
+  template <typename MatchFn>
+  uint64_t ProbeWith(MatchFn&& match, std::vector<EntryT>* matches) const {
+    for (const EntryT& e : entries_) {
+      if (match(e)) matches->push_back(e);
+    }
+    return entries_.size();
+  }
+
+  // Convenience probe against a stream tuple under `cond`. For composite
+  // entries the condition is evaluated on the constituent at `anchor`
+  // (the earlier stream the probing stream joins with; ignored for plain
+  // tuple entries).
   uint64_t Probe(const Tuple& probe, const JoinCondition& cond,
-                 std::vector<Tuple>* matches) const;
+                 std::vector<EntryT>* matches, int anchor = 0) const {
+    if constexpr (std::is_same_v<EntryT, Tuple>) {
+      (void)anchor;
+      return ProbeWith(
+          [&](const Tuple& e) { return cond.Match(e, probe); }, matches);
+    } else {
+      return ProbeWith(
+          [&](const EntryT& e) { return cond.Match(e.part(anchor), probe); },
+          matches);
+    }
+  }
 
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
   const WindowSpec& window() const { return window_; }
 
-  // Oldest and newest stored tuples; state must be non-empty.
-  const Tuple& Oldest() const { return tuples_.front(); }
-  const Tuple& Newest() const { return tuples_.back(); }
+  // Oldest and newest stored entries; state must be non-empty.
+  const EntryT& Oldest() const { return entries_.front(); }
+  const EntryT& Newest() const { return entries_.back(); }
 
   // Read-only view for tests/traces (oldest first).
-  const std::deque<Tuple>& tuples() const { return tuples_; }
+  const std::deque<EntryT>& tuples() const { return entries_; }
 
-  // Removes and returns all tuples (oldest first); used by online chain
+  // Removes and returns all entries (oldest first); used by online chain
   // migration when merging two adjacent slices (Section 5.3).
-  std::vector<Tuple> TakeAll();
+  std::vector<EntryT> TakeAll() {
+    std::vector<EntryT> all(entries_.begin(), entries_.end());
+    entries_.clear();
+    return all;
+  }
 
   // Prepends `older` (which must be entirely older than current contents);
   // the other half of slice-merge migration.
-  void PrependOlder(const std::vector<Tuple>& older);
+  void PrependOlder(const std::vector<EntryT>& older) {
+    if (!older.empty() && !entries_.empty()) {
+      SLICE_CHECK_LE(EntryTime(older.back()), EntryTime(entries_.front()));
+    }
+    entries_.insert(entries_.begin(), older.begin(), older.end());
+  }
 
   // Mutates the window extent; online migration uses this to widen or
   // shrink a slice in place. The new extent takes effect on the next
@@ -75,8 +145,13 @@ class JoinState {
 
  private:
   WindowSpec window_;
-  std::deque<Tuple> tuples_;
+  std::deque<EntryT> entries_;
 };
+
+// The binary-join window state (one stream side).
+using JoinState = BasicJoinState<Tuple>;
+// Left-input state of a sliced chain at tree level >= 1.
+using CompositeJoinState = BasicJoinState<CompositeTuple>;
 
 }  // namespace stateslice
 

@@ -1,0 +1,66 @@
+#include "src/operators/multiway.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/tuple.h"
+
+namespace stateslice {
+
+StreamDispatch::StreamDispatch(std::string name, int num_streams)
+    : Operator(std::move(name)),
+      num_streams_(num_streams),
+      num_ports_(num_streams - 1) {
+  // A 2-stream plan needs no dispatch (the chain spine carries both
+  // streams directly), so the builder only instantiates one for >= 3.
+  SLICE_CHECK_GE(num_streams, 3);
+  SLICE_CHECK_LE(num_streams, kMaxStreams);
+}
+
+void StreamDispatch::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    for (int p = 0; p < num_ports_; ++p) Emit(p, event);
+    return;
+  }
+  SLICE_CHECK(IsTuple(event));
+  const Tuple& t = std::get<Tuple>(event);
+  SLICE_CHECK_GE(t.side, 0);
+  SLICE_CHECK_LT(t.side, num_streams_);
+  Emit(PortOf(t.side), event);
+  // Global order: nothing older than T can follow on any stream, so T is a
+  // watermark for every level.
+  const Punctuation mark{.watermark = t.timestamp};
+  for (int p = 0; p < num_ports_; ++p) Emit(p, mark);
+}
+
+void StreamDispatch::Finish() {
+  for (int p = 0; p < num_ports_; ++p) {
+    Emit(p, Punctuation{.watermark = kMaxTime});
+  }
+}
+
+WindowGate::WindowGate(std::string name, Duration window)
+    : Operator(std::move(name)), window_(window) {
+  SLICE_CHECK_GT(window, 0);
+}
+
+void WindowGate::Process(Event event, int input_port) {
+  SLICE_CHECK_EQ(input_port, 0);
+  if (IsPunctuation(event)) {
+    Emit(kOutPort, event);
+    return;
+  }
+  SLICE_CHECK(IsJoinResult(event));
+  const JoinResult& r = std::get<JoinResult>(event);
+  Charge(CostCategory::kGate, static_cast<uint64_t>(r.size()) - 1);
+  if (r.MaxGap() < window_) {
+    Emit(kOutPort, event);
+  }
+}
+
+void WindowGate::Finish() {
+  Emit(kOutPort, Punctuation{.watermark = kMaxTime});
+}
+
+}  // namespace stateslice

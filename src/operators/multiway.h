@@ -1,0 +1,83 @@
+// Operators specific to N-way (multi-stream) join trees.
+//
+// An N-way window query over streams S_0..S_{n-1} executes as a left-deep
+// tree of sliced binary chains: level 0 joins S_0 with S_1, and each level
+// k >= 1 joins the composite results of level k-1 with stream S_{k+1}
+// (paper Section 7 sketches this composition; see also Dossinger & Michel,
+// "Optimizing Multiple Multi-Way Stream Joins"). Two support operators make
+// the tree work on the single globally-ordered arrival feed:
+//
+//  - StreamDispatch routes each raw arrival to the tree level that consumes
+//    its stream (streams 0 and 1 feed the level-0 chain spine; stream k+1
+//    feeds level k's input merge), and broadcasts a punctuation carrying
+//    the arrival's timestamp to every port. Global arrival order means no
+//    later event on *any* stream can be older, so the punctuations keep all
+//    per-level input merges advancing even when some stream goes idle.
+//
+//  - WindowGate enforces the tree's window semantics on a query's output
+//    path. A result (t_0, ..., t_{n-1}) satisfies window w iff every level's
+//    gap |max(t_0..t_k) - t_{k+1}| is < w (the left-deep prefix window:
+//    each new stream's tuple must be within w of the composite it joined).
+//    The shared chains produce composites up to the *largest* consumer
+//    window, so a query with a smaller window gates its results — the
+//    slice routing of its terminal level constrains only the final gap.
+#ifndef STATESLICE_OPERATORS_MULTIWAY_H_
+#define STATESLICE_OPERATORS_MULTIWAY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/timestamp.h"
+#include "src/runtime/operator.h"
+
+namespace stateslice {
+
+// Routes raw stream tuples to join-tree levels.
+//
+// Ports: input 0 (the globally ordered multi-stream feed). Output port p
+// serves tree level p: port 0 carries streams 0 and 1 (the level-0 chain
+// spine), port p >= 1 carries stream p+1 (level p's side input). Every
+// arrival at time T additionally emits Punctuation{T} on *all* ports after
+// the tuple, which advances the per-level input merges (and, through the
+// chains' punctuation forwarding, the pass-through unions of earlier
+// levels). Tuples of streams >= num_streams CHECK-fail: the plan builder
+// sizes the dispatch from the workload, and ValidateQueries bounds
+// num_streams by kMaxStreams.
+class StreamDispatch : public Operator {
+ public:
+  StreamDispatch(std::string name, int num_streams);
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  int num_streams() const { return num_streams_; }
+  // Output port feeding the level that consumes `stream`.
+  static int PortOf(StreamId stream) { return stream <= 1 ? 0 : stream - 1; }
+
+ private:
+  int num_streams_;  // in [3, kMaxStreams]
+  int num_ports_;    // num_streams - 1 tree levels
+};
+
+// Passes composites whose every level gap is < `window` (MaxGap() check);
+// punctuations are forwarded. One kGate comparison per constituent beyond
+// the first, mirroring the per-level comparisons a fully partitioned tree
+// would have charged.
+class WindowGate : public Operator {
+ public:
+  static constexpr int kOutPort = 0;
+
+  WindowGate(std::string name, Duration window);
+
+  void Process(Event event, int input_port) override;
+  void Finish() override;
+
+  Duration window() const { return window_; }
+
+ private:
+  Duration window_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_OPERATORS_MULTIWAY_H_

@@ -21,7 +21,10 @@ void Router::Process(Event event, int input_port) {
   }
   SLICE_CHECK(IsJoinResult(event));
   const JoinResult& r = std::get<JoinResult>(event);
-  const Duration distance = std::llabs(r.a.timestamp - r.b.timestamp);
+  // The routing distance is the timestamp gap the producing join level
+  // introduced: |Ta - Tb| for a binary result, and in an N-way tree the
+  // gap between the prefix composite and the appended stream's tuple.
+  const Duration distance = r.LastGap();
   for (const Branch& b : branches_) {
     // One profile-table comparison per branch per result (Section 3.1).
     Charge(CostCategory::kRoute, 1);

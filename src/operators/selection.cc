@@ -1,5 +1,6 @@
 #include "src/operators/selection.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -9,7 +10,7 @@ namespace stateslice {
 // ---------------------------------------------------------------- Selection
 
 Selection::Selection(std::string name, Predicate predicate,
-                     StreamSide target_side)
+                     StreamId target_side)
     : Operator(std::move(name)),
       predicate_(std::move(predicate)),
       target_side_(target_side) {}
@@ -42,7 +43,7 @@ void Selection::Finish() { Emit(kOutPort, Punctuation{.watermark = kMaxTime}); }
 
 LineageStamper::LineageStamper(std::string name,
                                std::vector<Predicate> query_predicates,
-                               StreamSide target_side)
+                               StreamId target_side)
     : Operator(std::move(name)),
       predicates_(std::move(query_predicates)),
       target_side_(target_side) {
@@ -89,7 +90,7 @@ void LineageStamper::Finish() {
 // ------------------------------------------------------------ LineageFilter
 
 LineageFilter::LineageFilter(std::string name, uint64_t mask,
-                             StreamSide target_side)
+                             StreamId target_side)
     : Operator(std::move(name)), mask_(mask), target_side_(target_side) {}
 
 void LineageFilter::Process(Event event, int input_port) {
@@ -117,7 +118,7 @@ void LineageFilter::Finish() {
 // --------------------------------------------------------------- ResultGate
 
 ResultGate::ResultGate(std::string name, Predicate predicate,
-                       StreamSide target_side)
+                       StreamId target_side)
     : Operator(std::move(name)),
       predicate_(std::move(predicate)),
       target_side_(target_side) {}
@@ -130,7 +131,8 @@ void ResultGate::Process(Event event, int input_port) {
   }
   SLICE_CHECK(IsJoinResult(event));
   const JoinResult& r = std::get<JoinResult>(event);
-  const Tuple& component = target_side_ == StreamSide::kA ? r.a : r.b;
+  SLICE_CHECK_LT(target_side_, r.size());
+  const Tuple& component = r.part(target_side_);
   Charge(CostCategory::kGate, 1);
   if (predicate_.Eval(component)) {
     Emit(kOutPort, event);
@@ -154,8 +156,12 @@ void ResultTimeGate::Process(Event event, int input_port) {
   }
   SLICE_CHECK(IsJoinResult(event));
   const JoinResult& r = std::get<JoinResult>(event);
-  const TimePoint older =
-      r.a.timestamp < r.b.timestamp ? r.a.timestamp : r.b.timestamp;
+  // Fresh-start semantics require *every* constituent at or after the
+  // cutoff, so gate on the oldest across all N parts.
+  TimePoint older = r.a.timestamp;
+  for (int i = 1; i < r.size(); ++i) {
+    older = std::min(older, r.part(i).timestamp);
+  }
   Charge(CostCategory::kGate, 1);
   if (older >= cutoff_) {
     Emit(kOutPort, event);

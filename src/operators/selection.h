@@ -33,7 +33,7 @@ class Selection : public Operator {
   static constexpr int kOutPort = 0;
 
   Selection(std::string name, Predicate predicate,
-            StreamSide target_side = StreamSide::kA);
+            StreamId target_side = StreamSide::kA);
 
   void Process(Event event, int input_port) override;
   void Finish() override;
@@ -42,7 +42,7 @@ class Selection : public Operator {
 
  private:
   Predicate predicate_;
-  StreamSide target_side_;
+  StreamId target_side_;
 };
 
 // Evaluates the per-query predicates once per target-side tuple and records
@@ -56,14 +56,14 @@ class LineageStamper : public Operator {
   static constexpr int kOutPort = 0;
 
   LineageStamper(std::string name, std::vector<Predicate> query_predicates,
-                 StreamSide target_side = StreamSide::kA);
+                 StreamId target_side = StreamSide::kA);
 
   void Process(Event event, int input_port) override;
   void Finish() override;
 
  private:
   std::vector<Predicate> predicates_;  // index = query id (bit position)
-  StreamSide target_side_;
+  StreamId target_side_;
 };
 
 // Passes target-side tuples iff (lineage & mask) != 0, charging one kFilter
@@ -73,7 +73,7 @@ class LineageFilter : public Operator {
   static constexpr int kOutPort = 0;
 
   LineageFilter(std::string name, uint64_t mask,
-                StreamSide target_side = StreamSide::kA);
+                StreamId target_side = StreamSide::kA);
 
   void Process(Event event, int input_port) override;
   void Finish() override;
@@ -82,26 +82,27 @@ class LineageFilter : public Operator {
 
  private:
   uint64_t mask_;
-  StreamSide target_side_;
+  StreamId target_side_;
 };
 
 // Filters JoinResults on one query's output path: a result passes iff the
-// query's predicate holds on the result's A (resp. B) component. One kFilter
-// comparison per result, matching the σ'_A cost item of Eq. 3. Punctuations
-// are forwarded.
+// query's predicate holds on the result's constituent at `target_side`
+// (index into the FROM order: 0 = A, 1 = B, >= 2 for the appended streams
+// of an N-way tree). One kFilter comparison per result, matching the σ'_A
+// cost item of Eq. 3. Punctuations are forwarded.
 class ResultGate : public Operator {
  public:
   static constexpr int kOutPort = 0;
 
   ResultGate(std::string name, Predicate predicate,
-             StreamSide target_side = StreamSide::kA);
+             StreamId target_side = StreamSide::kA);
 
   void Process(Event event, int input_port) override;
   void Finish() override;
 
  private:
   Predicate predicate_;
-  StreamSide target_side_;
+  StreamId target_side_;
 };
 
 // Passes JoinResults whose *older* constituent arrived at or after a cutoff

@@ -35,9 +35,17 @@ SlicedWindowJoin::SlicedWindowJoin(std::string name, SliceRange range,
       range_(range),
       options_(options),
       state_a_(StateWindowFor(range)),
-      state_b_(StateWindowFor(range)) {
+      state_b_(StateWindowFor(range)),
+      state_c_(StateWindowFor(range)) {
   SLICE_CHECK_GE(range.start, 0);
   SLICE_CHECK_GT(range.end, range.start);
+  if (options_.composite_left) {
+    // Composite chains exist only at levels >= 1 of a time-windowed tree.
+    SLICE_CHECK(range.kind == WindowKind::kTime);
+    SLICE_CHECK(options_.mode == Mode::kBinary);
+    SLICE_CHECK_GE(options_.anchor, 0);
+    SLICE_CHECK_LT(options_.anchor, options_.left_arity);
+  }
 }
 
 void SlicedWindowJoin::SetRange(SliceRange range) {
@@ -45,6 +53,7 @@ void SlicedWindowJoin::SetRange(SliceRange range) {
   range_ = range;
   state_a_.set_window(StateWindowFor(range));
   state_b_.set_window(StateWindowFor(range));
+  state_c_.set_window(StateWindowFor(range));
 }
 
 void SlicedWindowJoin::Process(Event event, int input_port) {
@@ -55,13 +64,31 @@ void SlicedWindowJoin::Process(Event event, int input_port) {
     Emit(kNextPort, event);
     return;
   }
+  if (const CompositeTuple* c = std::get_if<CompositeTuple>(&event)) {
+    // Composite events are this level's left input (previous tree level's
+    // results) and follow the same role discipline as raw tuples.
+    SLICE_CHECK(options_.composite_left);
+    switch (c->role) {
+      case TupleRole::kBoth:
+        ProcessFemaleComposite(*c);
+        ProcessMaleComposite(*c);
+        break;
+      case TupleRole::kMale:
+        ProcessMaleComposite(*c);
+        break;
+      case TupleRole::kFemale:
+        ProcessFemaleComposite(*c);
+        break;
+    }
+    return;
+  }
   SLICE_CHECK(IsTuple(event));
   const Tuple& t = std::get<Tuple>(event);
 
   if (options_.mode == Mode::kOneWayA) {
-    // One-way execution (Fig. 6): A tuples fill the state (female role),
-    // B tuples purge + probe + propagate (male role).
-    if (t.side == StreamSide::kA) {
+    // One-way execution (Fig. 6): left tuples fill the state (female role),
+    // right tuples purge + probe + propagate (male role).
+    if (IsLeft(t)) {
       ProcessFemale(t);
     } else {
       ProcessMale(t);
@@ -88,7 +115,31 @@ void SlicedWindowJoin::Process(Event event, int input_port) {
 }
 
 void SlicedWindowJoin::ProcessMale(const Tuple& t) {
-  JoinState* opposite = StateOf(Opposite(t.side));
+  if (options_.composite_left) {
+    // A right-stream male purges + probes the composite (left) state; each
+    // match extends a stored composite by this tuple.
+    SLICE_CHECK_EQ(t.side, options_.right_stream);
+    std::vector<CompositeTuple> purged;
+    Charge(CostCategory::kPurge, state_c_.Purge(t.timestamp, &purged));
+    for (const CompositeTuple& f : purged) {
+      Emit(kNextPort, f);
+    }
+    std::vector<CompositeTuple> matches;
+    Charge(CostCategory::kProbe,
+           state_c_.Probe(t, options_.condition, &matches, options_.anchor));
+    for (const CompositeTuple& f : matches) {
+      Emit(kResultPort, f.WithAppended(t));
+    }
+    Tuple male = t;
+    male.role = TupleRole::kMale;
+    Emit(kNextPort, male);
+    if (options_.punctuate_results) {
+      Emit(kResultPort, Punctuation{.watermark = t.timestamp});
+    }
+    return;
+  }
+
+  JoinState* opposite = IsLeft(t) ? &state_b_ : &state_a_;
 
   // 1. Cross-purge (Fig. 9): expired opposite-side females move into the
   //    queue toward the next slice *ahead of* this male, preserving queue
@@ -110,7 +161,8 @@ void SlicedWindowJoin::ProcessMale(const Tuple& t) {
       const Duration d = t.timestamp - f.timestamp;
       if (d < range_.start || d >= range_.end) continue;
     }
-    if (t.side == StreamSide::kA) {
+    // Result constituents are ordered left-then-right (FROM order).
+    if (IsLeft(t)) {
       Emit(kResultPort, JoinResult{.a = t, .b = f});
     } else {
       Emit(kResultPort, JoinResult{.a = f, .b = t});
@@ -130,9 +182,41 @@ void SlicedWindowJoin::ProcessMale(const Tuple& t) {
   }
 }
 
+void SlicedWindowJoin::ProcessMaleComposite(const CompositeTuple& c) {
+  // A composite male purges + probes the right-singles state; each match
+  // extends this composite by the stored tuple.
+  const TimePoint now = c.timestamp();
+  std::vector<Tuple> purged;
+  Charge(CostCategory::kPurge, state_b_.Purge(now, &purged));
+  for (const Tuple& f : purged) {
+    Emit(kNextPort, f);
+  }
+  std::vector<Tuple> matches;
+  const JoinCondition& cond = options_.condition;
+  const Tuple& anchor_part = c.part(options_.anchor);
+  Charge(CostCategory::kProbe,
+         state_b_.ProbeWith(
+             [&](const Tuple& e) { return cond.Match(anchor_part, e); },
+             &matches));
+  for (const Tuple& f : matches) {
+    Emit(kResultPort, c.WithAppended(f));
+  }
+  CompositeTuple male = c;
+  male.role = TupleRole::kMale;
+  Emit(kNextPort, male);
+  if (options_.punctuate_results) {
+    Emit(kResultPort, Punctuation{.watermark = now});
+  }
+}
+
 void SlicedWindowJoin::ProcessFemale(const Tuple& t) {
   Tuple female = t;
   female.role = TupleRole::kFemale;
+  if (options_.composite_left) {
+    SLICE_CHECK_EQ(t.side, options_.right_stream);
+    state_b_.Insert(female, nullptr);  // kTime: never evicts on insert
+    return;
+  }
   // Count-based slices purge on insert: the evicted tuple's rank crossed
   // the slice end, so it moves to the next slice.
   std::vector<Tuple> evicted;
@@ -140,6 +224,12 @@ void SlicedWindowJoin::ProcessFemale(const Tuple& t) {
   for (const Tuple& e : evicted) {
     Emit(kNextPort, e);
   }
+}
+
+void SlicedWindowJoin::ProcessFemaleComposite(const CompositeTuple& c) {
+  CompositeTuple female = c;
+  female.role = TupleRole::kFemale;
+  state_c_.Insert(female, nullptr);  // kTime: never evicts on insert
 }
 
 void SlicedWindowJoin::Finish() {

@@ -6,7 +6,7 @@
 
 namespace stateslice {
 
-Split::Split(std::string name, Predicate predicate, StreamSide target_side)
+Split::Split(std::string name, Predicate predicate, StreamId target_side)
     : Operator(std::move(name)),
       predicate_(std::move(predicate)),
       target_side_(target_side) {}

@@ -29,7 +29,7 @@ class Split : public Operator {
   static constexpr int kRestPort = 1;
 
   Split(std::string name, Predicate predicate,
-        StreamSide target_side = StreamSide::kA);
+        StreamId target_side = StreamSide::kA);
 
   void Process(Event event, int input_port) override;
   void Finish() override;
@@ -38,7 +38,7 @@ class Split : public Operator {
 
  private:
   Predicate predicate_;
-  StreamSide target_side_;
+  StreamId target_side_;
 };
 
 // Broadcast replicator: every event on input 0 is emitted on output 0,

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "src/common/tuple.h"
+
 namespace stateslice {
 namespace {
 
@@ -106,79 +108,175 @@ class Parser {
   }
 
  private:
+  struct StreamRef {
+    std::string stream;
+    std::string alias;
+  };
+
   bool ParseInto(ContinuousQuery* query, std::string* error) {
     if (!ExpectKeyword("select", error)) return false;
     // SELECT list: accept anything up to FROM.
     while (!AtEnd() && Peek().lower != "from") Advance();
     if (!ExpectKeyword("from", error)) return false;
 
-    if (!ParseStreamRef(&stream_a_, &alias_a_, error)) return false;
-    if (!ExpectSymbol(",", error)) return false;
-    if (!ParseStreamRef(&stream_b_, &alias_b_, error)) return false;
+    // FROM list: 2..kMaxStreams comma-separated stream references. The
+    // k-th entry binds stream id k (streams are positional).
+    StreamRef ref;
+    if (!ParseStreamRef(&ref, error)) return false;
+    streams_.push_back(ref);
+    while (!AtEnd() && Peek().lower == ",") {
+      Advance();
+      if (!ParseStreamRef(&ref, error)) return false;
+      streams_.push_back(ref);
+    }
+    if (streams_.size() < 2) {
+      return Fail("FROM list needs at least two streams", error);
+    }
+    if (streams_.size() > static_cast<size_t>(kMaxStreams)) {
+      return Fail("FROM list exceeds the " + std::to_string(kMaxStreams) +
+                      "-stream limit",
+                  error);
+    }
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (streams_[i].stream == streams_[j].stream) {
+          return Fail("duplicate stream name '" + streams_[i].stream +
+                          "' in FROM list",
+                      error);
+        }
+        if (streams_[i].alias == streams_[j].alias) {
+          return Fail("duplicate stream alias '" + streams_[i].alias +
+                          "' in FROM list",
+                      error);
+        }
+        // An alias shadowing another entry's stream name (or vice versa)
+        // makes qualified references ambiguous: IndexOf would silently
+        // bind them by FROM order.
+        if (streams_[i].alias == streams_[j].stream ||
+            streams_[i].stream == streams_[j].alias) {
+          const std::string& clash = streams_[i].alias == streams_[j].stream
+                                         ? streams_[i].alias
+                                         : streams_[i].stream;
+          return Fail("ambiguous stream reference '" + clash +
+                          "' in FROM list (alias shadows a stream name)",
+                      error);
+        }
+      }
+    }
+    const int n = static_cast<int>(streams_.size());
+    anchors_.assign(static_cast<size_t>(n) - 1, -1);
 
+    // WHERE: a conjunction of join conditions (alias.attr = alias.attr)
+    // and filters (alias.attr cmp number), in any order. The left-deep
+    // tree shape requires every stream after the first to be equi-joined
+    // to exactly one earlier stream.
     if (!ExpectKeyword("where", error)) return false;
-    if (!ParseJoinCondition(error)) return false;
+    if (!ParseConjunct(query, error)) return false;
     while (!AtEnd() && Peek().lower == "and") {
       Advance();
-      if (!ParseFilter(query, error)) return false;
+      if (!ParseConjunct(query, error)) return false;
+    }
+    for (int k = 1; k < n; ++k) {
+      if (anchors_[static_cast<size_t>(k) - 1] < 0) {
+        return Fail("stream '" + streams_[static_cast<size_t>(k)].stream +
+                        "' is not connected by a join condition",
+                    error);
+      }
     }
 
     if (!ExpectKeyword("window", error)) return false;
     if (!ParseWindow(query, error)) return false;
     if (!AtEnd()) return Fail("trailing input after WINDOW clause", error);
+    if (n > 2 && query->window.kind == WindowKind::kCount) {
+      return Fail("count-based windows are binary-only", error);
+    }
+
+    if (n > 2) {
+      // The binary pair keeps the default empty lists (degenerate case).
+      query->stream_names.reserve(streams_.size());
+      for (const StreamRef& s : streams_) {
+        query->stream_names.push_back(s.stream);
+      }
+      query->join_anchors = anchors_;
+    }
     return true;
   }
 
-  bool ParseStreamRef(std::string* stream, std::string* alias,
-                      std::string* error) {
+  bool ParseStreamRef(StreamRef* ref, std::string* error) {
     if (AtEnd()) return Fail("expected stream name", error);
-    *stream = Peek().text;
+    ref->stream = Peek().text;
     Advance();
     // Optional alias (an identifier that is not a separator/keyword).
     if (!AtEnd() && Peek().lower != "," && Peek().lower != "where") {
-      *alias = Peek().text;
+      ref->alias = Peek().text;
       Advance();
     } else {
-      *alias = *stream;
+      ref->alias = ref->stream;
     }
     return true;
   }
 
-  bool ParseJoinCondition(std::string* error) {
-    std::string lhs_alias, lhs_attr, rhs_alias, rhs_attr;
-    if (!ParseQualified(&lhs_alias, &lhs_attr, error)) return false;
-    if (!ExpectSymbol("=", error)) return false;
-    if (!ParseQualified(&rhs_alias, &rhs_attr, error)) return false;
-    const bool lhs_known = SideOf(lhs_alias) != 0;
-    const bool rhs_known = SideOf(rhs_alias) != 0;
-    if (!lhs_known || !rhs_known || SideOf(lhs_alias) == SideOf(rhs_alias)) {
-      return Fail("join condition must reference both streams", error);
-    }
-    return true;
-  }
-
-  bool ParseFilter(ContinuousQuery* query, std::string* error) {
+  // One WHERE conjunct: a join condition or a filter, told apart by the
+  // token after the qualified attribute ('=' + another qualified attribute
+  // means join; a comparison operator means filter).
+  bool ParseConjunct(ContinuousQuery* query, std::string* error) {
     std::string alias, attr;
     if (!ParseQualified(&alias, &attr, error)) return false;
     if (AtEnd()) return Fail("expected comparison operator", error);
     const std::string op = Peek().lower;
-    if (op != ">" && op != "<" && op != ">=" && op != "<=") {
-      return Fail("unsupported comparison '" + Peek().text + "'", error);
+    if (op == "=") {
+      Advance();
+      return FinishJoinCondition(alias, error);
     }
-    Advance();
+    if (op == ">" || op == "<" || op == ">=" || op == "<=") {
+      Advance();
+      return FinishFilter(query, alias, op, error);
+    }
+    return Fail("unsupported comparison '" + Peek().text + "'", error);
+  }
+
+  bool FinishJoinCondition(const std::string& lhs_alias, std::string* error) {
+    std::string rhs_alias, rhs_attr;
+    if (!ParseQualified(&rhs_alias, &rhs_attr, error)) return false;
+    const int lhs = IndexOf(lhs_alias);
+    const int rhs = IndexOf(rhs_alias);
+    if (lhs < 0 || rhs < 0 || lhs == rhs) {
+      return Fail("join condition must reference both streams", error);
+    }
+    // The later FROM entry anchors to the earlier one (left-deep shape).
+    const int later = std::max(lhs, rhs);
+    const int earlier = std::min(lhs, rhs);
+    if (anchors_[static_cast<size_t>(later) - 1] >= 0) {
+      return Fail("stream '" + streams_[static_cast<size_t>(later)].stream +
+                      "' has more than one join condition",
+                  error);
+    }
+    anchors_[static_cast<size_t>(later) - 1] = earlier;
+    return true;
+  }
+
+  bool FinishFilter(ContinuousQuery* query, const std::string& alias,
+                    const std::string& op, std::string* error) {
     double threshold = 0;
     if (!ParseNumber(&threshold, error)) return false;
     Predicate pred = (op == ">" || op == ">=")
                          ? Predicate::GreaterThan(threshold)
                          : Predicate::LessThan(threshold);
-    const int side = SideOf(alias);
-    if (side == 0) {
+    const int stream = IndexOf(alias);
+    if (stream < 0) {
       return Fail("filter references unknown alias '" + alias + "'", error);
     }
-    if (side == 1) {
+    if (stream == 0) {
       query->selection_a = Predicate::And(query->selection_a, pred);
-    } else {
+    } else if (stream == 1) {
       query->selection_b = Predicate::And(query->selection_b, pred);
+    } else {
+      const size_t k = static_cast<size_t>(stream) - 2;
+      if (query->extra_selections.size() <= k) {
+        query->extra_selections.resize(k + 1);
+      }
+      query->extra_selections[k] =
+          Predicate::And(query->extra_selections[k], pred);
     }
     return true;
   }
@@ -240,11 +338,14 @@ class Parser {
     return true;
   }
 
-  // 1 = stream A, 2 = stream B, 0 = unknown.
-  int SideOf(const std::string& alias) const {
-    if (alias == alias_a_ || alias == stream_a_) return 1;
-    if (alias == alias_b_ || alias == stream_b_) return 2;
-    return 0;
+  // Stream id (FROM position) of an alias or stream name; -1 if unknown.
+  int IndexOf(const std::string& alias) const {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      if (alias == streams_[i].alias || alias == streams_[i].stream) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
   }
 
   bool ExpectKeyword(const std::string& kw, std::string* error) {
@@ -276,7 +377,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
-  std::string stream_a_, alias_a_, stream_b_, alias_b_;
+  std::vector<StreamRef> streams_;  // FROM order = stream ids
+  std::vector<int> anchors_;        // anchors_[k]: stream k+1 joins this
 };
 
 }  // namespace

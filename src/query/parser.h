@@ -8,8 +8,9 @@
 //   WINDOW 60 min
 //
 // Grammar (case-insensitive keywords):
-//   query     := SELECT select FROM stream alias "," stream alias
-//                WHERE join (AND filter)* WINDOW number unit
+//   query     := SELECT select FROM stream alias ("," stream alias)+
+//                WHERE conjunct (AND conjunct)* WINDOW number unit
+//   conjunct  := join | filter
 //   join      := alias "." ident "=" alias "." ident
 //   filter    := alias "." ident cmp number
 //   cmp       := ">" | "<" | ">=" | "<="
@@ -17,9 +18,14 @@
 //                | "h" | "hr(s)" | "hour(s)"
 //                | "rows" | "tuples"          (count-based windows)
 //
-// The first FROM entry is bound to stream A, the second to stream B.
-// Filters must reference a numeric attribute; they are compiled onto the
-// tuple's `value` field.
+// FROM entries bind stream ids positionally: the k-th entry is stream k
+// (the binary pair A, B is the two-entry case). Up to kMaxStreams streams
+// are accepted; duplicate stream names or aliases are rejected. Every
+// stream after the first must be equi-joined to exactly one earlier stream
+// (the left-deep join-tree shape; the conditions may appear in any order
+// and interleave with filters). Count-based windows are binary-only.
+// Filters must reference a numeric attribute of a declared stream; they
+// are compiled onto the tuple's `value` field.
 #ifndef STATESLICE_QUERY_PARSER_H_
 #define STATESLICE_QUERY_PARSER_H_
 

@@ -45,14 +45,45 @@ bool AppendCqlConjuncts(const std::string& desc, const std::string& alias,
   return false;
 }
 
+const Predicate& TruePredicate() {
+  static const Predicate* kTrue = new Predicate();
+  return *kTrue;
+}
+
 }  // namespace
+
+std::string ContinuousQuery::stream_name(int i) const {
+  if (!stream_names.empty()) return stream_names[static_cast<size_t>(i)];
+  return i == 0 ? "A" : "B";
+}
+
+const Predicate& ContinuousQuery::selection(int i) const {
+  if (i == 0) return selection_a;
+  if (i == 1) return selection_b;
+  const size_t k = static_cast<size_t>(i) - 2;
+  return k < extra_selections.size() ? extra_selections[k] : TruePredicate();
+}
+
+bool ContinuousQuery::Unfiltered() const {
+  if (!selection_a.IsTrue() || !selection_b.IsTrue()) return false;
+  for (const Predicate& p : extra_selections) {
+    if (!p.IsTrue()) return false;
+  }
+  return true;
+}
 
 std::string ContinuousQuery::DebugString() const {
   std::ostringstream out;
-  out << (name.empty() ? "Q" + std::to_string(id) : name) << ": A"
-      << window.DebugString() << " |x| B" << window.DebugString();
-  if (!selection_a.IsTrue()) out << " where A " << selection_a.description();
-  if (!selection_b.IsTrue()) out << " where B " << selection_b.description();
+  out << (name.empty() ? "Q" + std::to_string(id) : name) << ": "
+      << stream_name(0) << window.DebugString();
+  for (int s = 1; s < num_streams(); ++s) {
+    out << " |x| " << stream_name(s) << window.DebugString();
+  }
+  for (int s = 0; s < num_streams(); ++s) {
+    if (!selection(s).IsTrue()) {
+      out << " where " << stream_name(s) << " " << selection(s).description();
+    }
+  }
   return out.str();
 }
 
@@ -67,14 +98,26 @@ std::string WindowSpec::DebugString() const {
 }
 
 std::optional<std::string> ContinuousQuery::ToCql() const {
+  const int n = num_streams();
   std::vector<std::string> conjuncts;
-  if (!AppendCqlConjuncts(selection_a.description(), "A", &conjuncts) ||
-      !AppendCqlConjuncts(selection_b.description(), "B", &conjuncts)) {
-    return std::nullopt;
+  for (int s = 0; s < n; ++s) {
+    if (!AppendCqlConjuncts(selection(s).description(), stream_name(s),
+                            &conjuncts)) {
+      return std::nullopt;
+    }
   }
   if (window.extent <= 0) return std::nullopt;
   std::ostringstream out;
-  out << "SELECT * FROM A A, B B WHERE A.key = B.key";
+  out << "SELECT * FROM";
+  for (int s = 0; s < n; ++s) {
+    out << (s == 0 ? " " : ", ") << stream_name(s) << " " << stream_name(s);
+  }
+  out << " WHERE";
+  for (int k = 0; k < n - 1; ++k) {
+    if (k > 0) out << " AND";
+    out << " " << stream_name(k + 1) << ".key = " << stream_name(anchor(k))
+        << ".key";
+  }
   for (const std::string& c : conjuncts) out << " AND " << c;
   out << " WINDOW ";
   if (window.kind == WindowKind::kCount) {
@@ -91,11 +134,47 @@ std::optional<std::string> ContinuousQuery::ToCql() const {
 
 void ValidateQueries(const std::vector<ContinuousQuery>& queries) {
   SLICE_CHECK(!queries.empty());
+  // Lineage tracks one bit per query: the *query* count is bounded by the
+  // bitmask width regardless of how many streams each query reads.
   SLICE_CHECK_LE(queries.size(), static_cast<size_t>(kMaxQueries));
   for (size_t i = 0; i < queries.size(); ++i) {
-    SLICE_CHECK_EQ(queries[i].id, static_cast<int>(i));
-    SLICE_CHECK_GT(queries[i].window.extent, 0);
-    SLICE_CHECK(queries[i].window.kind == queries[0].window.kind);
+    const ContinuousQuery& q = queries[i];
+    SLICE_CHECK_EQ(q.id, static_cast<int>(i));
+    SLICE_CHECK_GT(q.window.extent, 0);
+    SLICE_CHECK(q.window.kind == queries[0].window.kind);
+    const int n = q.num_streams();
+    // Stream count bounds the StreamDispatch/router fan-out of the shared
+    // tree: reject workloads that exceed it.
+    SLICE_CHECK_GE(n, 2);
+    SLICE_CHECK_LE(n, kMaxStreams);
+    SLICE_CHECK_LE(q.extra_selections.size(), static_cast<size_t>(n) - 2);
+    if (!q.join_anchors.empty()) {
+      SLICE_CHECK_EQ(static_cast<int>(q.join_anchors.size()), n - 1);
+      for (int k = 0; k < n - 1; ++k) {
+        SLICE_CHECK_GE(q.join_anchors[k], 0);
+        SLICE_CHECK_LE(q.join_anchors[k], k);
+      }
+    }
+    if (n > 2) {
+      // The sliced tree levels purge composite state by timestamp; count
+      // windows stay binary-only.
+      SLICE_CHECK(q.window.kind == WindowKind::kTime);
+    }
+  }
+  // Join-tree-prefix compatibility: streams are positional, so the
+  // workload shares one tree iff every query deep enough to define level
+  // k agrees on that level's join anchor.
+  const int max_streams = MaxStreams(queries);
+  for (int k = 0; k + 1 < max_streams; ++k) {
+    int ref = -1;
+    for (const ContinuousQuery& q : queries) {
+      if (q.num_streams() < k + 2) continue;
+      if (ref < 0) {
+        ref = q.anchor(k);
+      } else {
+        SLICE_CHECK_EQ(q.anchor(k), ref);
+      }
+    }
   }
 }
 
@@ -106,6 +185,14 @@ std::vector<int> QueriesByWindow(const std::vector<ContinuousQuery>& queries) {
     return queries[x].window.extent < queries[y].window.extent;
   });
   return order;
+}
+
+int MaxStreams(const std::vector<ContinuousQuery>& queries) {
+  int n = 2;
+  for (const ContinuousQuery& q : queries) {
+    n = std::max(n, q.num_streams());
+  }
+  return n;
 }
 
 }  // namespace stateslice

@@ -1,8 +1,14 @@
 // Continuous-query specifications.
 //
-// A ContinuousQuery describes one registered window-join query:
-//    Qi: SELECT * FROM A, B WHERE <join cond> [AND σ_i(A)] WINDOW w_i
-// The shared-plan builders (src/core) consume a vector of these.
+// A ContinuousQuery describes one registered window-join query over an
+// ordered list of 2..kMaxStreams streams:
+//    Qi: SELECT * FROM S_0, S_1, ..., S_{n-1}
+//        WHERE <join conds> [AND σ_i(S_k) ...] WINDOW w_i
+// Streams are positional: stream k of every query in a workload reads the
+// k-th input feed, and `stream_names` are labels only. The binary form
+// (streams A and B) is the degenerate n = 2 case and keeps its dedicated
+// selection_a/selection_b fields; the shared-plan builders (src/core)
+// consume a vector of these.
 #ifndef STATESLICE_QUERY_QUERY_H_
 #define STATESLICE_QUERY_QUERY_H_
 
@@ -11,40 +17,80 @@
 #include <vector>
 
 #include "src/common/predicate.h"
+#include "src/common/tuple.h"
 #include "src/operators/window_spec.h"
 
 namespace stateslice {
 
-// One registered continuous query over streams A and B.
+// One registered continuous query.
 struct ContinuousQuery {
   int id = 0;                // dense id; also the lineage bit position
   std::string name;          // e.g. "Q1"
-  WindowSpec window;         // both sides use the same window (paper §5)
-  Predicate selection_a;     // σ on stream A (default: true)
-  Predicate selection_b;     // σ on stream B (default: true; extension)
+  WindowSpec window;         // every join level uses the same window
+  Predicate selection_a;     // σ on stream 0 (default: true)
+  Predicate selection_b;     // σ on stream 1 (default: true; extension)
 
-  // True if the query applies no selection at all.
-  bool Unfiltered() const {
-    return selection_a.IsTrue() && selection_b.IsTrue();
+  // --- N-way extension (all empty for the binary default) --------------
+  // Ordered FROM-list stream names. Empty means the binary pair
+  // ("A", "B"); a multi-way query sets one name per stream (>= 3 entries —
+  // the stream count is derived from this list).
+  std::vector<std::string> stream_names{};
+  // σ on streams 2..n-1: extra_selections[k] applies to stream k+2. May be
+  // shorter than n-2 (missing entries are unfiltered).
+  std::vector<Predicate> extra_selections{};
+  // Join shape of the left-deep tree: join_anchors[k] is the index of the
+  // *earlier* stream that stream k+1 equi-joins with (0 <= anchor <= k).
+  // Empty means chain adjacency (stream k+1 joins stream k).
+  std::vector<int> join_anchors{};
+
+  // Number of streams the query reads (2 for the binary default).
+  int num_streams() const {
+    return stream_names.empty() ? 2 : static_cast<int>(stream_names.size());
   }
+
+  // Label of stream `i` ("A"/"B" for the binary default).
+  std::string stream_name(int i) const;
+
+  // σ on stream `i` (the trivial true predicate when absent).
+  const Predicate& selection(int i) const;
+
+  // Earlier-stream index that stream `level`+1 joins with.
+  int anchor(int level) const {
+    return join_anchors.empty() ? level
+                                : join_anchors[static_cast<size_t>(level)];
+  }
+
+  // True if the query applies no selection on any stream.
+  bool Unfiltered() const;
 
   std::string DebugString() const;
 
   // Canonical mini-CQL text re-parseable by ParseQuery (round-trip:
-  // ParseQuery(*q.ToCql()) yields the same window and selections). Returns
-  // nullopt when the query is outside the parser's dialect — a selection
-  // that is not a conjunction of value comparisons, or a time window finer
-  // than the parser's millisecond unit.
+  // ParseQuery(*q.ToCql()) yields the same stream count, window, join
+  // anchors, and selections). Returns nullopt when the query is outside
+  // the parser's dialect — a selection that is not a conjunction of value
+  // comparisons, or a time window finer than the parser's millisecond
+  // unit.
   std::optional<std::string> ToCql() const;
 };
 
 // Validates a workload: non-empty, dense ids 0..N-1, positive windows, all
-// windows the same kind, at most kMaxQueries queries. CHECK-fails on
-// violations (programming errors).
+// windows the same kind, at most kMaxQueries queries (lineage is one bit
+// per *query*, so the stream count does not consume lineage bits), and at
+// most kMaxStreams streams per query (the router/dispatch fan-out bound).
+// Queries sharing a workload must be join-tree-prefix compatible: their
+// ordered stream lists nest positionally (every query's stream count is a
+// prefix of the longest), their join anchors agree on the shared prefix,
+// and multi-way queries use time windows. CHECK-fails on violations
+// (programming errors); Engine::RegisterQuery pre-screens the same rules
+// with ok=false semantics.
 void ValidateQueries(const std::vector<ContinuousQuery>& queries);
 
 // Returns query indices sorted by ascending window extent (stable).
 std::vector<int> QueriesByWindow(const std::vector<ContinuousQuery>& queries);
+
+// Largest stream count over the workload (2 for an all-binary workload).
+int MaxStreams(const std::vector<ContinuousQuery>& queries);
 
 }  // namespace stateslice
 

@@ -10,7 +10,7 @@ namespace stateslice {
 namespace {
 
 // Generates one Poisson (or fixed-rate) stream of `side` tuples.
-std::vector<Tuple> GenerateStream(StreamSide side, double rate,
+std::vector<Tuple> GenerateStream(StreamId side, double rate,
                                   double duration_s, int64_t key_domain,
                                   bool poisson, Rng* rng) {
   std::vector<Tuple> tuples;
@@ -78,6 +78,37 @@ std::vector<Tuple> MergedArrivals(const Workload& workload) {
                 workload.stream_a.end());
   merged.insert(merged.end(), workload.stream_b.begin(),
                 workload.stream_b.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tuple& x, const Tuple& y) {
+                     return x.timestamp < y.timestamp;
+                   });
+  return merged;
+}
+
+MultiWorkload GenerateMultiWorkload(const WorkloadSpec& spec,
+                                    int num_streams) {
+  SLICE_CHECK_GE(num_streams, 2);
+  SLICE_CHECK_LE(num_streams, kMaxStreams);
+  MultiWorkload workload;
+  workload.spec = spec;
+  workload.condition = ConditionForSelectivity(spec.join_selectivity);
+  workload.key_domain = workload.condition.mod;
+  Rng rng(spec.seed);
+  workload.streams.reserve(static_cast<size_t>(num_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    Rng stream_rng = rng.Fork();
+    workload.streams.push_back(GenerateStream(
+        s, s == 0 ? spec.rate_a : spec.rate_b, spec.duration_s,
+        workload.key_domain, spec.poisson, &stream_rng));
+  }
+  return workload;
+}
+
+std::vector<Tuple> MergedArrivals(const MultiWorkload& workload) {
+  std::vector<Tuple> merged;
+  for (const std::vector<Tuple>& stream : workload.streams) {
+    merged.insert(merged.end(), stream.begin(), stream.end());
+  }
   std::stable_sort(merged.begin(), merged.end(),
                    [](const Tuple& x, const Tuple& y) {
                      return x.timestamp < y.timestamp;

@@ -48,6 +48,22 @@ Workload GenerateWorkload(const WorkloadSpec& spec);
 // arrival feed — what a long-lived Engine session ingests tuple by tuple.
 std::vector<Tuple> MergedArrivals(const Workload& workload);
 
+// A generated N-stream workload for multi-way join trees. Stream 0 uses
+// spec.rate_a; every further stream uses spec.rate_b.
+struct MultiWorkload {
+  std::vector<std::vector<Tuple>> streams;  // [stream id], timestamp-ordered
+  JoinCondition condition;
+  int64_t key_domain = 0;
+  WorkloadSpec spec;
+};
+
+// Generates `num_streams` (>= 2) independent streams under `spec`, with
+// the same key-domain / S1 model as GenerateWorkload.
+MultiWorkload GenerateMultiWorkload(const WorkloadSpec& spec, int num_streams);
+
+// All streams merged into one globally timestamp-ordered arrival feed.
+std::vector<Tuple> MergedArrivals(const MultiWorkload& workload);
+
 // Chooses (mod, band) with band/mod == s1 for reasonable rational s1; falls
 // back to a 1000-denominator approximation. Exposed for tests.
 JoinCondition ConditionForSelectivity(double s1);

@@ -20,7 +20,7 @@
 //       QueryHandle q = engine.RegisterQuery(
 //           "SELECT A.* FROM A A, B B WHERE A.key = B.key WINDOW 10 s");
 //       engine.Subscribe(q, [](const JoinResult& r) { /* deliver */ });
-//       engine.Push(StreamId::kA, tuple);   // ... keep pushing
+//       engine.Push(StreamSide::kA, tuple);   // ... keep pushing
 //       engine.Finish();
 //       RunStats stats = engine.Snapshot();
 //
@@ -71,6 +71,7 @@
 #include "src/core/shared_plan_builder.h"
 #include "src/operators/join_condition.h"
 #include "src/operators/join_state.h"
+#include "src/operators/multiway.h"
 #include "src/operators/router.h"
 #include "src/operators/selection.h"
 #include "src/operators/sliced_window_join.h"

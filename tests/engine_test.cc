@@ -467,7 +467,7 @@ TEST(EngineTest, RegistrationAdvancesWatermarkPastTies) {
   ASSERT_TRUE(h1.valid());
   Tuple a = workload.stream_a.front();
   a.timestamp = SecondsToTicks(1.0);
-  engine.Push(StreamId::kA, a);
+  engine.Push(StreamSide::kA, a);
   const TimePoint before = engine.watermark();
   const QueryHandle h2 = engine.RegisterQuery(PlainQuery(4, "Q2"));
   ASSERT_TRUE(h2.valid());
@@ -476,7 +476,7 @@ TEST(EngineTest, RegistrationAdvancesWatermarkPastTies) {
   // A tuple tying with the pre-registration arrival is now out of order.
   Tuple b = workload.stream_b.front();
   b.timestamp = before;
-  EXPECT_DEATH(engine.Push(StreamId::kB, b), "CHECK failed");
+  EXPECT_DEATH(engine.Push(StreamSide::kB, b), "CHECK failed");
 }
 
 TEST(EngineTest, LazyBuildDoesNotFakeACutoff) {

@@ -198,6 +198,188 @@ TEST(ParserTest, ErrorTrailingGarbage) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(ParserTest, ThreeWayFromList) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM Routes R, Trains T, Buses U "
+      "WHERE R.k = T.k AND T.k = U.k AND U.Value > 0.5 WINDOW 10 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.num_streams(), 3);
+  EXPECT_EQ(r.query.stream_names,
+            (std::vector<std::string>{"Routes", "Trains", "Buses"}));
+  EXPECT_EQ(r.query.join_anchors, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(r.query.selection_a.IsTrue());
+  EXPECT_TRUE(r.query.selection_b.IsTrue());
+  ASSERT_EQ(r.query.extra_selections.size(), 1u);
+  EXPECT_FALSE(r.query.extra_selections[0].IsTrue());
+}
+
+TEST(ParserTest, FourWayNonAdjacentAnchors) {
+  // D joins B (not C): the left-deep tree anchors stream 3 to stream 1.
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM A A, B B, C C, D D "
+      "WHERE A.k = B.k AND B.k = C.k AND D.k = B.k WINDOW 5 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.num_streams(), 4);
+  EXPECT_EQ(r.query.join_anchors, (std::vector<int>{0, 1, 1}));
+}
+
+TEST(ParserTest, JoinConditionsInterleaveWithFilters) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM A A, B B, C C "
+      "WHERE A.v > 0.1 AND C.k = A.k AND B.k = A.k AND C.v < 0.9 "
+      "WINDOW 10 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.join_anchors, (std::vector<int>{0, 0}));
+  EXPECT_FALSE(r.query.selection_a.IsTrue());
+  ASSERT_EQ(r.query.extra_selections.size(), 1u);
+  EXPECT_FALSE(r.query.extra_selections[0].IsTrue());
+}
+
+TEST(ParserTest, ErrorDuplicateStreamName) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S1 B WHERE A.k = B.k WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate stream name 'S1'"), std::string::npos)
+      << r.error;
+}
+
+TEST(ParserTest, ErrorDuplicateStreamAlias) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 X, S2 X WHERE X.k = X.k WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("duplicate stream alias 'X'"), std::string::npos)
+      << r.error;
+}
+
+TEST(ParserTest, ErrorAliasShadowsStreamName) {
+  // An alias equal to another entry's stream name would make qualified
+  // references ambiguous (IndexOf binds by FROM order); both directions
+  // are rejected.
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 S2, S2 S3 WHERE S3.k = S1.k WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("ambiguous stream reference 'S2'"),
+            std::string::npos)
+      << r.error;
+  const ParseResult rev = ParseQuery(
+      "SELECT * FROM S1 A, A B WHERE B.k = A.k WINDOW 2 s");
+  EXPECT_FALSE(rev.ok);
+  EXPECT_NE(rev.error.find("ambiguous stream reference 'A'"),
+            std::string::npos)
+      << rev.error;
+}
+
+TEST(ParserTest, ErrorFilterOnStreamOutsideFromList) {
+  // A selection referencing a stream that is not in the FROM list is a
+  // user error surfaced as ok=false, for binary and N-way lists alike.
+  const ParseResult binary = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k AND Z.v > 1 WINDOW 2 s");
+  EXPECT_FALSE(binary.ok);
+  EXPECT_NE(binary.error.find("unknown alias 'Z'"), std::string::npos)
+      << binary.error;
+  const ParseResult three = ParseQuery(
+      "SELECT * FROM S1 A, S2 B, S3 C "
+      "WHERE A.k = B.k AND B.k = C.k AND Q.v > 1 WINDOW 2 s");
+  EXPECT_FALSE(three.ok);
+  EXPECT_NE(three.error.find("unknown alias 'Q'"), std::string::npos)
+      << three.error;
+}
+
+TEST(ParserTest, ErrorDisconnectedStream) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B, S3 C WHERE A.k = B.k WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("'S3' is not connected"), std::string::npos)
+      << r.error;
+}
+
+TEST(ParserTest, ErrorDoublyJoinedStream) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B, S3 C "
+      "WHERE A.k = C.k AND B.k = C.k AND A.k = B.k WINDOW 2 s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("more than one join condition"), std::string::npos)
+      << r.error;
+}
+
+TEST(ParserTest, ErrorCountWindowBeyondTwoStreams) {
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B, S3 C "
+      "WHERE A.k = B.k AND B.k = C.k WINDOW 10 rows");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("binary-only"), std::string::npos) << r.error;
+}
+
+TEST(ParserTest, ErrorTooManyStreams) {
+  std::string text = "SELECT * FROM S0 S0";
+  for (int s = 1; s <= kMaxStreams; ++s) {
+    text += ", S" + std::to_string(s) + " S" + std::to_string(s);
+  }
+  text += " WHERE S0.k = S1.k WINDOW 2 s";
+  const ParseResult r = ParseQuery(text);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stream limit"), std::string::npos) << r.error;
+}
+
+TEST(ParserTest, MultiwayToCqlRoundTrip) {
+  const char* texts[] = {
+      "SELECT * FROM R R, T T, U U WHERE R.k = T.k AND T.k = U.k "
+      "AND U.Value > 0.5 WINDOW 10 s",
+      "SELECT * FROM A A, B B, C C, D D WHERE A.k = B.k AND B.k = C.k "
+      "AND D.k = B.k AND A.Value < 0.25 WINDOW 1500 ms",
+  };
+  for (const char* text : texts) {
+    const ParseResult first = ParseQuery(text);
+    ASSERT_TRUE(first.ok) << text << ": " << first.error;
+    const std::optional<std::string> cql = first.query.ToCql();
+    ASSERT_TRUE(cql.has_value()) << text;
+    const ParseResult second = ParseQuery(*cql);
+    ASSERT_TRUE(second.ok) << *cql << ": " << second.error;
+    EXPECT_EQ(second.query.window, first.query.window) << *cql;
+    EXPECT_EQ(second.query.stream_names, first.query.stream_names) << *cql;
+    EXPECT_EQ(second.query.join_anchors, first.query.join_anchors) << *cql;
+    ASSERT_EQ(second.query.num_streams(), first.query.num_streams());
+    for (int s = 0; s < first.query.num_streams(); ++s) {
+      EXPECT_EQ(second.query.selection(s).description(),
+                first.query.selection(s).description())
+          << *cql << " stream " << s;
+    }
+  }
+}
+
+TEST(ParserTest, ParsedMultiwayQueryRunsEndToEnd) {
+  // Full integration: parse a 3-way query, build its tree, run a 3-stream
+  // workload, verify against the brute-force oracle.
+  ParseResult r = ParseQuery(
+      "SELECT * FROM A A, B B, C C WHERE A.loc = B.loc AND B.loc = C.loc "
+      "AND C.Value > 0.3 WINDOW 3 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  std::vector<ContinuousQuery> queries = {r.query};
+  queries[0].id = 0;
+  queries[0].name = "Q1";
+
+  WorkloadSpec spec;
+  spec.duration_s = 10;
+  const MultiWorkload workload = GenerateMultiWorkload(spec, 3);
+  BuildOptions options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  BuiltPlan built =
+      BuildStateSlicePlan(queries, BuildMemOptTree(queries), options);
+  StreamSource sa("A", workload.streams[0]);
+  StreamSource sb("B", workload.streams[1]);
+  StreamSource sc("C", workload.streams[2]);
+  Executor exec(built.plan.get(), {{&sa, built.entry},
+                                   {&sb, built.entry},
+                                   {&sc, built.entry}});
+  exec.Run();
+  EXPECT_EQ(built.collectors[0]->ResultMultiset(),
+            testing::MultiwayOracle(
+                {&workload.streams[0], &workload.streams[1],
+                 &workload.streams[2]},
+                workload.condition, queries[0]));
+}
+
 TEST(ParserTest, ParsedQueryRunsEndToEnd) {
   // Full integration: parse two queries, share them with a state-slice
   // chain, run a workload, verify against the oracle.

@@ -61,6 +61,40 @@ TEST(JoinResultTest, PairKeyIsOrderIndependentRepresentation) {
   EXPECT_EQ(JoinPairKey(r), "a2|b7");
 }
 
+TEST(CompositeTupleTest, NWayAccessorsAndKeys) {
+  Tuple c = testing::MakeTuple(2, 4, 2.0);  // stream id 2 prints as 'c'
+  CompositeTuple r{A(2, 1.0), B(7, 3.0)};
+  r = r.WithAppended(c);
+  EXPECT_EQ(r.size(), 3);
+  EXPECT_EQ(r.part(0).DebugId(), "a2");
+  EXPECT_EQ(r.part(2).DebugId(), "c4");
+  EXPECT_EQ(JoinPairKey(r), "a2|b7|c4");
+  EXPECT_EQ(r.timestamp(), SecondsToTicks(3.0));
+}
+
+TEST(CompositeTupleTest, GapsFollowPrefixWindowSemantics) {
+  // a@1, b@3, c@2: level 0 gap |1-3| = 2s; level 1 gap |max(1,3)-2| = 1s.
+  CompositeTuple r{A(1, 1.0), B(1, 3.0)};
+  r = r.WithAppended(testing::MakeTuple(2, 1, 2.0));
+  EXPECT_EQ(r.LastGap(), SecondsToTicks(1.0));
+  EXPECT_EQ(r.MaxGap(), SecondsToTicks(2.0));
+  // Binary degenerate case: both gaps are |Ta - Tb|.
+  const CompositeTuple pair{A(1, 1.0), B(1, 4.5)};
+  EXPECT_EQ(pair.LastGap(), SecondsToTicks(3.5));
+  EXPECT_EQ(pair.MaxGap(), SecondsToTicks(3.5));
+}
+
+TEST(CompositeTupleTest, LineageIntersectsAllConstituents) {
+  Tuple a = A(1, 1.0);
+  Tuple b = B(1, 1.0);
+  Tuple c = testing::MakeTuple(2, 1, 1.0);
+  a.lineage = 0b0111;
+  b.lineage = 0b0110;
+  c.lineage = 0b0011;
+  CompositeTuple r{a, b};
+  EXPECT_EQ(r.WithAppended(c).lineage(), uint64_t{0b0010});
+}
+
 TEST(EventTest, EventTimeCoversAllAlternatives) {
   EXPECT_EQ(EventTime(Event{A(1, 2.0)}), SecondsToTicks(2.0));
   EXPECT_EQ(EventTime(Event{JoinResult{A(1, 1.0), B(1, 4.0)}}),
