@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
     uint64_t comparisons = 0;
     for (int i = 0; i < 2000; ++i) {
       matches.clear();
-      comparisons += js.Probe(probe, cond, &matches);
+      comparisons += js.Probe(probe, cond, &matches).comparisons;
     }
     const auto t1 = std::chrono::steady_clock::now();
     EventQueue q("q");

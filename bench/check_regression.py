@@ -14,6 +14,11 @@ Usage:
   bench/check_regression.py --dir bench-out --update        # refresh baseline
   bench/check_regression.py --dir bench-out --threshold 0.4
 
+When running under GitHub Actions (GITHUB_STEP_SUMMARY set) — or when
+--summary FILE is passed — a per-bench delta table in Markdown is appended
+to the job summary, so the ratio of every bench against its baseline is
+visible without opening the logs.
+
 The baseline records the machine it was measured on purely as a hint:
 wall-clock throughput is machine-dependent, so regenerate the baseline
 (--update) when the reference hardware changes.
@@ -56,6 +61,33 @@ def load_reports(directory):
     return reports
 
 
+def write_job_summary(path, rows, threshold, failures):
+    """Appends a Markdown per-bench delta table to `path` (the GitHub job
+    summary file, or any file passed via --summary)."""
+    lines = [
+        "### Bench throughput vs baseline",
+        "",
+        "| bench | metric | current | baseline | ratio | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for name, metric, value, base, ratio, ok in rows:
+        status = "✅ ok" if ok else "❌ regression"
+        lines.append(
+            f"| {name} | {metric} | {value:,.0f} | {base:,.0f} "
+            f"| {ratio:.2f}x | {status} |")
+    lines.append("")
+    verdict = ("**FAILED** — " + "; ".join(failures)
+               if failures else
+               f"**passed** (floor: {1.0 - threshold:.0%} of baseline)")
+    lines.append(f"Gate {verdict}")
+    lines.append("")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"warning: cannot write job summary {path}: {e}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", required=True,
@@ -67,6 +99,10 @@ def main():
                         help="max allowed fractional drop (default 0.25)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current reports")
+    parser.add_argument("--summary", default=os.environ.get(
+                            "GITHUB_STEP_SUMMARY"),
+                        help="file to append the Markdown delta table to "
+                             "(default: $GITHUB_STEP_SUMMARY when set)")
     args = parser.parse_args()
 
     reports = load_reports(args.dir)
@@ -101,6 +137,7 @@ def main():
         return 1
 
     failures = []
+    summary_rows = []
     for name, entry in sorted(baseline.get("benches", {}).items()):
         report = reports.get(name)
         if report is None:
@@ -116,6 +153,8 @@ def main():
         status = "OK" if value >= floor else "REGRESSION"
         print(f"{status:>10}  {name:<24} {metric}: {value:,.0f} "
               f"vs baseline {base:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
+        summary_rows.append((name, metric, value, base, ratio,
+                             value >= floor))
         if value < floor:
             failures.append(
                 f"{name}: {metric} {value:,.0f} is more than "
@@ -125,6 +164,10 @@ def main():
             continue  # analytic/foreign-schema bench; --update skips it too
         print(f"{'NEW':>10}  {name:<24} not in baseline "
               "(add with --update)")
+
+    if args.summary:
+        write_job_summary(args.summary, summary_rows, args.threshold,
+                          failures)
 
     if failures:
         print("\nthroughput regression gate FAILED:")

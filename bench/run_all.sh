@@ -57,6 +57,7 @@ figure_benches=(
   bench_lineage_ablation
   bench_multiway_scaling
   bench_parallel_scaling
+  bench_probe_index
 )
 
 failures=0

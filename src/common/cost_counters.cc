@@ -10,8 +10,15 @@ uint64_t CostCounters::Total() const {
   return total;
 }
 
+uint64_t CostCounters::PhysicalTotal() const {
+  uint64_t total = 0;
+  for (const auto& c : phys_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
 void CostCounters::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : phys_) c.store(0, std::memory_order_relaxed);
 }
 
 const char* CostCounters::Name(CostCategory category) {
@@ -35,6 +42,19 @@ const char* CostCounters::Name(CostCategory category) {
   }
 }
 
+const char* CostCounters::Name(PhysCategory category) {
+  switch (category) {
+    case PhysCategory::kKeyLookup:
+      return "key_lookup";
+    case PhysCategory::kEntryVisit:
+      return "entry_visit";
+    case PhysCategory::kIndexUpkeep:
+      return "index_upkeep";
+    default:
+      return "?";
+  }
+}
+
 std::string CostCounters::DebugString() const {
   std::ostringstream out;
   for (int i = 0; i < static_cast<int>(CostCategory::kCategoryCount); ++i) {
@@ -43,6 +63,11 @@ std::string CostCounters::DebugString() const {
         << counts_[i].load(std::memory_order_relaxed);
   }
   out << " total=" << Total();
+  for (int i = 0; i < static_cast<int>(PhysCategory::kPhysCategoryCount);
+       ++i) {
+    out << " " << Name(static_cast<PhysCategory>(i)) << "="
+        << phys_[i].load(std::memory_order_relaxed);
+  }
   return out.str();
 }
 

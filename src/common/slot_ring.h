@@ -1,0 +1,139 @@
+// SlotRing: a deque-like ring buffer with *stable monotone slot ids*.
+//
+// Entries are held in arrival order. Every entry is addressed by a signed
+// 64-bit slot id that never changes for the lifetime of the entry: ids grow
+// by one per push_back and shrink below the current head per push_front, so
+// the live id range is always the contiguous half-open interval
+// [first_id(), end_id()). Popping the front advances first_id() without
+// disturbing any other id.
+//
+// This is the storage layer of the hash-indexed join states
+// (src/operators/join_state.h): the per-key index stores slot ids, and
+// because purge only ever removes the oldest entries, an indexed id is live
+// iff id >= first_id() — a single comparison, no per-purge index
+// maintenance. The ring grows by doubling (amortized O(1) push) and indexes
+// slots with a power-of-two mask.
+#ifndef STATESLICE_COMMON_SLOT_RING_H_
+#define STATESLICE_COMMON_SLOT_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace stateslice {
+
+template <typename T>
+class SlotRing {
+ public:
+  SlotRing() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Live ids form [first_id(), end_id()); both advance monotonically except
+  // that push_front extends the range downward (migration prepends).
+  int64_t first_id() const { return head_id_; }
+  int64_t end_id() const { return head_id_ + static_cast<int64_t>(size_); }
+
+  // Entry with slot id `id`; must be live.
+  const T& at_id(int64_t id) const {
+    SLICE_CHECK_GE(id, first_id());
+    SLICE_CHECK_LT(id, end_id());
+    return buf_[Pos(id)];
+  }
+  T& at_id(int64_t id) {
+    return const_cast<T&>(std::as_const(*this).at_id(id));
+  }
+
+  const T& front() const { return at_id(first_id()); }
+  const T& back() const { return at_id(end_id() - 1); }
+
+  // Applies fn(slot_id, entry) to every live entry, oldest first. The hot
+  // iteration path: no per-entry bounds checks (the loop is bounded by
+  // construction), unlike repeated at_id() calls.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    size_t pos = head_pos_;
+    for (size_t i = 0; i < size_; ++i) {
+      fn(head_id_ + static_cast<int64_t>(i), buf_[pos]);
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+  // Appends at the tail; returns the new entry's slot id (== old end_id()).
+  int64_t push_back(T value) {
+    if (size_ == buf_.size()) Grow();
+    const int64_t id = end_id();
+    buf_[Pos(id)] = std::move(value);
+    ++size_;
+    return id;
+  }
+
+  // Prepends before the head; returns the new entry's slot id
+  // (== old first_id() - 1). Used by slice-merge migration.
+  int64_t push_front(T value) {
+    if (size_ == buf_.size()) Grow();
+    const int64_t id = head_id_ - 1;
+    head_pos_ = (head_pos_ + buf_.size() - 1) & mask_;
+    head_id_ = id;
+    buf_[head_pos_] = std::move(value);
+    ++size_;
+    return id;
+  }
+
+  // Removes the oldest entry (id first_id()). Ids are unique only within
+  // the live range [first_id, end_id): a later push_front re-issues the
+  // popped id, so holders of retired ids must treat id < first_id() as
+  // dead *before* any push_front (BasicJoinState rebuilds its index on
+  // PrependOlder for exactly this reason).
+  void pop_front() {
+    SLICE_CHECK_GT(size_, size_t{0});
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      buf_[head_pos_] = T{};  // release heap-owned payload promptly
+    }
+    head_pos_ = (head_pos_ + 1) & mask_;
+    ++head_id_;
+    --size_;
+  }
+
+  void clear() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (int64_t id = first_id(); id < end_id(); ++id) buf_[Pos(id)] = T{};
+    }
+    head_id_ = end_id();  // ids stay monotone across a clear
+    head_pos_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  size_t Pos(int64_t id) const {
+    return (head_pos_ + static_cast<size_t>(id - head_id_)) & mask_;
+  }
+
+  void Grow() {
+    const size_t new_cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> grown(new_cap);
+    for (size_t i = 0; i < size_; ++i) {
+      grown[i] = std::move(buf_[(head_pos_ + i) & mask_]);
+    }
+    buf_ = std::move(grown);
+    head_pos_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  static constexpr size_t kInitialCapacity = 16;  // power of two
+
+  std::vector<T> buf_;
+  size_t mask_ = 0;      // buf_.size() - 1 (power-of-two capacity)
+  size_t head_pos_ = 0;  // physical slot of the oldest entry
+  size_t size_ = 0;
+  int64_t head_id_ = 0;  // slot id of the oldest entry
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_COMMON_SLOT_RING_H_

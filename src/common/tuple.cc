@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 namespace stateslice {
 
@@ -39,8 +40,19 @@ uint64_t CompositeTuple::lineage() const {
   return mask;
 }
 
-CompositeTuple CompositeTuple::WithAppended(const Tuple& t) const {
-  CompositeTuple extended = *this;
+CompositeTuple CompositeTuple::WithAppended(const Tuple& t) const& {
+  CompositeTuple extended;
+  extended.a = a;
+  extended.b = b;
+  extended.tail.reserve(tail.size() + 1);
+  extended.tail.insert(extended.tail.end(), tail.begin(), tail.end());
+  extended.tail.push_back(t);
+  extended.role = TupleRole::kBoth;
+  return extended;
+}
+
+CompositeTuple CompositeTuple::WithAppended(const Tuple& t) && {
+  CompositeTuple extended = std::move(*this);
   extended.tail.push_back(t);
   extended.role = TupleRole::kBoth;
   return extended;

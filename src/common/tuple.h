@@ -114,8 +114,11 @@ struct CompositeTuple {
   uint64_t lineage() const;
 
   // Returns a copy with `t` appended as the next constituent (the next
-  // tree level's output), role reset to kBoth.
-  CompositeTuple WithAppended(const Tuple& t) const;
+  // tree level's output), role reset to kBoth. The copy's tail is reserved
+  // at its final size (no realloc per level); the rvalue overload reuses
+  // this composite's tail allocation instead of cloning it.
+  CompositeTuple WithAppended(const Tuple& t) const&;
+  CompositeTuple WithAppended(const Tuple& t) &&;
 
   // |max(t_0..t_{n-2}) - t_{n-1}|: the timestamp gap introduced by the
   // *last* join level. For a binary result this is |Ta - Tb| — the routing

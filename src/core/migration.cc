@@ -108,6 +108,7 @@ int ChainMigrator::SplitSlice(int slice_index, Duration boundary) {
   // 3: insert the right-hand slice.
   SlicedWindowJoin::Options sopt;
   sopt.condition = built_->options.condition;
+  sopt.use_key_index = built_->options.use_key_index;
   sopt.punctuate_results = true;
   const std::string name =
       "slice.split" + std::to_string(g_migration_serial++);
@@ -223,6 +224,7 @@ int ChainMigrator::MergeSlices(int slice_index) {
   // older tuples).
   SlicedWindowJoin::Options sopt;
   sopt.condition = built_->options.condition;
+  sopt.use_key_index = built_->options.use_key_index;
   sopt.punctuate_results = true;
   const std::string name =
       "slice.merged" + std::to_string(g_migration_serial++);
@@ -506,7 +508,7 @@ void ChainMigrator::RemoveQuery(int query_id) {
   // compacted with MergeSlices, as Section 5.3 suggests.
 }
 
-void ValidateBuiltChain(const BuiltPlan& built) {
+void ValidateBuiltChain(const BuiltPlan& built, bool check_indexes) {
   SLICE_CHECK_EQ(built.num_levels, 1);  // invariants below are chain-shaped
   const ChainSpec& spec = built.chain.spec;
   const ChainPartition& partition = built.chain.partition;
@@ -537,6 +539,14 @@ void ValidateBuiltChain(const BuiltPlan& built) {
     }
     // The partition mirrors the slice ends.
     SLICE_CHECK_EQ(partition.slice_end_boundaries[s], slice.end_boundary);
+    // The per-key probe indexes (when enabled) exactly cover the live
+    // state: split/merge/set_window surgery must leave them spliced or
+    // rebuilt correctly. O(state) — opt-in (tests), not the Engine path.
+    if (check_indexes) {
+      slice.join->state_a().CheckIndexConsistency();
+      slice.join->state_b().CheckIndexConsistency();
+      slice.join->composite_state().CheckIndexConsistency();
+    }
     prev_end = r.end;
     prev_end_index = slice.end_boundary;
   }

@@ -81,7 +81,11 @@ class ChainMigrator {
 // indices matching join->range(), partition matching the slices, and every
 // live query registered at the boundary its window names. Holds right after
 // BuildStateSlicePlan and after every ChainMigrator operation.
-void ValidateBuiltChain(const BuiltPlan& built);
+// `check_indexes` additionally walks every slice state's per-key probe
+// index (BasicJoinState::CheckIndexConsistency) — an O(total window state)
+// scan, so tests opt in while the Engine's production migration path keeps
+// the default O(chain wiring) validation.
+void ValidateBuiltChain(const BuiltPlan& built, bool check_indexes = false);
 
 }  // namespace stateslice
 

@@ -85,6 +85,7 @@ BuiltPlan BuildUnsharedPlans(const std::vector<ContinuousQuery>& queries,
     }
     SlidingWindowJoin::Options jopt;
     jopt.condition = options.condition;
+    jopt.use_key_index = options.use_key_index;
     auto* join = plan->AddOperator(std::make_unique<SlidingWindowJoin>(
         q.name + ".join", q.window, q.window, jopt));
     plan->Connect(upstream, upstream_port, join, 0);
@@ -109,6 +110,7 @@ BuiltPlan BuildPullUpPlan(const std::vector<ContinuousQuery>& queries,
   // One join at the largest window; no early filtering (selection pull-up).
   SlidingWindowJoin::Options jopt;
   jopt.condition = options.condition;
+  jopt.use_key_index = options.use_key_index;
   auto* join = plan->AddOperator(std::make_unique<SlidingWindowJoin>(
       "join.pullup", WindowSpec{spec.kind, spec.boundaries[last]},
       WindowSpec{spec.kind, spec.boundaries[last]}, jopt));
@@ -212,6 +214,7 @@ BuiltPlan BuildPushDownPlan(const std::vector<ContinuousQuery>& queries,
       const int last = spec.num_boundaries() - 1;
       SlidingWindowJoin::Options jopt;
       jopt.condition = options.condition;
+      jopt.use_key_index = options.use_key_index;
       auto* join = p2->AddOperator(std::make_unique<SlidingWindowJoin>(
           "join.filtered", WindowSpec{spec.kind, spec.boundaries[last]},
           WindowSpec{spec.kind, spec.boundaries[last]}, jopt));
@@ -261,6 +264,7 @@ BuiltPlan BuildPushDownPlan(const std::vector<ContinuousQuery>& queries,
 
   SlidingWindowJoin::Options jopt;
   jopt.condition = options.condition;
+  jopt.use_key_index = options.use_key_index;
   jopt.punctuate_results = true;  // unions downstream need watermarks
 
   // join_false serves only the selection-free queries' σ-false tuples.
@@ -455,6 +459,7 @@ LevelWiring BuildChainLevel(QueryPlan* plan, BuiltPlan* built,
 
     SlicedWindowJoin::Options sopt;
     sopt.condition = options.condition;
+    sopt.use_key_index = options.use_key_index;
     sopt.punctuate_results = true;
     if (composite) {
       sopt.composite_left = true;

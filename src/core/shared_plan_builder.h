@@ -39,6 +39,11 @@ struct BuildOptions {
   // between slices by mask (Section 6.1) instead of re-evaluating the
   // disjunction predicates.
   bool use_lineage = false;
+  // Maintain per-key hash indexes on the join states so kEquiKey probes
+  // are O(matches) bucket lookups (join_state.h). Results and paper-unit
+  // cost counters are identical either way; benches flip this off for the
+  // nested-loop baseline arm.
+  bool use_key_index = true;
 };
 
 // Metadata about one slice of a built state-slice chain, kept for online

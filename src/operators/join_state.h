@@ -21,14 +21,38 @@
 //    eviction on insert, which is how count-based slices propagate tuples
 //    down a chain (the rank of a tuple only changes when its own stream
 //    receives a new tuple).
+//
+// Probe execution (the hash index):
+//
+// Storage is a SlotRing — a ring buffer with stable monotone slot ids —
+// plus an optional per-key hash index (join key -> ascending slot ids).
+// With the index enabled (EnableKeyIndex; operators turn it on when their
+// join condition is kEquiKey), an equi probe is a single bucket lookup that
+// touches only the matching entries: O(matches) instead of the O(window)
+// nested-loop scan. Because purge removes entries strictly oldest-first, an
+// indexed slot id is live iff id >= first live id — so cross-purge never
+// touches the index (O(expired)); stale ids are pruned lazily from the
+// front of a bucket on probe and the whole index is rebuilt (amortized
+// O(1) per purged entry) when stale ids exceed twice the live-entry
+// count. Non-equi
+// conditions (kModSum) keep the nested-loop path behind the condition-kind
+// dispatch in Probe().
+//
+// Cost accounting is two-axis (see src/common/cost_counters.h): every probe
+// reports the paper's *logical* comparison count (= state size, Section 3)
+// unchanged, plus the *physical* key lookups / entries visited that the
+// index actually performed.
 #ifndef STATESLICE_OPERATORS_JOIN_STATE_H_
 #define STATESLICE_OPERATORS_JOIN_STATE_H_
 
 #include <cstddef>
-#include <deque>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/slot_ring.h"
 #include "src/common/tuple.h"
 #include "src/operators/join_condition.h"
 #include "src/operators/window_spec.h"
@@ -40,11 +64,33 @@ namespace stateslice {
 inline TimePoint EntryTime(const Tuple& t) { return t.timestamp; }
 inline TimePoint EntryTime(const CompositeTuple& c) { return c.timestamp(); }
 
+// What one probe cost. `comparisons` is the paper's logical unit (one per
+// stored entry, the Section 3 cost model); the other fields are the
+// physical work the chosen execution path performed.
+struct ProbeStats {
+  uint64_t comparisons = 0;      // logical: state size scanned (paper unit)
+  uint64_t key_lookups = 0;      // physical: hash-bucket lookups
+  uint64_t entries_visited = 0;  // physical: entries actually examined
+};
+
 // Ordered window state for one input of a join.
 template <typename EntryT>
 class BasicJoinState {
  public:
   explicit BasicJoinState(WindowSpec window) : window_(window) {}
+
+  // Turns on the per-key hash index. For composite entries, `anchor` names
+  // the constituent whose key the index (and every indexed probe) uses —
+  // the earlier stream this state's right input joins with. Rebuilds from
+  // current contents, so it may be enabled at any point.
+  void EnableKeyIndex(int anchor = 0) {
+    indexed_ = true;
+    index_anchor_ = anchor;
+    RebuildIndex();
+  }
+
+  bool key_index_enabled() const { return indexed_; }
+  int index_anchor() const { return index_anchor_; }
 
   // Appends `e` (arrival order; event times must be non-decreasing). For
   // count windows, evicts overflow into `evicted` (oldest first) when
@@ -53,13 +99,18 @@ class BasicJoinState {
     if (!entries_.empty()) {
       SLICE_CHECK_LE(EntryTime(entries_.back()), EntryTime(e));
     }
-    entries_.push_back(e);
+    const int64_t id = entries_.push_back(e);
+    if (indexed_) {
+      index_[KeyOf(e)].push_back(id);
+      ++upkeep_;
+    }
     if (window_.kind == WindowKind::kCount) {
       // Count windows purge on insertion: keep the newest `extent` entries.
       while (static_cast<int64_t>(entries_.size()) > window_.extent) {
         if (evicted != nullptr) evicted->push_back(entries_.front());
-        entries_.pop_front();
+        PopOldest();
       }
+      MaybeCompactIndex();
     }
   }
 
@@ -67,7 +118,9 @@ class BasicJoinState {
   // (paper Fig. 1 step 1 / Fig. 6 step 1). Only meaningful for kTime
   // windows (kCount purges on insert and returns 0 here). Expired entries
   // are appended to `purged` (oldest first) when non-null. Returns the
-  // number of timestamp comparisons performed (cost-model unit).
+  // number of timestamp comparisons performed (cost-model unit). O(expired)
+  // regardless of the index: expired slot ids go stale in place and are
+  // pruned lazily.
   uint64_t Purge(TimePoint now, std::vector<EntryT>* purged) {
     if (window_.kind == WindowKind::kCount) return 0;  // purge-on-insert
     uint64_t comparisons = 0;
@@ -76,38 +129,66 @@ class BasicJoinState {
       // Window semantics (Section 2): entry is alive iff now - ts < extent.
       if (now - EntryTime(entries_.front()) < window_.extent) break;
       if (purged != nullptr) purged->push_back(entries_.front());
-      entries_.pop_front();
+      PopOldest();
     }
+    MaybeCompactIndex();
     return comparisons;
   }
 
-  // Nested-loop probe with an arbitrary match functor: appends all stored
-  // entries for which `match(entry)` holds to `matches` (oldest first).
-  // Returns the number of comparisons, which equals the state size — the
-  // unit the paper's cost model charges per probe (Section 3).
-  template <typename MatchFn>
-  uint64_t ProbeWith(MatchFn&& match, std::vector<EntryT>* matches) const {
-    for (const EntryT& e : entries_) {
-      if (match(e)) matches->push_back(e);
-    }
-    return entries_.size();
+  // Nested-loop probe with an arbitrary match functor: calls
+  // `emit(entry)` for every stored entry for which `match(entry)` holds
+  // (oldest first). The logical comparison count equals the state size —
+  // the unit the paper's cost model charges per probe (Section 3).
+  template <typename MatchFn, typename EmitFn>
+  ProbeStats ProbeWith(MatchFn&& match, EmitFn&& emit) const {
+    entries_.ForEach([&](int64_t, const EntryT& e) {
+      if (match(e)) emit(e);
+    });
+    ProbeStats stats;
+    stats.comparisons = entries_.size();
+    stats.entries_visited = entries_.size();
+    return stats;
   }
 
-  // Convenience probe against a stream tuple under `cond`. For composite
-  // entries the condition is evaluated on the constituent at `anchor`
-  // (the earlier stream the probing stream joins with; ignored for plain
-  // tuple entries).
-  uint64_t Probe(const Tuple& probe, const JoinCondition& cond,
-                 std::vector<EntryT>* matches, int anchor = 0) const {
+  // Probe against a stream tuple under `cond`, dispatching on the
+  // condition kind: kEquiKey with the index enabled takes the O(matches)
+  // bucket path, everything else the nested loop. For composite entries
+  // the condition is evaluated on the constituent at `anchor` (the earlier
+  // stream the probing stream joins with; ignored for plain tuple
+  // entries). Matches are emitted oldest-first on both paths, so results
+  // are byte-identical. Non-const: the indexed path prunes stale slot ids.
+  template <typename EmitFn>
+  ProbeStats Probe(const Tuple& probe, const JoinCondition& cond,
+                   EmitFn&& emit, int anchor = 0) {
+    if (indexed_ && cond.kind == JoinCondition::Kind::kEquiKey) {
+      if constexpr (!std::is_same_v<EntryT, Tuple>) {
+        // The index was built over one fixed anchor constituent.
+        SLICE_CHECK_EQ(anchor, index_anchor_);
+      }
+      return ProbeIndexed(probe.key, emit);
+    }
     if constexpr (std::is_same_v<EntryT, Tuple>) {
       (void)anchor;
-      return ProbeWith(
-          [&](const Tuple& e) { return cond.Match(e, probe); }, matches);
+      return ProbeWith([&](const Tuple& e) { return cond.Match(e, probe); },
+                       emit);
     } else {
       return ProbeWith(
           [&](const EntryT& e) { return cond.Match(e.part(anchor), probe); },
-          matches);
+          emit);
     }
+  }
+
+  // Copy-out spellings of the two probes (tests and state-level tools).
+  template <typename MatchFn>
+  ProbeStats ProbeWith(MatchFn&& match, std::vector<EntryT>* matches) const {
+    return ProbeWith(match,
+                     [matches](const EntryT& e) { matches->push_back(e); });
+  }
+  ProbeStats Probe(const Tuple& probe, const JoinCondition& cond,
+                   std::vector<EntryT>* matches, int anchor = 0) {
+    return Probe(
+        probe, cond, [matches](const EntryT& e) { matches->push_back(e); },
+        anchor);
   }
 
   size_t size() const { return entries_.size(); }
@@ -118,34 +199,145 @@ class BasicJoinState {
   const EntryT& Oldest() const { return entries_.front(); }
   const EntryT& Newest() const { return entries_.back(); }
 
-  // Read-only view for tests/traces (oldest first).
-  const std::deque<EntryT>& tuples() const { return entries_; }
+  // Snapshot for tests/traces (oldest first).
+  std::vector<EntryT> tuples() const {
+    std::vector<EntryT> all;
+    all.reserve(entries_.size());
+    entries_.ForEach(
+        [&](int64_t, const EntryT& e) { all.push_back(e); });
+    return all;
+  }
 
   // Removes and returns all entries (oldest first); used by online chain
-  // migration when merging two adjacent slices (Section 5.3).
+  // migration when merging two adjacent slices (Section 5.3). Clears the
+  // index (nothing left to point at).
   std::vector<EntryT> TakeAll() {
-    std::vector<EntryT> all(entries_.begin(), entries_.end());
+    std::vector<EntryT> all = tuples();
     entries_.clear();
+    index_.clear();
+    stale_ids_ = 0;
     return all;
   }
 
   // Prepends `older` (which must be entirely older than current contents);
-  // the other half of slice-merge migration.
+  // the other half of slice-merge migration. Splices the prepended entries
+  // into the index by rebuilding it (migration is rare and O(state)
+  // already).
   void PrependOlder(const std::vector<EntryT>& older) {
     if (!older.empty() && !entries_.empty()) {
       SLICE_CHECK_LE(EntryTime(older.back()), EntryTime(entries_.front()));
     }
-    entries_.insert(entries_.begin(), older.begin(), older.end());
+    for (auto it = older.rbegin(); it != older.rend(); ++it) {
+      entries_.push_front(*it);
+    }
+    if (indexed_ && !older.empty()) RebuildIndex();
   }
 
   // Mutates the window extent; online migration uses this to widen or
   // shrink a slice in place. The new extent takes effect on the next
-  // purge/insert.
+  // purge/insert. The index is untouched: entries (and their slot ids)
+  // don't move, so it stays valid.
   void set_window(WindowSpec window) { window_ = window; }
 
+  // Asserts (CHECK-fails on violation) that the index exactly covers the
+  // live entries: every live entry's id appears in the bucket of its key,
+  // every indexed id is either live with a matching key or stale, buckets
+  // are ascending, and the stale count matches. Migration validation and
+  // the fuzz suites call this after every mutation burst.
+  void CheckIndexConsistency() const {
+    if (!indexed_) return;
+    uint64_t live = 0, stale = 0;
+    for (const auto& [key, ids] : index_) {
+      SLICE_CHECK(!ids.empty());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (i > 0) SLICE_CHECK_LT(ids[i - 1], ids[i]);
+        if (ids[i] < entries_.first_id()) {
+          ++stale;
+          continue;
+        }
+        SLICE_CHECK_LT(ids[i], entries_.end_id());
+        SLICE_CHECK_EQ(KeyOf(entries_.at_id(ids[i])), key);
+        ++live;
+      }
+    }
+    SLICE_CHECK_EQ(live, static_cast<uint64_t>(entries_.size()));
+    SLICE_CHECK_EQ(stale, stale_ids_);
+  }
+
+  // Physical work spent maintaining the index since the last call (index
+  // appends + stale prunes + rebuild visits); the owning operator drains
+  // this into PhysCategory::kIndexUpkeep.
+  uint64_t TakeIndexUpkeep() { return std::exchange(upkeep_, uint64_t{0}); }
+
  private:
+  // The key one entry is indexed under.
+  int64_t KeyOf(const EntryT& e) const {
+    if constexpr (std::is_same_v<EntryT, Tuple>) {
+      return e.key;
+    } else {
+      return e.part(index_anchor_).key;
+    }
+  }
+
+  void PopOldest() {
+    entries_.pop_front();
+    if (indexed_) ++stale_ids_;  // its bucket id is pruned lazily
+  }
+
+  // Rebuilds the index when stale ids exceed twice the live entries (plus
+  // a floor so tiny states don't rebuild constantly). Amortized O(1) per
+  // purged entry: a rebuild visits size() entries and needs
+  // > 2 * size() + 64 purges since the last rebuild to trigger.
+  void MaybeCompactIndex() {
+    if (!indexed_ || stale_ids_ <= 64 + 2 * entries_.size()) return;
+    RebuildIndex();
+  }
+
+  void RebuildIndex() {
+    index_.clear();
+    stale_ids_ = 0;
+    entries_.ForEach([&](int64_t id, const EntryT& e) {
+      index_[KeyOf(e)].push_back(id);
+    });
+    upkeep_ += entries_.size();
+  }
+
+  // O(matches) equi probe: one bucket lookup, stale ids pruned off the
+  // bucket front (ids are ascending and staleness is id < first live id).
+  template <typename EmitFn>
+  ProbeStats ProbeIndexed(int64_t key, EmitFn&& emit) {
+    ProbeStats stats;
+    stats.comparisons = entries_.size();  // paper-unit logical charge
+    stats.key_lookups = 1;
+    const auto it = index_.find(key);
+    if (it == index_.end()) return stats;
+    std::vector<int64_t>& ids = it->second;
+    size_t drop = 0;
+    while (drop < ids.size() && ids[drop] < entries_.first_id()) ++drop;
+    if (drop > 0) {
+      ids.erase(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(drop));
+      stale_ids_ -= drop;
+      upkeep_ += drop;
+    }
+    if (ids.empty()) {
+      index_.erase(it);
+      return stats;
+    }
+    for (const int64_t id : ids) {
+      emit(entries_.at_id(id));
+    }
+    stats.entries_visited = ids.size();
+    return stats;
+  }
+
   WindowSpec window_;
-  std::deque<EntryT> entries_;
+  SlotRing<EntryT> entries_;
+  bool indexed_ = false;
+  int index_anchor_ = 0;  // composite entries: constituent the key is from
+  // Join key -> ascending slot ids of (mostly) live entries holding it.
+  std::unordered_map<int64_t, std::vector<int64_t>> index_;
+  uint64_t stale_ids_ = 0;  // indexed ids below entries_.first_id()
+  uint64_t upkeep_ = 0;     // physical index-maintenance work, undrained
 };
 
 // The binary-join window state (one stream side).

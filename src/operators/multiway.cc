@@ -27,10 +27,11 @@ void StreamDispatch::Process(Event event, int input_port) {
   const Tuple& t = std::get<Tuple>(event);
   SLICE_CHECK_GE(t.side, 0);
   SLICE_CHECK_LT(t.side, num_streams_);
-  Emit(PortOf(t.side), event);
+  const int port = PortOf(t.side);
   // Global order: nothing older than T can follow on any stream, so T is a
   // watermark for every level.
   const Punctuation mark{.watermark = t.timestamp};
+  EmitMove(port, std::move(event));
   for (int p = 0; p < num_ports_; ++p) Emit(p, mark);
 }
 
@@ -55,7 +56,7 @@ void WindowGate::Process(Event event, int input_port) {
   const JoinResult& r = std::get<JoinResult>(event);
   Charge(CostCategory::kGate, static_cast<uint64_t>(r.size()) - 1);
   if (r.MaxGap() < window_) {
-    Emit(kOutPort, event);
+    EmitMove(kOutPort, std::move(event));
   }
 }
 

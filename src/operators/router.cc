@@ -30,7 +30,7 @@ void Router::Process(Event event, int input_port) {
     Charge(CostCategory::kRoute, 1);
     if (distance < b.max_distance) Emit(b.port, event);
   }
-  if (all_port_ >= 0) Emit(all_port_, event);
+  if (all_port_ >= 0) EmitMove(all_port_, std::move(event));
 }
 
 void Router::Finish() {

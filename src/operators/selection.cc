@@ -135,7 +135,7 @@ void ResultGate::Process(Event event, int input_port) {
   const Tuple& component = r.part(target_side_);
   Charge(CostCategory::kGate, 1);
   if (predicate_.Eval(component)) {
-    Emit(kOutPort, event);
+    EmitMove(kOutPort, std::move(event));
   }
 }
 
@@ -164,7 +164,7 @@ void ResultTimeGate::Process(Event event, int input_port) {
   }
   Charge(CostCategory::kGate, 1);
   if (older >= cutoff_) {
-    Emit(kOutPort, event);
+    EmitMove(kOutPort, std::move(event));
   }
 }
 

@@ -46,6 +46,12 @@ SlicedWindowJoin::SlicedWindowJoin(std::string name, SliceRange range,
     SLICE_CHECK_GE(options_.anchor, 0);
     SLICE_CHECK_LT(options_.anchor, options_.left_arity);
   }
+  if (options_.use_key_index &&
+      options_.condition.kind == JoinCondition::Kind::kEquiKey) {
+    state_a_.EnableKeyIndex();
+    state_b_.EnableKeyIndex();
+    state_c_.EnableKeyIndex(options_.anchor);
+  }
 }
 
 void SlicedWindowJoin::SetRange(SliceRange range) {
@@ -119,17 +125,19 @@ void SlicedWindowJoin::ProcessMale(const Tuple& t) {
     // A right-stream male purges + probes the composite (left) state; each
     // match extends a stored composite by this tuple.
     SLICE_CHECK_EQ(t.side, options_.right_stream);
-    std::vector<CompositeTuple> purged;
-    Charge(CostCategory::kPurge, state_c_.Purge(t.timestamp, &purged));
-    for (const CompositeTuple& f : purged) {
+    purged_composites_scratch_.clear();
+    Charge(CostCategory::kPurge,
+           state_c_.Purge(t.timestamp, &purged_composites_scratch_));
+    for (const CompositeTuple& f : purged_composites_scratch_) {
       Emit(kNextPort, f);
     }
-    std::vector<CompositeTuple> matches;
-    Charge(CostCategory::kProbe,
-           state_c_.Probe(t, options_.condition, &matches, options_.anchor));
-    for (const CompositeTuple& f : matches) {
-      Emit(kResultPort, f.WithAppended(t));
-    }
+    const ProbeStats stats = state_c_.Probe(
+        t, options_.condition,
+        [&](const CompositeTuple& f) {
+          EmitMove(kResultPort, f.WithAppended(t));
+        },
+        options_.anchor);
+    ChargeProbe(stats, &state_c_);
     Tuple male = t;
     male.role = TupleRole::kMale;
     Emit(kNextPort, male);
@@ -144,30 +152,34 @@ void SlicedWindowJoin::ProcessMale(const Tuple& t) {
   // 1. Cross-purge (Fig. 9): expired opposite-side females move into the
   //    queue toward the next slice *ahead of* this male, preserving queue
   //    timestamp order and Lemma 1's insertion-before-probe guarantee.
-  std::vector<Tuple> purged;
-  Charge(CostCategory::kPurge, opposite->Purge(t.timestamp, &purged));
-  for (const Tuple& f : purged) {
+  purged_scratch_.clear();
+  Charge(CostCategory::kPurge, opposite->Purge(t.timestamp,
+                                               &purged_scratch_));
+  for (const Tuple& f : purged_scratch_) {
     Emit(kNextPort, f);
   }
 
-  // 2. Probe and emit joined results. State contents are within the slice
-  //    range by Lemma 1, so no bound checks are needed in a chain; strict
-  //    mode re-verifies for standalone use.
-  std::vector<Tuple> matches;
-  Charge(CostCategory::kProbe, opposite->Probe(t, options_.condition,
-                                               &matches));
-  for (const Tuple& f : matches) {
-    if (options_.strict_bounds && range_.kind == WindowKind::kTime) {
-      const Duration d = t.timestamp - f.timestamp;
-      if (d < range_.start || d >= range_.end) continue;
-    }
-    // Result constituents are ordered left-then-right (FROM order).
-    if (IsLeft(t)) {
-      Emit(kResultPort, JoinResult{.a = t, .b = f});
-    } else {
-      Emit(kResultPort, JoinResult{.a = f, .b = t});
-    }
-  }
+  // 2. Probe and emit joined results (oldest match first, same order on
+  //    the indexed and nested-loop paths). State contents are within the
+  //    slice range by Lemma 1, so no bound checks are needed in a chain;
+  //    strict mode re-verifies for standalone use.
+  const bool check_bounds =
+      options_.strict_bounds && range_.kind == WindowKind::kTime;
+  const bool probe_is_left = IsLeft(t);
+  const ProbeStats stats =
+      opposite->Probe(t, options_.condition, [&](const Tuple& f) {
+        if (check_bounds) {
+          const Duration d = t.timestamp - f.timestamp;
+          if (d < range_.start || d >= range_.end) return;
+        }
+        // Result constituents are ordered left-then-right (FROM order).
+        if (probe_is_left) {
+          EmitMove(kResultPort, JoinResult{.a = t, .b = f});
+        } else {
+          EmitMove(kResultPort, JoinResult{.a = f, .b = t});
+        }
+      });
+  ChargeProbe(stats, opposite);
 
   // 3. Propagate the male copy down the chain.
   Tuple male = t;
@@ -184,26 +196,25 @@ void SlicedWindowJoin::ProcessMale(const Tuple& t) {
 
 void SlicedWindowJoin::ProcessMaleComposite(const CompositeTuple& c) {
   // A composite male purges + probes the right-singles state; each match
-  // extends this composite by the stored tuple.
+  // extends this composite by the stored tuple. The anchor constituent
+  // stands in as the probe tuple: every join condition is symmetric, so
+  // Match(e, anchor) == Match(anchor, e) and the equi path can use the
+  // right-singles key index.
   const TimePoint now = c.timestamp();
-  std::vector<Tuple> purged;
-  Charge(CostCategory::kPurge, state_b_.Purge(now, &purged));
-  for (const Tuple& f : purged) {
+  purged_scratch_.clear();
+  Charge(CostCategory::kPurge, state_b_.Purge(now, &purged_scratch_));
+  for (const Tuple& f : purged_scratch_) {
     Emit(kNextPort, f);
   }
-  std::vector<Tuple> matches;
-  const JoinCondition& cond = options_.condition;
-  const Tuple& anchor_part = c.part(options_.anchor);
-  Charge(CostCategory::kProbe,
-         state_b_.ProbeWith(
-             [&](const Tuple& e) { return cond.Match(anchor_part, e); },
-             &matches));
-  for (const Tuple& f : matches) {
-    Emit(kResultPort, c.WithAppended(f));
-  }
+  const ProbeStats stats =
+      state_b_.Probe(c.part(options_.anchor), options_.condition,
+                     [&](const Tuple& f) {
+                       EmitMove(kResultPort, c.WithAppended(f));
+                     });
+  ChargeProbe(stats, &state_b_);
   CompositeTuple male = c;
   male.role = TupleRole::kMale;
-  Emit(kNextPort, male);
+  EmitMove(kNextPort, std::move(male));
   if (options_.punctuate_results) {
     Emit(kResultPort, Punctuation{.watermark = now});
   }
@@ -215,13 +226,16 @@ void SlicedWindowJoin::ProcessFemale(const Tuple& t) {
   if (options_.composite_left) {
     SLICE_CHECK_EQ(t.side, options_.right_stream);
     state_b_.Insert(female, nullptr);  // kTime: never evicts on insert
+    ChargePhysical(PhysCategory::kIndexUpkeep, state_b_.TakeIndexUpkeep());
     return;
   }
   // Count-based slices purge on insert: the evicted tuple's rank crossed
   // the slice end, so it moves to the next slice.
-  std::vector<Tuple> evicted;
-  StateOf(t.side)->Insert(female, &evicted);
-  for (const Tuple& e : evicted) {
+  JoinState* state = StateOf(t.side);
+  evicted_scratch_.clear();
+  state->Insert(female, &evicted_scratch_);
+  ChargePhysical(PhysCategory::kIndexUpkeep, state->TakeIndexUpkeep());
+  for (const Tuple& e : evicted_scratch_) {
     Emit(kNextPort, e);
   }
 }
@@ -230,6 +244,7 @@ void SlicedWindowJoin::ProcessFemaleComposite(const CompositeTuple& c) {
   CompositeTuple female = c;
   female.role = TupleRole::kFemale;
   state_c_.Insert(female, nullptr);  // kTime: never evicts on insert
+  ChargePhysical(PhysCategory::kIndexUpkeep, state_c_.TakeIndexUpkeep());
 }
 
 void SlicedWindowJoin::Finish() {

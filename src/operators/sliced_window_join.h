@@ -38,6 +38,7 @@
 #define STATESLICE_OPERATORS_SLICED_WINDOW_JOIN_H_
 
 #include <string>
+#include <vector>
 
 #include "src/operators/join_condition.h"
 #include "src/operators/join_state.h"
@@ -102,6 +103,11 @@ struct SlicedJoinOptions {
   // Constituents per left entry (StateSize metric: state memory counts
   // stored tuples, and one composite holds `left_arity` of them).
   int left_arity = 1;
+  // Maintain a per-key hash index on the states so kEquiKey probes are
+  // O(matches) bucket lookups (see join_state.h). No effect on results or
+  // on the paper-unit cost counters; off forces the nested-loop probe
+  // (bench_probe_index's baseline arm).
+  bool use_key_index = true;
 };
 
 // One slice of a (possibly shared) window join.
@@ -172,6 +178,11 @@ class SlicedWindowJoin : public Operator {
   JoinState state_a_;           // left singles (binary / one-way modes)
   JoinState state_b_;           // right singles
   CompositeJoinState state_c_;  // left composites (composite_left mode)
+  // Per-arrival scratch buffers, cleared and reused so the hot path never
+  // reallocates (purge hands expired entries back through these).
+  std::vector<Tuple> purged_scratch_;
+  std::vector<Tuple> evicted_scratch_;
+  std::vector<CompositeTuple> purged_composites_scratch_;
 };
 
 }  // namespace stateslice

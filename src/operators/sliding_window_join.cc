@@ -12,7 +12,13 @@ SlidingWindowJoin::SlidingWindowJoin(std::string name, WindowSpec window_a,
     : Operator(std::move(name)),
       options_(options),
       state_a_(window_a),
-      state_b_(window_b) {}
+      state_b_(window_b) {
+  if (options_.use_key_index &&
+      options_.condition.kind == JoinCondition::Kind::kEquiKey) {
+    state_a_.EnableKeyIndex();
+    state_b_.EnableKeyIndex();
+  }
+}
 
 void SlidingWindowJoin::Process(Event event, int input_port) {
   SLICE_CHECK_EQ(input_port, 0);
@@ -26,26 +32,30 @@ void SlidingWindowJoin::Process(Event event, int input_port) {
 
 void SlidingWindowJoin::ProcessTuple(const Tuple& t) {
   // Regular join execution (Fig. 1): cross-purge the opposite state, probe
-  // it, then insert (unless running one-way and this is the probe-only
-  // stream).
-  std::vector<Tuple> matches;
+  // it (matches emitted oldest-first, identical on the indexed and
+  // nested-loop paths), then insert (unless running one-way and this is
+  // the probe-only stream).
   if (t.side == StreamSide::kA) {
     Charge(CostCategory::kPurge, state_b_.Purge(t.timestamp, nullptr));
-    Charge(CostCategory::kProbe,
-           state_b_.Probe(t, options_.condition, &matches));
-    for (const Tuple& b : matches) {
-      Emit(kResultPort, JoinResult{.a = t, .b = b});
-    }
+    ChargeProbe(state_b_.Probe(t, options_.condition,
+                               [&](const Tuple& b) {
+                                 EmitMove(kResultPort,
+                                          JoinResult{.a = t, .b = b});
+                               }),
+                &state_b_);
     state_a_.Insert(t);
+    ChargePhysical(PhysCategory::kIndexUpkeep, state_a_.TakeIndexUpkeep());
   } else {
     Charge(CostCategory::kPurge, state_a_.Purge(t.timestamp, nullptr));
-    Charge(CostCategory::kProbe,
-           state_a_.Probe(t, options_.condition, &matches));
-    for (const Tuple& a : matches) {
-      Emit(kResultPort, JoinResult{.a = a, .b = t});
-    }
+    ChargeProbe(state_a_.Probe(t, options_.condition,
+                               [&](const Tuple& a) {
+                                 EmitMove(kResultPort,
+                                          JoinResult{.a = a, .b = t});
+                               }),
+                &state_a_);
     if (options_.mode == Mode::kBinary) {
       state_b_.Insert(t);
+      ChargePhysical(PhysCategory::kIndexUpkeep, state_b_.TakeIndexUpkeep());
     }
   }
   if (options_.punctuate_results) {

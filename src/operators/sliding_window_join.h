@@ -40,6 +40,9 @@ struct SlidingJoinOptions {
   SlidingJoinMode mode = SlidingJoinMode::kBinary;
   JoinCondition condition = JoinCondition::EquiKey();
   bool punctuate_results = false;
+  // Maintain per-key hash indexes so kEquiKey probes are O(matches); see
+  // join_state.h. Off forces the nested-loop probe path.
+  bool use_key_index = true;
 };
 
 class SlidingWindowJoin : public Operator {

@@ -55,7 +55,7 @@ void UnionMerge::Process(Event event, int input_port) {
   // (the common case when male punctuations keep all inputs aligned,
   // Section 4.3).
   if (buffer_.empty() && t <= MinWatermark()) {
-    Emit(kOutPort, event);
+    EmitMove(kOutPort, std::move(event));
     if (t > emitted_watermark_) {
       emitted_watermark_ = t;
       Charge(CostCategory::kUnion, 1);

@@ -221,4 +221,36 @@ std::string ToString(WindowDistributionN dist) {
   return "?";
 }
 
+namespace {
+
+void RekeyStream(std::vector<Tuple>* stream, int64_t key_domain, Rng* rng) {
+  for (Tuple& t : *stream) {
+    t.key = static_cast<int64_t>(
+        rng->NextBounded(static_cast<uint64_t>(key_domain)));
+  }
+}
+
+}  // namespace
+
+void RekeyForEquiJoin(Workload* workload, int64_t key_domain,
+                      uint64_t key_seed) {
+  SLICE_CHECK_GT(key_domain, 0);
+  Rng rng(key_seed);
+  RekeyStream(&workload->stream_a, key_domain, &rng);
+  RekeyStream(&workload->stream_b, key_domain, &rng);
+  workload->condition = JoinCondition::EquiKey();
+  workload->key_domain = key_domain;
+}
+
+void RekeyForEquiJoin(MultiWorkload* workload, int64_t key_domain,
+                      uint64_t key_seed) {
+  SLICE_CHECK_GT(key_domain, 0);
+  Rng rng(key_seed);
+  for (std::vector<Tuple>& stream : workload->streams) {
+    RekeyStream(&stream, key_domain, &rng);
+  }
+  workload->condition = JoinCondition::EquiKey();
+  workload->key_domain = key_domain;
+}
+
 }  // namespace stateslice

@@ -68,6 +68,15 @@ std::vector<Tuple> MergedArrivals(const MultiWorkload& workload);
 // back to a 1000-denominator approximation. Exposed for tests.
 JoinCondition ConditionForSelectivity(double s1);
 
+// Rewrites a generated workload in place into a pure equi-join: keys drawn
+// uniformly over [0, key_domain) from `key_seed`, condition kEquiKey
+// (S1 = 1/key_domain). Shared by the probe-index bench and its
+// equivalence suite so both measure the same key model.
+void RekeyForEquiJoin(Workload* workload, int64_t key_domain,
+                      uint64_t key_seed);
+void RekeyForEquiJoin(MultiWorkload* workload, int64_t key_domain,
+                      uint64_t key_seed);
+
 // ---------------------------------------------------------------------
 // Query-set factories for the paper's experiments.
 // ---------------------------------------------------------------------

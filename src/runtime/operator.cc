@@ -50,4 +50,14 @@ void Operator::Emit(int port, const Event& event) {
   }
 }
 
+void Operator::EmitMove(int port, Event&& event) {
+  if (port >= static_cast<int>(outputs_.size())) return;
+  auto& fanout = outputs_[port];
+  if (fanout.empty()) return;
+  for (size_t i = 0; i + 1 < fanout.size(); ++i) {
+    fanout[i]->Push(event);
+  }
+  fanout.back()->Push(std::move(event));
+}
+
 }  // namespace stateslice

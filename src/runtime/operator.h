@@ -85,6 +85,11 @@ class Operator {
   // ports silently drop (paper: optional Purged-A-Tuple queues "if exists").
   void Emit(int port, const Event& event);
 
+  // Emit with move semantics: the event is moved into the last attached
+  // queue and copied into any earlier fan-out queues. Worth using for
+  // composite events, whose constituent-tail vector a copy would clone.
+  void EmitMove(int port, Event&& event);
+
   // True if at least one queue is attached to output `port`.
   bool HasOutput(int port) const {
     return port < static_cast<int>(outputs_.size()) &&
@@ -94,6 +99,24 @@ class Operator {
   // Charges `n` comparisons to `category` (no-op without a counter sink).
   void Charge(CostCategory category, uint64_t n) {
     if (cost_ != nullptr) cost_->Add(category, n);
+  }
+
+  // Charges `n` units of physical probe/index work (kept on a separate
+  // axis from the paper-unit categories; see PhysCategory).
+  void ChargePhysical(PhysCategory category, uint64_t n) {
+    if (cost_ != nullptr && n > 0) cost_->AddPhysical(category, n);
+  }
+
+  // Charges one probe's outcome: the logical comparisons (paper unit) plus
+  // the physical lookup/visit work, and drains the probed state's pending
+  // index-upkeep counter. Duck-typed over ProbeStats/BasicJoinState so the
+  // runtime layer needs no operator-level includes.
+  template <typename StatsT, typename StateT>
+  void ChargeProbe(const StatsT& stats, StateT* state) {
+    Charge(CostCategory::kProbe, stats.comparisons);
+    ChargePhysical(PhysCategory::kKeyLookup, stats.key_lookups);
+    ChargePhysical(PhysCategory::kEntryVisit, stats.entries_visited);
+    ChargePhysical(PhysCategory::kIndexUpkeep, state->TakeIndexUpkeep());
   }
 
  private:

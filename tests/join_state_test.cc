@@ -92,13 +92,114 @@ TEST(JoinStateTest, ProbeEquiKeyMatchesAndCharges) {
   s.Insert(A(3, 3.0, /*key=*/5));
   std::vector<Tuple> matches;
   const Tuple probe = testing::B(1, 4.0, /*key=*/5);
-  const uint64_t comparisons =
-      s.Probe(probe, JoinCondition::EquiKey(), &matches);
-  // Nested-loop probing scans the whole state (Section 3 cost model).
-  EXPECT_EQ(comparisons, 3u);
+  const ProbeStats stats = s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  // The logical charge is the whole state size (Section 3 cost model),
+  // however the probe executes.
+  EXPECT_EQ(stats.comparisons, 3u);
+  EXPECT_EQ(stats.entries_visited, 3u);  // nested loop: no index enabled
+  EXPECT_EQ(stats.key_lookups, 0u);
   ASSERT_EQ(matches.size(), 2u);
   EXPECT_EQ(matches[0].seq, 1u);  // oldest first
   EXPECT_EQ(matches[1].seq, 3u);
+}
+
+TEST(JoinStateTest, IndexedProbeMatchesAndCharges) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.EnableKeyIndex();
+  s.Insert(A(1, 1.0, /*key=*/5));
+  s.Insert(A(2, 2.0, /*key=*/7));
+  s.Insert(A(3, 3.0, /*key=*/5));
+  std::vector<Tuple> matches;
+  const Tuple probe = testing::B(1, 4.0, /*key=*/5);
+  const ProbeStats stats = s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  // Logical charge unchanged; physical work is one bucket lookup plus the
+  // two matching entries.
+  EXPECT_EQ(stats.comparisons, 3u);
+  EXPECT_EQ(stats.key_lookups, 1u);
+  EXPECT_EQ(stats.entries_visited, 2u);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].seq, 1u);  // oldest first, same as nested loop
+  EXPECT_EQ(matches[1].seq, 3u);
+  s.CheckIndexConsistency();
+}
+
+TEST(JoinStateTest, IndexedProbeMissesCheaply) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.EnableKeyIndex();
+  for (int i = 0; i < 100; ++i) {
+    s.Insert(A(static_cast<uint32_t>(i + 1), 0.01 * i, /*key=*/i));
+  }
+  std::vector<Tuple> matches;
+  const ProbeStats stats =
+      s.Probe(testing::B(1, 2.0, /*key=*/1234), JoinCondition::EquiKey(),
+              &matches);
+  EXPECT_EQ(stats.comparisons, 100u);  // logical unit: full state
+  EXPECT_EQ(stats.key_lookups, 1u);
+  EXPECT_EQ(stats.entries_visited, 0u);  // physical: empty bucket
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(JoinStateTest, IndexSurvivesPurgeLazily) {
+  JoinState s(WindowSpec::TimeSeconds(2));
+  s.EnableKeyIndex();
+  s.Insert(A(1, 0.0, /*key=*/5));
+  s.Insert(A(2, 1.0, /*key=*/5));
+  s.Insert(A(3, 2.5, /*key=*/5));
+  std::vector<Tuple> purged;
+  s.Purge(SecondsToTicks(3.0), &purged);  // expires seq 1 and 2
+  ASSERT_EQ(purged.size(), 2u);
+  std::vector<Tuple> matches;
+  s.Probe(testing::B(1, 3.0, /*key=*/5), JoinCondition::EquiKey(), &matches);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].seq, 3u);
+  s.CheckIndexConsistency();  // the probe pruned the stale bucket ids
+}
+
+TEST(JoinStateTest, IndexedModSumFallsBackToNestedLoop) {
+  JoinState s(WindowSpec::TimeSeconds(10));
+  s.EnableKeyIndex();
+  s.Insert(A(1, 1.0, /*key=*/0));
+  s.Insert(A(2, 2.0, /*key=*/1));
+  std::vector<Tuple> matches;
+  const ProbeStats stats = s.Probe(testing::B(1, 3.0, /*key=*/1),
+                                   JoinCondition::ModSum(2, 1), &matches);
+  EXPECT_EQ(stats.key_lookups, 0u);      // condition-kind dispatch
+  EXPECT_EQ(stats.entries_visited, 2u);  // scanned the whole state
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].seq, 2u);
+}
+
+TEST(JoinStateTest, IndexFollowsCountEviction) {
+  JoinState s(WindowSpec::Count(2));
+  s.EnableKeyIndex();
+  std::vector<Tuple> evicted;
+  for (int i = 0; i < 10; ++i) {
+    s.Insert(A(static_cast<uint32_t>(i + 1), 1.0 * i, /*key=*/i % 2),
+             &evicted);
+  }
+  EXPECT_EQ(s.size(), 2u);
+  s.CheckIndexConsistency();
+  std::vector<Tuple> matches;
+  s.Probe(testing::B(1, 20.0, /*key=*/1), JoinCondition::EquiKey(), &matches);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].seq, 10u);  // only the live key=1 entry
+}
+
+TEST(JoinStateTest, IndexRebuildsAfterHeavyChurn) {
+  // Push enough entries through a tiny window that the lazy stale-id pile
+  // crosses the compaction threshold repeatedly.
+  JoinState s(WindowSpec::TimeSeconds(1));
+  s.EnableKeyIndex();
+  for (int i = 0; i < 2000; ++i) {
+    s.Insert(A(static_cast<uint32_t>(i + 1), 0.1 * i, /*key=*/i % 8));
+    s.Purge(SecondsToTicks(0.1 * i), nullptr);
+  }
+  s.CheckIndexConsistency();
+  std::vector<Tuple> matches;
+  const Tuple probe = testing::B(1, 0.1 * 1999, /*key=*/1999 % 8);
+  s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  EXPECT_FALSE(matches.empty());
+  s.CheckIndexConsistency();
 }
 
 TEST(JoinStateTest, ProbeModSumCondition) {

@@ -79,7 +79,7 @@ TEST(MigrationTest, SplitPreservesAllQueryResults) {
         // Split the [2,6) slice at 4 s: chain becomes [0,2),[2,4),[4,6).
         migrator.SplitSlice(1, SecondsToTicks(4.0));
         ASSERT_EQ(plan->slices.size(), 3u);
-        ValidateBuiltChain(*plan);
+        ValidateBuiltChain(*plan, /*check_indexes=*/true);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -98,7 +98,7 @@ TEST(MigrationTest, SplitOfFirstSliceRewiresDirectQuery) {
         ChainMigrator migrator(plan);
         migrator.SplitSlice(0, SecondsToTicks(2.0));
         EXPECT_NE(plan->merges[0], nullptr);  // union inserted for Q1
-        ValidateBuiltChain(*plan);
+        ValidateBuiltChain(*plan, /*check_indexes=*/true);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -118,7 +118,7 @@ TEST(MigrationTest, MergePreservesAllQueryResults) {
         // out of the merged slice by |Ta-Tb| < 4 s.
         migrator.MergeSlices(1);
         ASSERT_EQ(plan->slices.size(), 2u);
-        ValidateBuiltChain(*plan);
+        ValidateBuiltChain(*plan, /*check_indexes=*/true);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -136,7 +136,7 @@ TEST(MigrationTest, MergeThenSplitRoundTrip) {
         ChainMigrator migrator(plan);
         migrator.MergeSlices(0);
         ASSERT_EQ(plan->slices.size(), 1u);
-        ValidateBuiltChain(*plan);
+        ValidateBuiltChain(*plan, /*check_indexes=*/true);
       });
   for (const ContinuousQuery& q : queries) {
     EXPECT_EQ(built.collectors[q.id]->ResultMultiset(),
@@ -157,7 +157,7 @@ TEST(MigrationTest, AddQueryReceivesResultsFromRegistrationOn) {
         ChainMigrator migrator(plan);
         new_id = migrator.AddQuery(WindowSpec::TimeSeconds(4.0), "Q3");
         registration_time = 0;  // set below from delivered results
-        ValidateBuiltChain(*plan);
+        ValidateBuiltChain(*plan, /*check_indexes=*/true);
       });
   ASSERT_EQ(new_id, 2);
   ASSERT_NE(built.collectors[new_id], nullptr);
@@ -198,7 +198,7 @@ TEST(MigrationTest, RemoveQueryStopsDeliveryOthersUnaffected) {
         ChainMigrator migrator(plan);
         migrator.RemoveQuery(1);
         EXPECT_EQ(plan->sinks[1], nullptr);
-        ValidateBuiltChain(*plan);
+        ValidateBuiltChain(*plan, /*check_indexes=*/true);
       });
   (void)removed_sink;  // destroyed by RemoveQuery; must not be dereferenced
   for (int qid : {0, 2}) {
@@ -217,12 +217,12 @@ TEST(MigrationTest, BoundaryMetadataStaysInSyncAcrossMigrations) {
   BuildOptions options;
   BuiltPlan built =
       BuildStateSlicePlan(queries, BuildMemOptChain(queries), options);
-  ValidateBuiltChain(built);
+  ValidateBuiltChain(built, /*check_indexes=*/true);
   ChainMigrator migrator(&built);
 
   // Split [2,6) at 4 s: a brand-new boundary value enters the spec.
   migrator.SplitSlice(1, SecondsToTicks(4.0));
-  ValidateBuiltChain(built);
+  ValidateBuiltChain(built, /*check_indexes=*/true);
   ASSERT_EQ(built.chain.spec.boundaries.size(), 3u);
   EXPECT_EQ(built.chain.spec.boundaries[1], SecondsToTicks(4.0));
   EXPECT_EQ(built.slices[1].start_boundary, 0);
@@ -234,7 +234,7 @@ TEST(MigrationTest, BoundaryMetadataStaysInSyncAcrossMigrations) {
   // AddQuery at 3 s splits [2,4) and registers the query at the new
   // boundary.
   const int q3 = migrator.AddQuery(WindowSpec::TimeSeconds(3.0), "Q3");
-  ValidateBuiltChain(built);
+  ValidateBuiltChain(built, /*check_indexes=*/true);
   ASSERT_EQ(built.chain.spec.boundaries.size(), 4u);
   EXPECT_EQ(built.chain.spec.query_boundary[q3], 1);
   EXPECT_EQ(built.chain.spec.queries_at_boundary[1],
@@ -242,12 +242,12 @@ TEST(MigrationTest, BoundaryMetadataStaysInSyncAcrossMigrations) {
 
   // RemoveQuery deregisters it from the boundary (the boundary stays).
   migrator.RemoveQuery(q3);
-  ValidateBuiltChain(built);
+  ValidateBuiltChain(built, /*check_indexes=*/true);
   EXPECT_TRUE(built.chain.spec.queries_at_boundary[1].empty());
 
   // Merging [2,3)+[3,4) keeps every index consistent.
   migrator.MergeSlices(1);
-  ValidateBuiltChain(built);
+  ValidateBuiltChain(built, /*check_indexes=*/true);
   ASSERT_EQ(built.slices.size(), 3u);
   EXPECT_EQ(built.slices[1].join->range().end, SecondsToTicks(4.0));
   EXPECT_EQ(built.chain.partition.slice_end_boundaries,
@@ -279,7 +279,7 @@ TEST(MigrationTest, AddQueryWithResultsFromDeliversExactlySuffix) {
   ChainMigrator migrator(&built);
   const int q3 =
       migrator.AddQuery(WindowSpec::TimeSeconds(4.0), "Q3", cutoff);
-  ValidateBuiltChain(built);
+  ValidateBuiltChain(built, /*check_indexes=*/true);
   for (; i < merged.size(); ++i) {
     built.entry->Push(merged[i]);
     scheduler.RunUntilQuiescent();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "src/common/timestamp.h"
 #include "tests/test_util.h"
 
@@ -70,6 +72,23 @@ TEST(CompositeTupleTest, NWayAccessorsAndKeys) {
   EXPECT_EQ(r.part(2).DebugId(), "c4");
   EXPECT_EQ(JoinPairKey(r), "a2|b7|c4");
   EXPECT_EQ(r.timestamp(), SecondsToTicks(3.0));
+}
+
+TEST(CompositeTupleTest, RvalueWithAppendedReusesTailAndResetsRole) {
+  CompositeTuple r{A(2, 1.0), B(7, 3.0)};
+  r = r.WithAppended(testing::MakeTuple(2, 4, 2.0));
+  r.role = TupleRole::kMale;
+  r.tail.reserve(2);  // room for the append, so the buffer must be reused
+  const Tuple* tail_data = r.tail.data();
+  // The && overload steals this composite's tail allocation instead of
+  // cloning it, and resets the chain-propagation role like the const&
+  // overload does.
+  CompositeTuple extended =
+      std::move(r).WithAppended(testing::MakeTuple(3, 9, 4.0));
+  EXPECT_EQ(extended.size(), 4);
+  EXPECT_EQ(JoinPairKey(extended), "a2|b7|c4|d9");
+  EXPECT_EQ(extended.role, TupleRole::kBoth);
+  EXPECT_EQ(extended.tail.data(), tail_data);
 }
 
 TEST(CompositeTupleTest, GapsFollowPrefixWindowSemantics) {
