@@ -388,6 +388,9 @@ void Engine::BuildPlan() {
 }
 
 void Engine::EnsureBuilt() {
+  // Idle engine: no plan, hence no scheduler and no worker threads — the
+  // (single) caller thread trivially has the engine to itself.
+  surgery_cap_.Assert();
   if (!running() && !finished_ && active_queries() > 0) BuildPlan();
 }
 
@@ -501,6 +504,9 @@ void Engine::Push(StreamId stream, Tuple tuple) {
   }
   EnsureBuilt();
   if (options_.mode == ExecutionMode::kDeterministic) {
+    // Deterministic mode: no worker threads exist, so the caller thread is
+    // trivially exclusive (memory sampling touches guarded accumulators).
+    surgery_cap_.Assert();
     while (tuple.timestamp >= next_sample_) {
       SampleMemory();
       next_sample_ += options_.sample_interval;
@@ -539,7 +545,12 @@ void Engine::Drain() {
 
 void Engine::Finish() {
   if (finished_) return;
-  if (running()) TearDownPlan();
+  if (running()) {
+    // Establishes the surgery capability TearDownPlan requires (a no-op
+    // when already deterministic and quiescent: TearDownPlan re-drains).
+    QuiesceForSurgery();
+    TearDownPlan();
+  }
   finished_ = true;
 }
 
@@ -581,6 +592,8 @@ bool Engine::Unsubscribe(SubscriptionId id) {
   }
   if (it->sink != nullptr && running()) {
     QuiesceForSurgery();
+    // Quiesced above: workers joined (or never started), queues drained.
+    built_.plan->AssertSurgeryExclusive();
     const QueryRecord* rec = FindRecord(it->query_token);
     SLICE_CHECK(rec != nullptr);
     std::vector<SinkEdge>& edges = built_.sink_edges[rec->query.id];
@@ -600,6 +613,9 @@ bool Engine::Unsubscribe(SubscriptionId id) {
 }
 
 void Engine::WireSubscription(SubscriptionRecord* sub) {
+  // Callers hold surgery_cap_ (REQUIRES), so the pipeline is quiescent and
+  // the plan structure is this thread's to mutate.
+  built_.plan->AssertSurgeryExclusive();
   const QueryRecord* rec = FindRecord(sub->query_token);
   SLICE_CHECK(rec != nullptr && rec->active);
   const int qid = rec->query.id;
@@ -706,6 +722,9 @@ RunStats Engine::Snapshot() {
                              : 1;
   const bool was_parallel = par_scheduler_ != nullptr;
   if (was_parallel) PauseParallel();  // consistent quiescent snapshot
+  // Either the pause above joined the workers, or none existed
+  // (deterministic mode / idle): the accumulators are this thread's.
+  surgery_cap_.Assert();
 
   stats.input_tuples = input_tuples_;
   stats.events_processed = events_accum_;

@@ -61,6 +61,7 @@
 
 #include "src/api/query_handle.h"
 #include "src/api/subscription.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/chain_builder.h"
 #include "src/core/cost_model.h"
 #include "src/core/migration.h"
@@ -266,20 +267,31 @@ class Engine {
       const;
   void RecomputeMaxStreams();
 
+  // Plan-surgery exclusion (checked under Clang -Wthread-safety): the
+  // methods below mutate plan structure or the fold-in metric accumulators,
+  // which in parallel mode are also touched when workers are joined. They
+  // require surgery_cap_ — the "pipeline is quiescent and this thread has
+  // the engine to itself" capability. QuiesceForSurgery (and PauseParallel,
+  // which joins the workers) establish it; surgery entry points that are
+  // trivially exclusive (idle engine, deterministic mode) assert it with a
+  // justification comment.
+
   // Builds the shared plan over the active queries and starts execution.
-  void BuildPlan();
+  void BuildPlan() STATESLICE_REQUIRES(surgery_cap_);
   void EnsureBuilt();
   // Harvests sinks, folds metrics, flushes (FinishAll) and destroys the
   // current plan. The engine is idle afterwards.
-  void TearDownPlan();
-  void HarvestSinks();
-  void FoldPlanCost();
+  void TearDownPlan() STATESLICE_REQUIRES(surgery_cap_);
+  void HarvestSinks() STATESLICE_REQUIRES(surgery_cap_);
+  void FoldPlanCost() STATESLICE_REQUIRES(surgery_cap_);
 
   void StartParallel();
-  void PauseParallel();
+  // Joins the workers and folds their counters; after it returns no other
+  // thread touches engine state, which is exactly surgery_cap_.
+  void PauseParallel() STATESLICE_ASSERT_CAPABILITY(surgery_cap_);
   // Brings the plan to a quiescent, deterministic-mode state so plan
   // surgery is legal; ResumeAfterSurgery restarts the pipeline if needed.
-  void QuiesceForSurgery();
+  void QuiesceForSurgery() STATESLICE_ASSERT_CAPABILITY(surgery_cap_);
   void ResumeAfterSurgery();
 
   bool CanMigrateAdd(const ContinuousQuery& query) const;
@@ -287,8 +299,9 @@ class Engine {
   // The cutoff new arrivals are guaranteed to be at or beyond.
   TimePoint Cutoff() const { return watermark_ + 1; }
 
-  void WireSubscription(SubscriptionRecord* sub);
-  void SampleMemory();
+  void WireSubscription(SubscriptionRecord* sub)
+      STATESLICE_REQUIRES(surgery_cap_);
+  void SampleMemory() STATESLICE_REQUIRES(surgery_cap_);
 
   Options options_;
   std::string last_error_;
@@ -313,12 +326,20 @@ class Engine {
   std::vector<TimePoint> rebuild_cutoffs_;
 
   // Metrics folded in from finished plan epochs / scheduler segments.
-  uint64_t events_accum_ = 0;
-  uint64_t parallel_edge_events_accum_ = 0;
-  size_t parallel_edge_hwm_ = 0;
-  CostCounters cost_accum_;
-  std::vector<MemorySample> memory_samples_;
+  // Guarded by the surgery capability: folds happen at pause/teardown
+  // points, reads at quiescent snapshots.
+  uint64_t events_accum_ STATESLICE_GUARDED_BY(surgery_cap_) = 0;
+  uint64_t parallel_edge_events_accum_ STATESLICE_GUARDED_BY(surgery_cap_) =
+      0;
+  size_t parallel_edge_hwm_ STATESLICE_GUARDED_BY(surgery_cap_) = 0;
+  CostCounters cost_accum_ STATESLICE_GUARDED_BY(surgery_cap_);
+  std::vector<MemorySample> memory_samples_
+      STATESLICE_GUARDED_BY(surgery_cap_);
   std::chrono::steady_clock::time_point created_;
+
+  // "Pipeline quiescent, this thread owns the engine" (see the surgery
+  // section above).
+  ThreadRole surgery_cap_;
 };
 
 }  // namespace stateslice

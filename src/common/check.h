@@ -5,6 +5,12 @@
 // stay enabled in release builds: the runtime is a correctness-critical
 // reference implementation and the cost of the branches is negligible next
 // to join probing.
+//
+// Defining STATESLICE_STRIP_CHECKS (the STATESLICE_STRIP_CHECKS CMake
+// option) compiles the checks out for allocation-free profiling builds.
+// The stripped form still *type-checks* the expression but never evaluates
+// it — which is why check expressions must be side-effect-free, a contract
+// enforced by tools/lint.py (rule check-side-effects).
 #ifndef STATESLICE_COMMON_CHECK_H_
 #define STATESLICE_COMMON_CHECK_H_
 
@@ -21,6 +27,15 @@ namespace stateslice::internal {
 
 }  // namespace stateslice::internal
 
+#ifdef STATESLICE_STRIP_CHECKS
+// Unevaluated-operand form: the expression is parsed and type-checked, so
+// stripped builds cannot drift out of sync with checked ones, but no code
+// is generated and no side effects can run.
+#define SLICE_CHECK(expr)                 \
+  do {                                    \
+    (void)sizeof((expr) ? 1 : 0);         \
+  } while (0)
+#else
 // Aborts the process when `expr` is false.
 #define SLICE_CHECK(expr)                                            \
   do {                                                               \
@@ -28,6 +43,7 @@ namespace stateslice::internal {
       ::stateslice::internal::CheckFailed(__FILE__, __LINE__, #expr); \
     }                                                                \
   } while (0)
+#endif  // STATESLICE_STRIP_CHECKS
 
 // Binary comparison checks with slightly better failure messages.
 #define SLICE_CHECK_OP(lhs, op, rhs) SLICE_CHECK((lhs)op(rhs))

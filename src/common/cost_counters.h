@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/thread_annotations.h"
+
 namespace stateslice {
 
 // Comparison categories matching the cost items of Eqs. 1-3.
@@ -89,8 +91,15 @@ class CostCounters {
   // Sum across the physical categories.
   uint64_t PhysicalTotal() const;
 
-  // Resets all categories (logical and physical) to zero.
-  void Reset();
+  // Declares that no operator is concurrently charging this instance (the
+  // plan is quiescent, or the counters are caller-local). Justify at each
+  // call site; required by Reset.
+  void AssertQuiescent() const STATESLICE_ASSERT_CAPABILITY(reset_role_) {}
+
+  // Resets all categories (logical and physical) to zero. Unlike Add, a
+  // reset racing concurrent charges loses them — callers must hold the
+  // quiescence role (see AssertQuiescent).
+  void Reset() STATESLICE_REQUIRES(reset_role_);
 
   // One-line summary like "probe=123 purge=4 ...".
   std::string DebugString() const;
@@ -116,6 +125,8 @@ class CostCounters {
       CostCategory::kCategoryCount)] = {};
   std::atomic<uint64_t> phys_[static_cast<int>(
       PhysCategory::kPhysCategoryCount)] = {};
+  // "No concurrent chargers" role gating Reset (copyable with the value).
+  ThreadRole reset_role_;
 };
 
 }  // namespace stateslice

@@ -35,6 +35,19 @@ using StreamId = int16_t;
 // kMaxQueries (lineage is per-query, not per-stream).
 inline constexpr int kMaxStreams = 16;
 
+// Compile-time validation of a stream count: code templated on the number
+// of joined streams (fixed-shape test workloads, generated join trees)
+// instantiates StreamCountBound<N> so an out-of-range N fails to compile
+// instead of CHECK-failing at run time. tests/compile_fail proves the
+// bound fires.
+template <int N>
+struct StreamCountBound {
+  static_assert(N >= 2, "a join reads at least two streams");
+  static_assert(N <= kMaxStreams,
+                "stream count exceeds kMaxStreams (src/common/tuple.h)");
+  static constexpr int value = N;
+};
+
 // Legacy named ids for the binary case. StreamSide used to be a scoped
 // enum when the whole system was binary-join-shaped; it survives as plain
 // StreamId constants so `StreamSide::kA` / `StreamSide::kB` keep reading

@@ -89,6 +89,10 @@ void ChainMigrator::SyncChainMetadata() {
 
 int ChainMigrator::SplitSlice(int slice_index, Duration boundary) {
   CheckQuiescent();
+  // Quiescent plan + single-caller Engine contract: migration runs on the
+  // one driver thread while no scheduler (and no worker) is active, so this
+  // thread has the plan structure to itself.
+  built_->plan->AssertSurgeryExclusive();
   SLICE_CHECK_GE(slice_index, 0);
   SLICE_CHECK_LT(slice_index, static_cast<int>(built_->slices.size()));
   BuiltSlice& left = built_->slices[slice_index];
@@ -201,6 +205,8 @@ int ChainMigrator::SplitSlice(int slice_index, Duration boundary) {
 
 int ChainMigrator::MergeSlices(int slice_index) {
   CheckQuiescent();
+  // Quiescent plan + single-caller Engine contract (see SplitSlice).
+  built_->plan->AssertSurgeryExclusive();
   SLICE_CHECK_GE(slice_index, 0);
   SLICE_CHECK_LT(slice_index + 1, static_cast<int>(built_->slices.size()));
   BuiltSlice& left = built_->slices[slice_index];
@@ -341,6 +347,8 @@ int ChainMigrator::MergeSlices(int slice_index) {
 int ChainMigrator::AddQuery(WindowSpec window, const std::string& name,
                             TimePoint results_from) {
   CheckQuiescent();
+  // Quiescent plan + single-caller Engine contract (see SplitSlice).
+  built_->plan->AssertSurgeryExclusive();
   SLICE_CHECK(window.kind == WindowKind::kTime);
   SLICE_CHECK_LT(built_->queries.size(), static_cast<size_t>(kMaxQueries));
   QueryPlan* plan = built_->plan.get();
@@ -450,6 +458,8 @@ int ChainMigrator::AddQuery(WindowSpec window, const std::string& name,
 
 void ChainMigrator::RemoveQuery(int query_id) {
   CheckQuiescent();
+  // Quiescent plan + single-caller Engine contract (see SplitSlice).
+  built_->plan->AssertSurgeryExclusive();
   SLICE_CHECK_GE(query_id, 0);
   SLICE_CHECK_LT(query_id, static_cast<int>(built_->queries.size()));
   SLICE_CHECK(built_->sinks[query_id] != nullptr);  // not already removed

@@ -5,6 +5,12 @@
 //  - CPU via the average service rate (total throughput / running time).
 // The Executor samples state memory periodically (the monitor thread of
 // CAPE); RunStats aggregates everything a bench needs to print one row.
+//
+// Threading: MemorySample and RunStats are plain value snapshots with no
+// synchronization of their own. They are produced only at quiescent points
+// — the Engine's accumulators they are folded from are GUARDED_BY its
+// surgery capability (src/api/engine.h), so under Clang -Wthread-safety a
+// sample taken while workers run fails to compile rather than tearing.
 #ifndef STATESLICE_RUNTIME_METRICS_H_
 #define STATESLICE_RUNTIME_METRICS_H_
 

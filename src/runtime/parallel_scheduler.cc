@@ -125,6 +125,9 @@ void ParallelScheduler::BuildStages() {
 }
 
 void ParallelScheduler::Start() {
+  // Lifecycle methods run on the one thread that owns this scheduler (the
+  // Engine/Executor driver); workers are not launched yet.
+  caller_role_.Assert();
   SLICE_CHECK(!started_);
   SLICE_CHECK(plan_->started());
   started_ = true;
@@ -137,6 +140,8 @@ void ParallelScheduler::Start() {
 }
 
 void ParallelScheduler::PushEntry(EventQueue* entry, Event event) {
+  // The feeder is the owning caller thread (single-caller contract).
+  caller_role_.Assert();
   SLICE_CHECK(started_);
   SLICE_CHECK(!input_finished_);
   CrossEdge* edge = nullptr;
@@ -154,6 +159,7 @@ void ParallelScheduler::PushEntry(EventQueue* entry, Event event) {
 }
 
 void ParallelScheduler::FinishInput() {
+  caller_role_.Assert();  // lifecycle: owning caller thread only
   SLICE_CHECK(started_);
   if (input_finished_) return;
   input_finished_ = true;
@@ -163,6 +169,7 @@ void ParallelScheduler::FinishInput() {
 }
 
 void ParallelScheduler::Join() {
+  caller_role_.Assert();  // lifecycle: owning caller thread only
   if (joined_) return;
   SLICE_CHECK(started_);
   SLICE_CHECK(input_finished_);  // FinishInput() must precede Join()
@@ -174,6 +181,11 @@ void ParallelScheduler::Join() {
 }
 
 void ParallelScheduler::BlockingPush(CrossEdge* edge, Event event) {
+  // Each cross-stage ring has exactly one pushing thread by construction:
+  // the worker of the producer stage (RelayOutputs), or the feeder for
+  // entry edges (PushEntry). Whichever thread reaches this call *is* that
+  // producer.
+  edge->ring.AssertProducer();
   // A full ring is backpressure: the consumer stage is behind. Spin
   // briefly, then yield so this works on oversubscribed machines too.
   int spins = 0;
@@ -216,9 +228,15 @@ void ParallelScheduler::DrainLocal(Stage* stage) {
 }
 
 void ParallelScheduler::RunStage(Stage* stage) {
+  // This function is the worker thread's entry point: by construction the
+  // executing thread is the one worker driving `stage`.
+  stage->role.Assert();
   for (;;) {
     uint64_t round = 0;
     for (CrossEdge* e : stage->inputs) {
+      // Every input ring of this stage is consumed by this worker alone
+      // (BuildStages wires each ring into exactly one stage's inputs).
+      e->ring.AssertConsumer();
       int popped = 0;
       Event event;
       while (popped < options_.quantum && e->ring.TryPop(&event)) {
@@ -263,12 +281,14 @@ void ParallelScheduler::RunStage(Stage* stage) {
 }
 
 uint64_t ParallelScheduler::edges_total_pushed() const {
+  caller_role_.Assert();  // accounting reads: owning caller thread only
   uint64_t total = 0;
   for (const auto& edge : edges_) total += edge->ring.total_pushed();
   return total;
 }
 
 size_t ParallelScheduler::edges_high_water_mark() const {
+  caller_role_.Assert();  // accounting reads: owning caller thread only
   size_t max_hwm = 0;
   for (const auto& edge : edges_) {
     max_hwm = std::max(max_hwm, edge->ring.high_water_mark());

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/runtime/plan.h"
 #include "src/runtime/spsc_queue.h"
 
@@ -76,6 +77,20 @@ struct ParallelSchedulerOptions {
 //   for (...) sched.PushEntry(entry_queue, event);   // feeder thread
 //   sched.FinishInput();
 //   sched.Join();
+//
+// Thread roles (checked under Clang -Wthread-safety):
+//  - caller_role_: exactly one thread constructs the scheduler and calls
+//    the public API (Start/PushEntry/FinishInput/Join and the accessors).
+//    The lifecycle flags and stage/edge containers are GUARDED_BY it, so a
+//    worker-side code path that reaches for them fails to compile.
+//  - Stage::role: each stage's operators, local queues, and `processed`
+//    counter belong to the one worker thread driving that stage; RunStage
+//    asserts the role at thread entry.
+//  - The SPSC rings carry their own producer/consumer roles: the relaying
+//    stage (or the feeder, for entry edges) asserts the producer side, the
+//    consuming stage the consumer side.
+// CrossEdge::closed and total_processed_ are atomics and deliberately
+// role-free (release/acquire close protocol; relaxed counter).
 class ParallelScheduler {
  public:
   ParallelScheduler(QueryPlan* plan, ParallelSchedulerOptions options = {});
@@ -110,9 +125,14 @@ class ParallelScheduler {
   // Stage layout (valid after Start): operators per stage, topological
   // order within each stage.
   const std::vector<std::vector<Operator*>>& stage_operators() const {
+    // Single-caller contract: only the owning thread queries the layout.
+    caller_role_.Assert();
     return stage_ops_;
   }
-  int num_stages() const { return static_cast<int>(stage_ops_.size()); }
+  int num_stages() const {
+    caller_role_.Assert();  // single-caller contract (see class comment)
+    return static_cast<int>(stage_ops_.size());
+  }
 
   // Aggregate SPSC accounting over all cross-stage edges (queue-memory
   // reporting parity with EventQueue).
@@ -138,35 +158,48 @@ class ParallelScheduler {
     int port = 0;
   };
   struct Stage {
+    // The worker thread driving this stage; RunStage asserts it at entry.
+    ThreadRole role;
     std::vector<Operator*> ops;        // topological order within the stage
     std::vector<CrossEdge*> inputs;    // rings feeding this stage
     std::vector<LocalEdge> locals;     // intra-stage queues to drain
     std::vector<CrossEdge*> outputs;   // rings this stage relays into
-    uint64_t processed = 0;            // events consumed by this stage
+    // events consumed by this stage
+    uint64_t processed STATESLICE_GUARDED_BY(role) = 0;
     std::thread thread;
   };
 
-  void BuildStages();
+  void BuildStages() STATESLICE_REQUIRES(caller_role_);
   void RunStage(Stage* stage);
   // Drains intra-stage queues to quiescence, relaying cross-stage output
-  // queues into their rings as events appear.
-  void DrainLocal(Stage* stage);
-  void RelayOutputs(Stage* stage);
+  // queues into their rings as events appear. Worker-side: runs on the
+  // stage's own thread only.
+  void DrainLocal(Stage* stage) STATESLICE_REQUIRES(stage->role);
+  void RelayOutputs(Stage* stage) STATESLICE_REQUIRES(stage->role);
   void BlockingPush(CrossEdge* edge, Event event);
 
   QueryPlan* plan_;
-  ParallelSchedulerOptions options_;
+  ParallelSchedulerOptions options_;  // immutable after construction
 
-  std::vector<std::unique_ptr<CrossEdge>> edges_;
-  std::vector<std::unique_ptr<Stage>> stages_;
-  std::vector<std::vector<Operator*>> stage_ops_;
+  // Built by BuildStages, then structurally frozen: workers reach their
+  // stage through the Stage* they were handed, never through these
+  // containers, so the containers stay caller-owned.
+  std::vector<std::unique_ptr<CrossEdge>> edges_
+      STATESLICE_GUARDED_BY(caller_role_);
+  std::vector<std::unique_ptr<Stage>> stages_
+      STATESLICE_GUARDED_BY(caller_role_);
+  std::vector<std::vector<Operator*>> stage_ops_
+      STATESLICE_GUARDED_BY(caller_role_);
   // Entry edges (no producer operator): fed by PushEntry.
-  std::vector<CrossEdge*> entry_edges_;
+  std::vector<CrossEdge*> entry_edges_ STATESLICE_GUARDED_BY(caller_role_);
 
   std::atomic<uint64_t> total_processed_{0};
-  bool started_ = false;
-  bool input_finished_ = false;
-  bool joined_ = false;
+  bool started_ STATESLICE_GUARDED_BY(caller_role_) = false;
+  bool input_finished_ STATESLICE_GUARDED_BY(caller_role_) = false;
+  bool joined_ STATESLICE_GUARDED_BY(caller_role_) = false;
+
+  // The single thread that owns construction, feeding, and teardown.
+  ThreadRole caller_role_;
 };
 
 }  // namespace stateslice

@@ -14,6 +14,7 @@
 
 #include "src/common/check.h"
 #include "src/common/cost_counters.h"
+#include "src/common/thread_annotations.h"
 #include "src/runtime/execution_mode.h"
 #include "src/runtime/operator.h"
 #include "src/runtime/queue.h"
@@ -127,11 +128,25 @@ class QueryPlan {
   // These are low-level hooks used by core/migration.cc. They bypass the
   // "wire before Start()" rule; callers are responsible for quiescing the
   // affected region as described in the paper.
+  //
+  // The "no migration while parallel" rule is enforced twice: at runtime by
+  // the SLICE_CHECK against active_mode_, and at compile time (Clang
+  // -Wthread-safety) by the structure-surgery role below — every hook
+  // requires it, and the only way to obtain it is AssertSurgeryExclusive(),
+  // whose call sites must justify that the pipeline is quiescent.
+
+  // Declares that the calling thread has exclusive access to plan
+  // structure: no parallel execution is active (workers joined, or the
+  // plan never left deterministic mode) and no other thread touches the
+  // plan. Engine::QuiesceForSurgery establishes exactly this state.
+  void AssertSurgeryExclusive() const
+      STATESLICE_ASSERT_CAPABILITY(structure_role_) {}
 
   // Detaches nothing (operators keep their queues); simply registers `op`
   // into the running plan and starts it.
   template <typename OpT>
-  OpT* InsertOperatorWhileRunning(std::unique_ptr<OpT> op) {
+  OpT* InsertOperatorWhileRunning(std::unique_ptr<OpT> op)
+      STATESLICE_REQUIRES(structure_role_) {
     SLICE_CHECK(active_mode_ == ExecutionMode::kDeterministic);
     OpT* raw = op.get();
     RegisterOperator(std::move(op));
@@ -142,28 +157,32 @@ class QueryPlan {
   // Removes `op` from scheduling. Its queues are kept (they may still be
   // referenced); the operator object is destroyed. All of its input queues
   // must be empty.
-  void RemoveOperatorWhileRunning(Operator* op);
+  void RemoveOperatorWhileRunning(Operator* op)
+      STATESLICE_REQUIRES(structure_role_);
 
   // Like Connect, but permitted after Start(). The new queue joins the
   // scheduler's round-robin immediately.
   EventQueue* ConnectWhileRunning(Operator* from, int out_port, Operator* to,
-                                  int in_port);
+                                  int in_port)
+      STATESLICE_REQUIRES(structure_role_);
 
   // Moves `queue` from `old_from`'s output `old_port` to `new_from`'s
   // output `new_port`, keeping the consumer side untouched. The migration
   // primitive for handing a live edge to a new producer.
   void MoveQueueProducer(EventQueue* queue, Operator* old_from, int old_port,
-                         Operator* new_from, int new_port);
+                         Operator* new_from, int new_port)
+      STATESLICE_REQUIRES(structure_role_);
 
   // Rebinds `queue`'s consumer to (`to`, `in_port`). `queue` must currently
   // have a consumer. Used when a merged slice replaces the chain element
   // that a queue used to feed.
-  void ReplaceQueueConsumer(EventQueue* queue, Operator* to, int in_port);
+  void ReplaceQueueConsumer(EventQueue* queue, Operator* to, int in_port)
+      STATESLICE_REQUIRES(structure_role_);
 
   // Removes `queue` from the consumer/producer edge tables (it stops being
   // scheduled). The queue must be empty; the owning storage is retained so
   // stale pointers stay valid.
-  void RetireQueue(EventQueue* queue);
+  void RetireQueue(EventQueue* queue) STATESLICE_REQUIRES(structure_role_);
 
  private:
   void RegisterOperator(std::unique_ptr<Operator> op);
@@ -178,6 +197,9 @@ class QueryPlan {
   CostCounters cost_counters_;
   bool started_ = false;
   ExecutionMode active_mode_ = ExecutionMode::kDeterministic;
+  // Capability for structural surgery on a running plan (see the surgery
+  // section above).
+  ThreadRole structure_role_;
 };
 
 }  // namespace stateslice

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/thread_annotations.h"
 
 namespace stateslice {
 
@@ -31,6 +32,14 @@ namespace stateslice {
 // may be called by one thread at a time; TryPop by one (possibly different)
 // thread at a time. empty()/size() are safe from any thread but return a
 // snapshot that may be stale by the time the caller acts on it.
+//
+// The SPSC contract is machine-checked via two thread roles: TryPush
+// requires the producer role and TryPop the consumer role. A thread that
+// takes on a role (e.g. a pipeline worker designated as the sole consumer
+// of a cross-stage ring) declares it with AssertProducer()/AssertConsumer()
+// plus a comment justifying the claim; under Clang -Wthread-safety, calling
+// TryPush/TryPop — or touching the role-cached indices — without the
+// matching assertion in scope is a compile error.
 template <typename T>
 class SpscQueue {
  public:
@@ -47,9 +56,15 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
+  // Declares that the calling thread is this ring's single producer
+  // (consumer). The claim must hold by construction of the caller's
+  // threading design — document why at each call site.
+  void AssertProducer() const STATESLICE_ASSERT_CAPABILITY(producer_role_) {}
+  void AssertConsumer() const STATESLICE_ASSERT_CAPABILITY(consumer_role_) {}
+
   // Attempts to append `value`. Returns false (leaving `value` untouched)
   // when the ring is full. Producer thread only.
-  bool TryPush(T&& value) {
+  bool TryPush(T&& value) STATESLICE_REQUIRES(producer_role_) {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ >= capacity_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -67,7 +82,7 @@ class SpscQueue {
 
   // Attempts to move the front value into `*out`. Returns false when the
   // ring is empty. Consumer thread only.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) STATESLICE_REQUIRES(consumer_role_) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -107,15 +122,20 @@ class SpscQueue {
   alignas(64) std::atomic<uint64_t> head_{0};  // next slot to pop
   alignas(64) std::atomic<uint64_t> tail_{0};  // next slot to fill
   // -- producer-written --
-  alignas(64) uint64_t head_cache_ = 0;  // producer's view of head_
+  // producer's view of head_
+  alignas(64) uint64_t head_cache_ STATESLICE_GUARDED_BY(producer_role_) = 0;
   std::atomic<uint64_t> high_water_mark_{0};
   std::atomic<uint64_t> total_pushed_{0};
   // -- consumer-written --
-  alignas(64) uint64_t tail_cache_ = 0;  // consumer's view of tail_
+  // consumer's view of tail_
+  alignas(64) uint64_t tail_cache_ STATESLICE_GUARDED_BY(consumer_role_) = 0;
   // -- immutable after construction --
   alignas(64) std::vector<T> slots_;
   size_t capacity_ = 0;
   uint64_t mask_ = 0;
+  // The SPSC role capabilities (empty tags; see file comment).
+  ThreadRole producer_role_;
+  ThreadRole consumer_role_;
 };
 
 }  // namespace stateslice

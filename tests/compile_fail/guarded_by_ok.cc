@@ -1,0 +1,27 @@
+// Control for guarded_by_violation_fail: identical shape, but Touch()
+// asserts the role first — compiles cleanly, proving the failing pair is
+// rejected by the analysis and not by snippet rot.
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class MiniScheduler {
+ public:
+  void Touch() {
+    // Test fixture: the (only) calling thread plays the worker role.
+    role_.Assert();
+    ++processed_;
+  }
+
+ private:
+  stateslice::ThreadRole role_;
+  unsigned long processed_ STATESLICE_GUARDED_BY(role_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MiniScheduler scheduler;
+  scheduler.Touch();
+  return 0;
+}

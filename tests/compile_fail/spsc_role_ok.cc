@@ -1,0 +1,12 @@
+// Control for spsc_role_violation_fail: asserting the producer role first
+// makes the same TryPush compile.
+#include "src/runtime/spsc_queue.h"
+
+int main() {
+  stateslice::SpscQueue<int> queue(8);
+  // Test fixture: this (single) thread is the ring's producer.
+  queue.AssertProducer();
+  int value = 1;
+  (void)queue.TryPush(static_cast<int&&>(value));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE under Clang -Wthread-safety -Werror: TryPush on the
+// real SpscQueue requires the producer role, and no AssertProducer() is in
+// scope. This pins the SPSC contract of the production header itself.
+#include "src/runtime/spsc_queue.h"
+
+int main() {
+  stateslice::SpscQueue<int> queue(8);
+  int value = 1;
+  (void)queue.TryPush(static_cast<int&&>(value));  // seeded violation
+  return 0;
+}

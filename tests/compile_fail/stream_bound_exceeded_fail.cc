@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: instantiating StreamCountBound beyond kMaxStreams
+// fires its static_assert on every compiler.
+#include "src/common/tuple.h"
+
+int main() {
+  return stateslice::StreamCountBound<stateslice::kMaxStreams + 1>::value;
+}

@@ -1,0 +1,8 @@
+// Control: the bound itself (and the binary minimum) compile cleanly, so
+// the failing pair is rejected by the static_assert, not snippet rot.
+#include "src/common/tuple.h"
+
+int main() {
+  return stateslice::StreamCountBound<stateslice::kMaxStreams>::value +
+         stateslice::StreamCountBound<2>::value;
+}

@@ -26,6 +26,8 @@ TEST(CostCountersTest, ResetClearsEverything) {
   CostCounters c;
   c.Add(CostCategory::kUnion, 9);
   c.Add(CostCategory::kFilter, 1);
+  // Single-threaded test: nothing charges concurrently.
+  c.AssertQuiescent();
   c.Reset();
   EXPECT_EQ(c.Total(), 0u);
 }

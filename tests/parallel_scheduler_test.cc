@@ -188,6 +188,10 @@ TEST(ParallelSchedulerTest, PlanReturnsToDeterministicModeAfterJoin) {
 TEST(ParallelSchedulerDeathTest, PlanSurgeryForbiddenWhileParallel) {
   auto p = MakePipeline();
   p->plan.BeginExecution(ExecutionMode::kParallel);
+  // Satisfies the compile-time surgery capability so the test reaches the
+  // *runtime* guard it exercises: the hook must still die on the
+  // active-mode CHECK even if a caller wrongly claims exclusivity.
+  p->plan.AssertSurgeryExclusive();
   EXPECT_DEATH(p->plan.ConnectWhileRunning(p->first, 1, p->second, 1),
                "CHECK failed");
   p->plan.EndExecution();

@@ -101,6 +101,9 @@ TEST(QueryPlanTest, RemoveOperatorWhileRunning) {
   scheduler.RunUntilQuiescent();
   // Quiescent: remove the sink; its input queue must be drained first.
   EXPECT_TRUE(mid->empty());
+  // Single-threaded test, deterministic scheduler quiescent: this thread
+  // owns the plan structure.
+  plan.AssertSurgeryExclusive();
   fanout->DetachOutput(Fanout::kOutPort, mid);
   plan.RetireQueue(mid);
   plan.RemoveOperatorWhileRunning(sink);

@@ -78,6 +78,8 @@ TEST(LineageStamperTest, EarlyStopChargingFromHighestQuery) {
   stamper.Process(A(1, 1.0, 0, 0.8), 0);
   EXPECT_EQ(counters.Get(CostCategory::kFilter), 1u);
   // value=0.95 satisfies nothing: all 3 charged.
+  // Single-threaded test: nothing charges concurrently.
+  counters.AssertQuiescent();
   counters.Reset();
   stamper.Process(A(2, 2.0, 0, 0.95), 0);
   EXPECT_EQ(counters.Get(CostCategory::kFilter), 3u);

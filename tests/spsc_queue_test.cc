@@ -25,6 +25,9 @@ TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
 
 TEST(SpscQueueTest, FifoOrderSingleThread) {
   SpscQueue<int> q(8);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(int{i}));
   for (int i = 0; i < 5; ++i) {
     int v = -1;
@@ -38,6 +41,9 @@ TEST(SpscQueueTest, FifoOrderSingleThread) {
 
 TEST(SpscQueueTest, PushFailsWhenFullAndPreservesValue) {
   SpscQueue<int> q(2);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
   EXPECT_TRUE(q.TryPush(1));
   EXPECT_TRUE(q.TryPush(2));
   int v = 42;
@@ -51,6 +57,9 @@ TEST(SpscQueueTest, PushFailsWhenFullAndPreservesValue) {
 
 TEST(SpscQueueTest, WrapAroundKeepsFifo) {
   SpscQueue<int> q(4);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
   int out;
   // Push/pop more than the capacity so head and tail wrap several times.
   int next_push = 0;
@@ -68,6 +77,9 @@ TEST(SpscQueueTest, WrapAroundKeepsFifo) {
 
 TEST(SpscQueueTest, AccountingMatchesEventQueueSemantics) {
   SpscQueue<int> q(8);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.TryPush(int{i}));
   int out;
   ASSERT_TRUE(q.TryPop(&out));
@@ -81,6 +93,9 @@ TEST(SpscQueueTest, AccountingMatchesEventQueueSemantics) {
 
 TEST(SpscQueueTest, CarriesEvents) {
   SpscQueue<Event> q(4);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
   ASSERT_TRUE(q.TryPush(A(7, 1.5)));
   ASSERT_TRUE(q.TryPush(Punctuation{.watermark = 5}));
   Event e;
@@ -99,6 +114,7 @@ TEST(SpscQueueStressTest, TwoThreadsRandomBatches) {
   SpscQueue<uint64_t> q(64);
 
   std::thread producer([&q] {
+    q.AssertProducer();  // this thread is the only pusher
     Rng rng(1);
     uint64_t next = 0;
     while (next < kCount) {
@@ -114,6 +130,7 @@ TEST(SpscQueueStressTest, TwoThreadsRandomBatches) {
     }
   });
 
+  q.AssertConsumer();  // the main thread is the only popper
   Rng rng(2);
   uint64_t expected = 0;
   while (expected < kCount) {
@@ -142,6 +159,7 @@ TEST(SpscQueueStressTest, EventPayloadsAcrossThreads) {
   SpscQueue<Event> q(32);
 
   std::thread producer([&q] {
+    q.AssertProducer();  // this thread is the only pusher
     for (uint32_t i = 0; i < kCount;) {
       Event e = A(i, static_cast<double>(i));
       if (q.TryPush(std::move(e))) {
@@ -152,6 +170,7 @@ TEST(SpscQueueStressTest, EventPayloadsAcrossThreads) {
     }
   });
 
+  q.AssertConsumer();  // the main thread is the only popper
   uint32_t expected = 0;
   while (expected < kCount) {
     Event e;

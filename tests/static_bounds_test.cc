@@ -1,0 +1,34 @@
+// Positive side of the compile-time stream bound: StreamCountBound<N>
+// passes N through unchanged for every legal N and is usable in constant
+// expressions. The negative side (N > kMaxStreams fails to compile) lives
+// in tests/compile_fail/stream_bound_exceeded_fail.cc.
+#include <gtest/gtest.h>
+
+#include "src/common/tuple.h"
+
+namespace stateslice {
+namespace {
+
+TEST(StaticBoundsTest, StreamCountBoundPassesLegalCountsThrough) {
+  EXPECT_EQ(StreamCountBound<2>::value, 2);
+  EXPECT_EQ(StreamCountBound<3>::value, 3);
+  EXPECT_EQ(StreamCountBound<kMaxStreams>::value, kMaxStreams);
+}
+
+TEST(StaticBoundsTest, StreamCountBoundIsAConstantExpression) {
+  // Usable as an array extent — the whole point of a compile-time bound.
+  int per_stream[StreamCountBound<kMaxStreams>::value] = {};
+  per_stream[kMaxStreams - 1] = 1;
+  EXPECT_EQ(per_stream[kMaxStreams - 1], 1);
+  static_assert(StreamCountBound<4>::value == 4);
+}
+
+TEST(StaticBoundsTest, QueryBoundCoversStreamBound) {
+  // Lineage bitmaps are per-query; every stream can host at least one
+  // query, so the query bound must not be the tighter of the two.
+  static_assert(kMaxQueries >= kMaxStreams);
+  EXPECT_GE(kMaxQueries, kMaxStreams);
+}
+
+}  // namespace
+}  // namespace stateslice

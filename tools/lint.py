@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""stateslice project linter: invariants generic tools can't check.
+
+Rules (tools/lint_rules/):
+  no-raw-checks       src/ reports failures through SLICE_CHECK only
+                      (no assert/abort/iostream).
+  check-side-effects  SLICE_CHECK expressions are side-effect-free (they
+                      compile unevaluated under STATESLICE_STRIP_CHECKS).
+  probe-charges-cost  every join-state probe charges logical + physical
+                      cost counters via ChargeProbe.
+  hot-path-alloc      per-event hot-path files don't heap-allocate.
+  header-guards       src/ headers carry canonical include guards.
+
+Usage:
+  tools/lint.py [--root DIR]      lint the repo; exit 1 on findings
+  tools/lint.py --self-test       run the rule fixtures; exit 1 on failure
+
+Suppress a finding with a justification comment on (or right above) the
+flagged line:   // lint: allow(<rule>) -- <why this is safe>
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from lint_rules import ALL_RULES  # noqa: E402
+
+LINT_DIRS = ("src",)
+
+
+def iter_source_files(root):
+    for top in LINT_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".h", ".cc") and path.is_file():
+                yield path
+
+
+def lint_tree(root):
+    findings = []
+    for path in iter_source_files(root):
+        relpath = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8")
+        for rule in ALL_RULES:
+            if rule.applies(relpath):
+                findings.extend(rule.check(relpath, text))
+    return findings
+
+
+def self_test(root):
+    """Checks every fixture: bad_* must trigger its rule, good_* must not."""
+    fixtures_dir = Path(__file__).resolve().parent / "lint_rules" / "fixtures"
+    failures = []
+    total = 0
+    for rule in ALL_RULES:
+        rule_dir = fixtures_dir / rule.NAME
+        fixtures = sorted(rule_dir.iterdir()) if rule_dir.is_dir() else []
+        bad = [f for f in fixtures if f.name.startswith("bad")]
+        good = [f for f in fixtures if f.name.startswith("good")]
+        if not bad or not good:
+            failures.append(f"{rule.NAME}: missing bad/good fixtures")
+            continue
+        if not rule.applies(rule.FIXTURE_RELPATH):
+            failures.append(
+                f"{rule.NAME}: rule does not apply to its own "
+                f"FIXTURE_RELPATH {rule.FIXTURE_RELPATH}")
+        for fixture in bad + good:
+            total += 1
+            text = fixture.read_text(encoding="utf-8")
+            got = [f for f in rule.check(rule.FIXTURE_RELPATH, text)
+                   if f.rule == rule.NAME]
+            if fixture.name.startswith("bad") and not got:
+                failures.append(
+                    f"{rule.NAME}: {fixture.name} produced no finding")
+            if fixture.name.startswith("good") and got:
+                failures.append(
+                    f"{rule.NAME}: {fixture.name} produced unexpected "
+                    f"findings: {[str(f) for f in got]}")
+    for failure in failures:
+        print(f"SELF-TEST FAIL: {failure}", file=sys.stderr)
+    print(f"lint self-test: {total} fixtures, "
+          f"{len(failures)} failures, {len(ALL_RULES)} rules")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule fixtures instead of linting")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(None)
+
+    root = Path(args.root).resolve() if args.root else \
+        Path(__file__).resolve().parent.parent
+    findings = lint_tree(root)
+    for finding in findings:
+        print(str(finding), file=sys.stderr)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Project-specific lint rules for the stateslice repo (see tools/lint.py).
+
+Each rule module exposes:
+  NAME             -- the rule id used in findings and allow() suppressions
+  FIXTURE_RELPATH  -- the pseudo-path fixtures are checked under
+  applies(relpath) -- whether the rule runs on a repo-relative path
+  check(relpath, text) -> [common.Finding]
+"""
+
+from . import check_side_effects
+from . import header_guards
+from . import hot_path_alloc
+from . import no_raw_checks
+from . import probe_charges
+
+ALL_RULES = [
+    no_raw_checks,
+    check_side_effects,
+    probe_charges,
+    hot_path_alloc,
+    header_guards,
+]

@@ -1,0 +1,73 @@
+"""Shared helpers for the stateslice project lint rules.
+
+Rules operate on *comment- and string-stripped* source text so tokens in
+comments or string literals never trigger findings. Stripping preserves the
+line structure (every removed character becomes a space), so reported line
+numbers match the original file.
+"""
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int  # 1-based
+    message: str
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+_STRIP_RE = re.compile(
+    r"""
+      //[^\n]*                  # line comment
+    | /\*.*?\*/                 # block comment
+    | "(?:\\.|[^"\\\n])*"       # string literal
+    | '(?:\\.|[^'\\\n])*'       # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and literals, preserving newlines and columns."""
+
+    def blank(match):
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return _STRIP_RE.sub(blank, text)
+
+
+_ALLOW_RE = re.compile(r"lint:\s*allow\(([a-z0-9-]+)\)\s*--\s*\S")
+
+
+def allowed(original_lines, line_index, rule):
+    """True when line `line_index` (0-based) carries or follows a
+    `// lint: allow(<rule>) -- <justification>` suppression comment."""
+    candidates = [original_lines[line_index]]
+    if line_index > 0:
+        candidates.append(original_lines[line_index - 1])
+    for text in candidates:
+        m = _ALLOW_RE.search(text)
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def balanced_argument(text, open_paren_index):
+    """Returns (argument_text, end_index) for the parenthesized region
+    starting at `open_paren_index` (which must be '('), or (None, -1) when
+    unbalanced (e.g. a truncated fixture)."""
+    depth = 0
+    for i in range(open_paren_index, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren_index + 1 : i], i
+    return None, -1

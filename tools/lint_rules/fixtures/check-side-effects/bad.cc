@@ -1,0 +1,8 @@
+// Fixture: side effects inside SLICE_CHECK must be flagged (the
+// expression compiles unevaluated under STATESLICE_STRIP_CHECKS).
+#include "src/common/check.h"
+
+void Drain(Queue* q, int* count) {
+  SLICE_CHECK(q->Pop());
+  SLICE_CHECK_GT((*count)++, 0);
+}

@@ -1,0 +1,10 @@
+// Fixture: pure-read SLICE_CHECK expressions are fine, including
+// comparison operators that embed '=' (==, <=, >=, !=).
+#include "src/common/check.h"
+
+void Drain(const Queue& q, int count) {
+  SLICE_CHECK(!q.empty());
+  SLICE_CHECK_EQ(static_cast<size_t>(count), q.size());
+  SLICE_CHECK(count >= 0 && count <= 100);
+  SLICE_CHECK_NE(q.name(), nullptr);
+}

@@ -1,0 +1,7 @@
+// Fixture: a non-canonical include guard must be flagged.
+#ifndef EXAMPLE_H
+#define EXAMPLE_H
+
+void Declared();
+
+#endif  // EXAMPLE_H

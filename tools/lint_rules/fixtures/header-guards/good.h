@@ -1,0 +1,7 @@
+// Fixture: the canonical guard for src/runtime/example.h.
+#ifndef STATESLICE_RUNTIME_EXAMPLE_H_
+#define STATESLICE_RUNTIME_EXAMPLE_H_
+
+void Declared();
+
+#endif  // STATESLICE_RUNTIME_EXAMPLE_H_

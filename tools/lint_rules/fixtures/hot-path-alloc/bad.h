@@ -1,0 +1,6 @@
+// Fixture: per-event heap allocation in a hot-path file must be flagged.
+void Insert(const Tuple& t) {
+  auto* copy = new Tuple(t);
+  entries_.push_back(*copy);
+  auto box = std::make_unique<Entry>(t);
+}

@@ -1,0 +1,11 @@
+// Fixture: amortized container growth is the sanctioned mechanism, and a
+// justified suppression covers setup-time allocation; "new" in comments
+// (a new tuple arrives) must not trigger.
+void Insert(const Tuple& t) {
+  entries_.push_back(t);
+}
+
+void Setup(size_t capacity) {
+  // lint: allow(hot-path-alloc) -- one-time construction, not per-event
+  slots_ = std::make_unique<Entry[]>(capacity);
+}

@@ -1,0 +1,9 @@
+// Fixture: raw assert and iostream in src/ must be flagged.
+#include <cassert>
+#include <iostream>
+
+void Validate(int n) {
+  assert(n > 0);
+  if (n > 100) std::cerr << "suspicious\n";
+  if (n > 1000) abort();
+}

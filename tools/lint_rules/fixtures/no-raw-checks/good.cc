@@ -1,0 +1,11 @@
+// Fixture: SLICE_CHECK and static_assert are the sanctioned forms; tokens
+// in comments (assert( abort( ) or strings must not trigger.
+#include "src/common/check.h"
+
+static_assert(sizeof(int) >= 4, "platform assumption");
+
+void Validate(int n) {
+  SLICE_CHECK_GT(n, 0);
+  const char* label = "assert(x) has no effect here";
+  (void)label;
+}

@@ -1,0 +1,7 @@
+// Fixture: a state probe whose stats are dropped must be flagged — the
+// cost-model figures silently lose this operator's comparisons.
+void Op::ProcessTuple(const Tuple& t) {
+  std::vector<Entry> matches;
+  const ProbeStats stats = state_b_.Probe(t, options_.condition, &matches);
+  for (const Entry& e : matches) Emit(e);
+}

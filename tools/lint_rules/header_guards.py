@@ -1,0 +1,39 @@
+"""Rule: header-guards.
+
+Every header under src/ carries the canonical include guard derived from
+its path (src/runtime/plan.h -> STATESLICE_RUNTIME_PLAN_H_). Non-canonical
+guards collide silently when files move; #pragma once is not used because
+the guard name doubles as the file's identity in error output. This
+complements the CMake-generated per-header include-cleanliness TUs
+(STATESLICE_HEADER_CHECKS), which prove each header compiles standalone.
+"""
+
+import re
+
+from . import common
+
+NAME = "header-guards"
+FIXTURE_RELPATH = "src/runtime/example.h"
+
+
+def applies(relpath):
+    return relpath.startswith("src/") and relpath.endswith(".h")
+
+
+def expected_guard(relpath):
+    stem = relpath[len("src/"):]
+    return "STATESLICE_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def check(relpath, text):
+    guard = expected_guard(relpath)
+    ifndef = re.search(r"#\s*ifndef\s+(\S+)", text)
+    define = re.search(r"#\s*define\s+(\S+)", text)
+    if (ifndef and define
+            and ifndef.group(1) == guard and define.group(1) == guard):
+        return []
+    found = ifndef.group(1) if ifndef else "<missing>"
+    line = (text.count("\n", 0, ifndef.start()) + 1) if ifndef else 1
+    return [common.Finding(
+        NAME, relpath, line,
+        f"include guard is {found}, expected {guard}")]

@@ -1,0 +1,47 @@
+"""Rule: no-raw-checks.
+
+Production code under src/ reports invariant violations through SLICE_CHECK
+(src/common/check.h) only: raw assert() vanishes in NDEBUG builds, abort()
+loses the failing expression, and iostream drags in static initializers and
+unsynchronized global streams. check.h itself (the one place allowed to
+call the terminating primitives) is exempt.
+"""
+
+import re
+
+from . import common
+
+NAME = "no-raw-checks"
+FIXTURE_RELPATH = "src/runtime/example.cc"
+
+_EXEMPT = {"src/common/check.h"}
+
+_PATTERNS = [
+    (re.compile(r"(?<!static_)(?<!_)\bassert\s*\("),
+     "raw assert(); use SLICE_CHECK (src/common/check.h)"),
+    (re.compile(r"(?<!::)\babort\s*\("),
+     "raw abort(); use SLICE_CHECK (src/common/check.h)"),
+    (re.compile(r"#\s*include\s*<(?:iostream|cassert|assert\.h)>"),
+     "iostream/cassert include; src/ uses SLICE_CHECK and cstdio"),
+    (re.compile(r"\bstd::(?:cout|cerr)\b"),
+     "std::cout/cerr in src/; report through return values or SLICE_CHECK"),
+]
+
+
+def applies(relpath):
+    return (relpath.startswith("src/")
+            and relpath.endswith((".h", ".cc"))
+            and relpath not in _EXEMPT)
+
+
+def check(relpath, text):
+    findings = []
+    stripped = common.strip_comments_and_strings(text)
+    original_lines = text.splitlines()
+    for i, line in enumerate(stripped.splitlines()):
+        for pattern, message in _PATTERNS:
+            if pattern.search(line) and not common.allowed(
+                    original_lines, i, NAME):
+                findings.append(
+                    common.Finding(NAME, relpath, i + 1, message))
+    return findings

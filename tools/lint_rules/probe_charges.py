@@ -1,0 +1,45 @@
+"""Rule: probe-charges-cost.
+
+Every operator that probes join state must charge the probe's outcome —
+both the logical paper-unit comparisons and the physical lookup/visit work
+— through Operator::ChargeProbe (src/runtime/operator.h), which covers
+both axes and drains the index-upkeep counter. A probe whose stats are
+dropped silently corrupts the cost-model figures (Eqs. 1-3) that the
+benches reproduce.
+
+Mechanically: in src/operators/*.cc, every `.Probe(` call site must have a
+`ChargeProbe` within the same statement or the following window of lines.
+"""
+
+import re
+
+from . import common
+
+NAME = "probe-charges-cost"
+FIXTURE_RELPATH = "src/operators/example.cc"
+
+_PROBE_RE = re.compile(r"\.Probe\s*\(")
+_WINDOW = 15  # lines after the probe in which the charge must appear
+
+
+def applies(relpath):
+    return relpath.startswith("src/operators/") and relpath.endswith(".cc")
+
+
+def check(relpath, text):
+    findings = []
+    stripped_lines = common.strip_comments_and_strings(text).splitlines()
+    original_lines = text.splitlines()
+    for i, line in enumerate(stripped_lines):
+        if not _PROBE_RE.search(line):
+            continue
+        if common.allowed(original_lines, i, NAME):
+            continue
+        window = stripped_lines[i : i + _WINDOW + 1]
+        if not any("ChargeProbe" in w for w in window):
+            findings.append(common.Finding(
+                NAME, relpath, i + 1,
+                "state probe without a ChargeProbe within "
+                f"{_WINDOW} lines; probe stats must be charged to the "
+                "logical and physical cost counters"))
+    return findings
