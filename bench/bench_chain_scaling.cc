@@ -122,7 +122,10 @@ int main(int argc, char** argv) {
     uint64_t comparisons = 0;
     for (int i = 0; i < 2000; ++i) {
       matches.clear();
-      comparisons += js.Probe(probe, cond, &matches).comparisons;
+      comparisons +=
+          js.Probe(probe, cond,
+                   [&matches](const Tuple& e) { matches.push_back(e); })
+              .comparisons;
     }
     const auto t1 = std::chrono::steady_clock::now();
     EventQueue q("q");

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -58,7 +59,7 @@ ChurnOutcome RunChurn(SharingStrategy strategy, ExecutionMode mode,
     SLICE_CHECK(h.valid());
   }
 
-  const std::vector<Tuple> merged = MergedArrivals(workload);
+  std::vector<Tuple> merged = MergedArrivals(workload);
 
   ChurnOutcome outcome;
   TimePoint next_churn = SecondsToTicks(churn_period_s);
@@ -67,7 +68,7 @@ ChurnOutcome RunChurn(SharingStrategy strategy, ExecutionMode mode,
   const double windows[] = {4.0, 8.0, 12.0, 5.0, 9.0, 13.0};
   size_t next_window = 0;
   const auto run_start = std::chrono::steady_clock::now();
-  for (const Tuple& t : merged) {
+  for (Tuple& t : merged) {
     if (t.timestamp >= next_churn) {
       const auto churn_start = std::chrono::steady_clock::now();
       if (extra.empty()) {
@@ -89,7 +90,7 @@ ChurnOutcome RunChurn(SharingStrategy strategy, ExecutionMode mode,
       ++outcome.churn_ops;
       next_churn += SecondsToTicks(churn_period_s);
     }
-    engine.Push(t.side, t);
+    engine.Push(t.side, std::move(t));
   }
   engine.Finish();
   outcome.wall_seconds = std::chrono::duration<double>(

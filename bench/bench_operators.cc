@@ -54,7 +54,8 @@ void BM_JoinStateProbe(benchmark::State& state) {
   std::vector<Tuple> matches;
   for (auto _ : state) {
     matches.clear();
-    benchmark::DoNotOptimize(js.Probe(probe, cond, &matches));
+    benchmark::DoNotOptimize(js.Probe(
+        probe, cond, [&matches](const Tuple& e) { matches.push_back(e); }));
   }
   // items == comparisons: this measures ns per probe comparison, the
   // denominator of the c_sys calibration.

@@ -51,6 +51,7 @@ figure_benches=(
   bench_fig17_memory
   bench_fig18_service_rate
   bench_fig19_memopt_cpuopt
+  bench_batch_throughput
   bench_chain_scaling
   bench_cost_model_validation
   bench_engine_churn

@@ -17,6 +17,7 @@
 //
 //   $ ./examples/multiway_routes
 #include <cstdio>
+#include <utility>
 
 #include "src/stateslice.h"
 
@@ -63,8 +64,8 @@ int main() {
   });
 
   // ---- 4. Push the merged, globally ordered feed.
-  for (const Tuple& t : MergedArrivals(workload)) {
-    engine.Push(t.side, t);
+  for (Tuple& t : MergedArrivals(workload)) {
+    engine.Push(t.side, std::move(t));
   }
 
   // ---- 5. Report (slice introspection needs the live plan, so before

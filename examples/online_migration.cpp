@@ -8,6 +8,7 @@
 //
 //   $ ./examples/online_migration
 #include <cstdio>
+#include <utility>
 
 #include "src/stateslice.h"
 
@@ -53,7 +54,7 @@ int main() {
   auto feed_until = [&](double t_seconds) {
     const TimePoint horizon = SecondsToTicks(t_seconds);
     while (fed < merged.size() && merged[fed].timestamp < horizon) {
-      engine.Push(merged[fed].side, merged[fed]);
+      engine.Push(merged[fed].side, std::move(merged[fed]));
       ++fed;
     }
   };

@@ -7,6 +7,7 @@
 //
 //   $ ./examples/quickstart
 #include <cstdio>
+#include <span>
 
 #include "src/stateslice.h"
 
@@ -42,7 +43,10 @@ int main() {
   }
   std::printf("registered %zu queries\n", engine.active_queries());
 
-  // ---- 4. Push both streams in global arrival order.
+  // ---- 4. Push both streams in global arrival order. Maximal
+  // same-stream runs go through the span-based PushBatch: the engine
+  // ingests each run as one batch (one scheduler drain per batch instead
+  // of per tuple) without changing the global arrival order.
   size_t ia = 0, ib = 0;
   const auto& sa = workload.stream_a;
   const auto& sb = workload.stream_b;
@@ -51,9 +55,23 @@ int main() {
         ib >= sb.size() ||
         (ia < sa.size() && sa[ia].timestamp <= sb[ib].timestamp);
     if (take_a) {
-      engine.Push(StreamSide::kA, sa[ia++]);
+      size_t end = ia + 1;  // extend while A still leads the merge
+      while (end < sa.size() &&
+             (ib >= sb.size() || sa[end].timestamp <= sb[ib].timestamp)) {
+        ++end;
+      }
+      engine.PushBatch(StreamSide::kA,
+                       std::span(sa).subspan(ia, end - ia));
+      ia = end;
     } else {
-      engine.Push(StreamSide::kB, sb[ib++]);
+      size_t end = ib + 1;  // extend while B still leads the merge
+      while (end < sb.size() &&
+             (ia >= sa.size() || sb[end].timestamp < sa[ia].timestamp)) {
+        ++end;
+      }
+      engine.PushBatch(StreamSide::kB,
+                       std::span(sb).subspan(ib, end - ib));
+      ib = end;
     }
   }
   engine.Finish();

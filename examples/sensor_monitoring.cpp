@@ -7,6 +7,7 @@
 //
 //   $ ./examples/sensor_monitoring
 #include <cstdio>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -69,14 +70,14 @@ int main() {
   // Stream the first half, then a fourth subscription joins mid-flight.
   size_t fed = 0;
   for (; fed < merged.size() / 2; ++fed) {
-    engine.Push(merged[fed].side, merged[fed]);
+    engine.Push(merged[fed].side, std::move(merged[fed]));
   }
   // Flush same-timestamp stragglers: registration advances the session
   // watermark, so post-registration arrivals must not tie with earlier
   // ones.
   while (fed < merged.size() &&
          merged[fed].timestamp <= engine.watermark()) {
-    engine.Push(merged[fed].side, merged[fed]);
+    engine.Push(merged[fed].side, std::move(merged[fed]));
     ++fed;
   }
   const QueryHandle late = engine.RegisterQuery(
@@ -86,7 +87,7 @@ int main() {
               TicksToSeconds(engine.watermark()),
               TicksToSeconds(engine.ResultsFrom(late)));
   for (; fed < merged.size(); ++fed) {
-    engine.Push(merged[fed].side, merged[fed]);
+    engine.Push(merged[fed].side, std::move(merged[fed]));
   }
   engine.Finish();
 

@@ -23,6 +23,7 @@
 // Prints per-query result counts, state-memory and comparison-cost
 // statistics for the chosen sharing strategy.
 #include <cstdio>
+#include <utility>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -175,13 +176,13 @@ int main(int argc, char** argv) {
         merged.size() * static_cast<size_t>(q - initial + 1) /
         (static_cast<size_t>(cli.late) + 1) / 2;
     for (; fed < target; ++fed) {
-      engine.Push(merged[fed].side, merged[fed]);
+      engine.Push(merged[fed].side, std::move(merged[fed]));
     }
     // Flush same-timestamp stragglers: registration advances the session
     // watermark past the last arrival.
     while (fed < merged.size() &&
            merged[fed].timestamp <= engine.watermark()) {
-      engine.Push(merged[fed].side, merged[fed]);
+      engine.Push(merged[fed].side, std::move(merged[fed]));
       ++fed;
     }
     const QueryHandle h = engine.RegisterQuery(cli.query_texts[q]);
@@ -196,7 +197,7 @@ int main(int argc, char** argv) {
     handles.push_back(h);
   }
   for (; fed < merged.size(); ++fed) {
-    engine.Push(merged[fed].side, merged[fed]);
+    engine.Push(merged[fed].side, std::move(merged[fed]));
   }
   engine.Finish();
 

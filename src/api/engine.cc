@@ -376,7 +376,10 @@ void Engine::BuildPlan() {
       break;
   }
   if (options_.mode == ExecutionMode::kDeterministic) {
-    det_scheduler_ = std::make_unique<RoundRobinScheduler>(built_.plan.get());
+    // run_length == 0 keeps the paper-faithful default quantum of 8.
+    det_scheduler_ = std::make_unique<RoundRobinScheduler>(
+        built_.plan.get(),
+        options_.run_length > 0 ? options_.run_length : 8);
   }
   for (SubscriptionRecord& sub : subscriptions_) {
     const QueryRecord* rec = FindRecord(sub.query_token);
@@ -446,6 +449,7 @@ void Engine::StartParallel() {
                          ? options_.worker_threads
                          : static_cast<int>(hw > 1 ? hw - 1 : 1);
   popt.edge_capacity = options_.parallel_edge_capacity;
+  if (options_.run_length > 0) popt.quantum = options_.run_length;
   popt.finish_at_end = false;  // the engine flushes explicitly at teardown
   par_scheduler_ =
       std::make_unique<ParallelScheduler>(built_.plan.get(), popt);
@@ -457,6 +461,11 @@ void Engine::PauseParallel() {
   if (par_scheduler_ == nullptr) return;
   par_scheduler_->FinishInput();
   par_scheduler_->Join();
+  // Hand the segment's unreported progress to Poll before the scheduler
+  // (and its counter) goes away.
+  poll_pending_ +=
+      par_scheduler_->total_processed() - poll_segment_reported_;
+  poll_segment_reported_ = 0;
   events_accum_ += par_scheduler_->total_processed();
   parallel_edge_events_accum_ += par_scheduler_->edges_total_pushed();
   parallel_edge_hwm_ =
@@ -490,7 +499,11 @@ void Engine::SampleMemory() {
   });
 }
 
-void Engine::Push(StreamId stream, Tuple tuple) {
+void Engine::Push(StreamId stream, const Tuple& tuple) {
+  Push(stream, Tuple(tuple));
+}
+
+void Engine::Push(StreamId stream, Tuple&& tuple) {
   SLICE_CHECK(!finished_);
   SLICE_CHECK_GE(stream, 0);
   tuple.side = stream;
@@ -524,13 +537,87 @@ void Engine::Push(StreamId stream, Tuple tuple) {
   }
 }
 
-void Engine::PushBatch(StreamId stream, const std::vector<Tuple>& tuples) {
-  for (const Tuple& t : tuples) Push(stream, t);
+void Engine::PushBatch(StreamId stream, std::span<const Tuple> tuples) {
+  SLICE_CHECK(!finished_);
+  SLICE_CHECK_GE(stream, 0);
+  if (tuples.empty()) return;
+  // Validate the whole batch up front (ordered within the batch, first at
+  // or beyond the session watermark) so a CHECK failure never leaves a
+  // half-ingested batch behind.
+  TimePoint prev = watermark_;
+  for (const Tuple& t : tuples) {
+    SLICE_CHECK_GE(t.timestamp, prev);
+    prev = t.timestamp;
+  }
+  const TimePoint last = tuples.back().timestamp;
+  if (active_queries() == 0 || stream >= max_streams_) {
+    dropped_tuples_ += tuples.size();
+    watermark_ = last;
+    return;
+  }
+  EnsureBuilt();
+  if (options_.mode == ExecutionMode::kDeterministic) {
+    // Same exclusivity argument as Push. Sampling is batch-granular: all
+    // samples due within the batch observe the pre-batch state.
+    surgery_cap_.Assert();
+    while (last >= next_sample_) {
+      SampleMemory();
+      next_sample_ += options_.sample_interval;
+    }
+  }
+  watermark_ = last;
+  input_tuples_ += tuples.size();
+  if (par_scheduler_ != nullptr) {
+    // The SPSC entry handoff wants a run it can publish with one
+    // release-store per ring segment, so stage the batch in the reused
+    // run buffer.
+    batch_run_.clear();
+    batch_run_.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      Tuple staged = t;
+      staged.side = stream;
+      batch_run_.push_back(Event(std::move(staged)));
+    }
+    par_scheduler_->PushEntryRun(built_.entry, &batch_run_);
+  } else {
+    // Deterministic mode owns the entry queue outright: write each event
+    // straight into the ring (no staging round trip), then drain once for
+    // the whole batch — the amortization PushBatch exists for.
+    for (const Tuple& t : tuples) {
+      Tuple staged = t;
+      staged.side = stream;
+      built_.entry->Push(Event(std::move(staged)));
+    }
+    if (options_.auto_drain && det_scheduler_ != nullptr) {
+      det_scheduler_->RunUntilQuiescent();
+    }
+  }
+}
+
+void Engine::PushBatch(StreamId stream, std::vector<Tuple>&& tuples) {
+  // Tuple is trivially copyable, so consuming the vector buys nothing
+  // today; the overload fixes the API shape for non-trivial payloads.
+  PushBatch(stream, std::span<const Tuple>(tuples));
+  tuples.clear();
 }
 
 uint64_t Engine::Poll(uint64_t max_events) {
-  if (!running() || det_scheduler_ == nullptr) return 0;
-  return det_scheduler_->RunSome(max_events);
+  if (par_scheduler_ != nullptr) {
+    // Parallel mode: report pipeline progress since the last Poll. The
+    // engine is single-caller, so plain counters suffice; PauseParallel
+    // folds a finishing segment's remainder into poll_pending_.
+    const uint64_t current = par_scheduler_->total_processed();
+    const uint64_t delta = poll_pending_ + (current - poll_segment_reported_);
+    poll_segment_reported_ = current;
+    poll_pending_ = 0;
+    return delta;
+  }
+  // A paused or finished parallel engine still owes the remainder folded
+  // in at the last pause; deterministic engines keep poll_pending_ at 0.
+  const uint64_t carried = poll_pending_;
+  poll_pending_ = 0;
+  if (!running() || det_scheduler_ == nullptr) return carried;
+  return carried + det_scheduler_->RunSome(max_events);
 }
 
 void Engine::Drain() {

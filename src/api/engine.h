@@ -55,6 +55,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -110,7 +111,7 @@ class Engine {
     // kParallel: pipeline stages; 0 = hardware_concurrency() - 1.
     int worker_threads = 0;
     // kParallel: per-edge SPSC ring capacity, in events.
-    size_t parallel_edge_capacity = 1024;
+    size_t parallel_edge_capacity = 256;
     JoinCondition condition = JoinCondition::EquiKey();
     // CPU-Opt objective inputs (stream rates, S1, C_sys).
     ChainCostParams cost_params;
@@ -120,6 +121,13 @@ class Engine {
     // executor's feed_batch=1 discipline). When false, Push only enqueues
     // and the caller drives processing with Poll()/Drain().
     bool auto_drain = true;
+    // Run length: max events a scheduler visit drains from one queue into
+    // an Operator::OnRun call. 0 keeps the per-mode defaults (8 for the
+    // deterministic round-robin quantum — the paper-faithful CAPE setting
+    // the figure benches assume — and 64 for the parallel per-ring
+    // quantum). Larger runs amortize dispatch at the cost of per-queue
+    // latency; event order within a queue is unaffected.
+    int run_length = 0;
   };
 
   Engine();  // default options
@@ -159,19 +167,39 @@ class Engine {
   // arrivals. Tuples pushed while no query is registered, or into a
   // stream id no active query reads, are dropped (counted in
   // dropped_tuples). Must not be called after Finish.
-  void Push(StreamId stream, Tuple tuple);
+  void Push(StreamId stream, const Tuple& tuple);
+  // Move spelling. Tuple is trivially copyable today, so this costs the
+  // same as the const& overload; it exists so call sites that hand over
+  // ownership (and any future non-trivial tuple payload) take the move
+  // path: `engine.Push(side, std::move(t))`.
+  void Push(StreamId stream, Tuple&& tuple);
 
-  // Pushes a timestamp-ordered batch into `stream`.
-  void PushBatch(StreamId stream, const std::vector<Tuple>& tuples);
+  // Pushes a timestamp-ordered batch into `stream` as one run: the batch
+  // is validated (non-decreasing timestamps, first >= watermark()),
+  // converted to events, and fed to the scheduler in a single visit —
+  // auto_drain drains once per batch, not per tuple, which is where the
+  // batched ingest throughput comes from (bench_batch_throughput).
+  // Any contiguous range binds: `PushBatch(s, vec)`, a subspan, a C array.
+  // Deterministic-mode memory sampling is batch-granular: samples due
+  // within the batch are taken against the pre-batch state.
+  void PushBatch(StreamId stream, std::span<const Tuple> tuples);
+  // Move overload (API parity with Push; see the Push(Tuple&&) note). The
+  // vector is consumed and left empty.
+  void PushBatch(StreamId stream, std::vector<Tuple>&& tuples);
 
   // Deterministic mode with auto_drain=false: processes up to `max_events`
   // pending events and returns how many ran (< max_events implies
-  // quiescence). No-op (returns 0) in parallel mode, where the worker
-  // pipeline processes continuously.
+  // quiescence). In parallel mode the worker pipeline processes
+  // continuously; Poll never runs work itself and instead returns the
+  // number of events the pipeline processed since the last Poll (a relaxed
+  // snapshot; `max_events` is ignored). Returns 0 on an idle engine.
   uint64_t Poll(uint64_t max_events = 4096);
 
-  // Processes everything in flight. In parallel mode this is a pipeline
-  // barrier (workers drain and the pipeline restarts).
+  // Processes everything in flight. In deterministic mode this drains the
+  // plan to quiescence on the calling thread. In parallel mode it is a
+  // pipeline barrier: workers are joined (draining all in-flight events),
+  // their counters fold into the engine totals, and a fresh pipeline
+  // resumes — expensive, so prefer Poll for progress monitoring.
   void Drain();
 
   // Declares end of input: flushes end-of-stream punctuations, delivers
@@ -317,6 +345,13 @@ class Engine {
 
   TimePoint watermark_ = 0;
   int max_streams_ = 0;  // streams read by active queries (Push drop check)
+  // Reused PushBatch staging run (single-caller engine: one suffices).
+  EventRun batch_run_;
+  // Parallel-mode Poll bookkeeping (single-caller thread): events reported
+  // from finished pipeline segments not yet returned by Poll, and how much
+  // of the *current* segment's total_processed() Poll already reported.
+  uint64_t poll_pending_ = 0;
+  uint64_t poll_segment_reported_ = 0;
   TimePoint next_sample_ = 0;
   bool finished_ = false;
   uint64_t input_tuples_ = 0;

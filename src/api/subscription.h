@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "src/api/query_handle.h"
+#include "src/common/arena.h"
 #include "src/common/check.h"
 #include "src/runtime/operator.h"
 
@@ -49,6 +50,10 @@ class CallbackSink : public Operator {
     SLICE_CHECK_EQ(input_port, 0);
     if (IsJoinResult(event)) {
       ++delivered_;
+      // Suspend the scheduler's plan-arena scope for the user callback:
+      // composite copies the callback makes must go to the global heap so
+      // they may outlive the plan epoch.
+      ArenaScope suspend(nullptr);
       callback_(std::get<JoinResult>(event));
     }
   }

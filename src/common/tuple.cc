@@ -1,10 +1,41 @@
 #include "src/common/tuple.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <utility>
 
+#include "src/common/arena.h"
+
 namespace stateslice {
+
+void TailVec::Grow(uint32_t min_capacity) {
+  uint32_t new_capacity = 4;
+  while (new_capacity < min_capacity) new_capacity *= 2;
+  const size_t bytes = new_capacity * sizeof(Tuple);
+  Arena* arena = CurrentArena();
+  Tuple* fresh = arena != nullptr
+                     ? static_cast<Tuple*>(arena->Allocate(bytes))
+                     // lint: allow(hot-path-alloc) -- heap fallback for
+                     // tails copied outside any plan arena scope (user
+                     // callbacks, tests); the scheduled hot path always
+                     // has an ArenaScope installed.
+                     : static_cast<Tuple*>(::operator new(bytes));
+  std::copy(data(), data() + size_, fresh);
+  ReleaseStorage();
+  spill_.heap = fresh;
+  spill_.arena = arena;
+  capacity_ = new_capacity;
+}
+
+void TailVec::ReleaseStorage() {
+  if (!spilled()) return;
+  if (spill_.arena != nullptr) {
+    spill_.arena->Deallocate(spill_.heap, capacity_ * sizeof(Tuple));
+  } else {
+    ::operator delete(spill_.heap);
+  }
+}
 
 std::string Tuple::DebugId() const {
   std::ostringstream out;
@@ -45,7 +76,7 @@ CompositeTuple CompositeTuple::WithAppended(const Tuple& t) const& {
   extended.a = a;
   extended.b = b;
   extended.tail.reserve(tail.size() + 1);
-  extended.tail.insert(extended.tail.end(), tail.begin(), tail.end());
+  for (const Tuple& part : tail) extended.tail.push_back(part);
   extended.tail.push_back(t);
   extended.role = TupleRole::kBoth;
   return extended;

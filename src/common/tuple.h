@@ -12,14 +12,18 @@
 #ifndef STATESLICE_COMMON_TUPLE_H_
 #define STATESLICE_COMMON_TUPLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <variant>
-#include <vector>
 
 #include "src/common/timestamp.h"
 
 namespace stateslice {
+
+class Arena;
 
 // Identifies which input stream a tuple belongs to: the 0-based position of
 // the stream in a query's ordered FROM list. A binary join reads streams 0
@@ -101,6 +105,126 @@ struct Tuple {
   std::string DebugString() const;
 };
 
+// TailVec's flat copies and destructor-free clear() lean on this.
+static_assert(std::is_trivially_copyable_v<Tuple>,
+              "Tuple must stay trivially copyable (flat TailVec storage)");
+
+// Inline small-vector holding the constituents of streams 2..N-1 of a
+// composite tuple. Up to kInlineCapacity constituents live inside the
+// object (so composites of <= 4 total constituents never allocate); longer
+// tails spill to the thread's ambient Arena (see src/common/arena.h) when
+// one is installed, or to the global heap otherwise. A spilled TailVec
+// remembers its owning arena so the block is returned to the right
+// freelist no matter which thread destroys it. The epoch contract — the
+// plan's arena outlives everything that can hold arena-backed tails — is
+// what makes the raw pointer safe.
+//
+// Deliberately minimal: just the std::vector surface the tuple code uses.
+// Tuple is trivially copyable, so growth is a flat copy and clear() needs
+// no element destruction.
+class TailVec {
+ public:
+  static constexpr uint32_t kInlineCapacity = 2;
+
+  TailVec() = default;
+  ~TailVec() { ReleaseStorage(); }
+
+  TailVec(const TailVec& other) { CopyFrom(other); }
+  TailVec& operator=(const TailVec& other) {
+    if (this != &other) {
+      ReleaseStorage();
+      capacity_ = kInlineCapacity;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  TailVec(TailVec&& other) noexcept { MoveFrom(std::move(other)); }
+  TailVec& operator=(TailVec&& other) noexcept {
+    if (this != &other) {
+      ReleaseStorage();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  // True iff the tail spilled out of the inline buffer.
+  bool spilled() const { return capacity_ > kInlineCapacity; }
+
+  Tuple* data() { return spilled() ? spill_.heap : inline_; }
+  const Tuple* data() const { return spilled() ? spill_.heap : inline_; }
+
+  Tuple& operator[](size_t i) { return data()[i]; }
+  const Tuple& operator[](size_t i) const { return data()[i]; }
+  Tuple& back() { return data()[size_ - 1]; }
+  const Tuple& back() const { return data()[size_ - 1]; }
+
+  Tuple* begin() { return data(); }
+  Tuple* end() { return data() + size_; }
+  const Tuple* begin() const { return data(); }
+  const Tuple* end() const { return data() + size_; }
+
+  void push_back(const Tuple& t) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data()[size_++] = t;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(static_cast<uint32_t>(n));
+  }
+
+  // Keeps storage (inline or spilled) for reuse.
+  void clear() { size_ = 0; }
+
+ private:
+  // Moves storage to a buffer of at least min_capacity tuples (rounded up
+  // to a power of two >= 4). Defined in tuple.cc: needs Arena.
+  void Grow(uint32_t min_capacity);
+  // Returns a spilled buffer to its arena or the heap. Defined in tuple.cc.
+  void ReleaseStorage();
+
+  void CopyFrom(const TailVec& other) {
+    reserve(other.size_);
+    for (uint32_t i = 0; i < other.size_; ++i) data()[i] = other.data()[i];
+    size_ = other.size_;
+  }
+
+  void MoveFrom(TailVec&& other) noexcept {
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    if (other.spilled()) {
+      spill_ = other.spill_;
+    } else {
+      for (uint32_t i = 0; i < size_; ++i) inline_[i] = other.inline_[i];
+    }
+    other.size_ = 0;
+    other.capacity_ = kInlineCapacity;
+  }
+
+  // Spill bookkeeping, live only while capacity_ > kInlineCapacity.
+  struct Spill {
+    Tuple* heap;   // the spilled buffer
+    Arena* arena;  // owner of `heap` when arena-backed, else global heap
+  };
+
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineCapacity;
+  // The spill pointers overlay the inline slots: a spilled tail never uses
+  // inline storage, capacity_ alone discriminates the two states, and both
+  // members are trivially copyable — so the overlap costs nothing and
+  // keeps sizeof(Event) (hence every queue/ring slot) 16 bytes smaller.
+  union {
+    // The initializer keeps the defaulted default constructor alive (and
+    // costs what the plain member cost before the overlay: two Tuple
+    // constructions).
+    Tuple inline_[kInlineCapacity] = {};
+    Spill spill_;
+  };
+};
+
 // A composite tuple: the output of joining 2..N constituent stream tuples,
 // ordered by FROM-list position. Per the paper's semantics (Section 2) the
 // composite timestamp is the max over constituents and the lineage is the
@@ -111,7 +235,7 @@ struct Tuple {
 struct CompositeTuple {
   Tuple a;
   Tuple b;
-  std::vector<Tuple> tail{};  // constituents of streams 2..N-1 (FROM order)
+  TailVec tail{};  // constituents of streams 2..N-1 (FROM order)
   // Chain-propagation role for composites flowing through a sliced chain
   // at tree levels >= 1 (same discipline as Tuple::role). Final results
   // keep the default.
@@ -129,7 +253,8 @@ struct CompositeTuple {
   // Returns a copy with `t` appended as the next constituent (the next
   // tree level's output), role reset to kBoth. The copy's tail is reserved
   // at its final size (no realloc per level); the rvalue overload reuses
-  // this composite's tail allocation instead of cloning it.
+  // this composite's tail storage instead of cloning it (a spilled tail
+  // keeps its arena/heap block; an inline tail is a flat copy).
   CompositeTuple WithAppended(const Tuple& t) const&;
   CompositeTuple WithAppended(const Tuple& t) &&;
 

@@ -178,19 +178,6 @@ class BasicJoinState {
     }
   }
 
-  // Copy-out spellings of the two probes (tests and state-level tools).
-  template <typename MatchFn>
-  ProbeStats ProbeWith(MatchFn&& match, std::vector<EntryT>* matches) const {
-    return ProbeWith(match,
-                     [matches](const EntryT& e) { matches->push_back(e); });
-  }
-  ProbeStats Probe(const Tuple& probe, const JoinCondition& cond,
-                   std::vector<EntryT>* matches, int anchor = 0) {
-    return Probe(
-        probe, cond, [matches](const EntryT& e) { matches->push_back(e); },
-        anchor);
-  }
-
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   const WindowSpec& window() const { return window_; }

@@ -64,4 +64,12 @@ void WindowGate::Finish() {
   Emit(kOutPort, Punctuation{.watermark = kMaxTime});
 }
 
+void StreamDispatch::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) StreamDispatch::Process(std::move(event), input_port);
+}
+
+void WindowGate::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) WindowGate::Process(std::move(event), input_port);
+}
+
 }  // namespace stateslice

@@ -48,6 +48,8 @@ class StreamDispatch : public Operator {
   StreamDispatch(std::string name, int num_streams);
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   int num_streams() const { return num_streams_; }
@@ -70,6 +72,8 @@ class WindowGate : public Operator {
   WindowGate(std::string name, Duration window);
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   Duration window() const { return window_; }

@@ -40,4 +40,8 @@ void Router::Finish() {
   if (all_port_ >= 0) Emit(all_port_, Punctuation{.watermark = kMaxTime});
 }
 
+void Router::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) Router::Process(std::move(event), input_port);
+}
+
 }  // namespace stateslice

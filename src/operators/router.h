@@ -36,6 +36,8 @@ class Router : public Operator {
   Router(std::string name, std::vector<Branch> branches, int all_port = -1);
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   const std::vector<Branch>& branches() const { return branches_; }

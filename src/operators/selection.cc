@@ -172,4 +172,8 @@ void ResultTimeGate::Finish() {
   Emit(kOutPort, Punctuation{.watermark = kMaxTime});
 }
 
+void ResultTimeGate::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) ResultTimeGate::Process(std::move(event), input_port);
+}
+
 }  // namespace stateslice

@@ -119,6 +119,8 @@ class ResultTimeGate : public Operator {
   ResultTimeGate(std::string name, TimePoint cutoff);
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   TimePoint cutoff() const { return cutoff_; }

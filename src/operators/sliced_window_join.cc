@@ -252,4 +252,8 @@ void SlicedWindowJoin::Finish() {
   Emit(kResultPort, Punctuation{.watermark = kMaxTime});
 }
 
+void SlicedWindowJoin::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) SlicedWindowJoin::Process(std::move(event), input_port);
+}
+
 }  // namespace stateslice

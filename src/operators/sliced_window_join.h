@@ -131,6 +131,8 @@ class SlicedWindowJoin : public Operator {
   SlicedWindowJoin(std::string name, SliceRange range, Options options = {});
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   // Stored tuples across both states; composite entries count one per

@@ -70,4 +70,8 @@ void SlidingWindowJoin::Finish() {
   Emit(kResultPort, Punctuation{.watermark = kMaxTime});
 }
 
+void SlidingWindowJoin::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) SlidingWindowJoin::Process(std::move(event), input_port);
+}
+
 }  // namespace stateslice

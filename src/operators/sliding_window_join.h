@@ -56,6 +56,8 @@ class SlidingWindowJoin : public Operator {
                     Options options = {});
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   size_t StateSize() const override {

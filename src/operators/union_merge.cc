@@ -95,4 +95,8 @@ void UnionMerge::Finish() {
   SLICE_CHECK(buffer_.empty());
 }
 
+void UnionMerge::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) UnionMerge::Process(std::move(event), input_port);
+}
+
 }  // namespace stateslice

@@ -32,6 +32,8 @@ class UnionMerge : public Operator {
   UnionMerge(std::string name, int input_count);
 
   void Process(Event event, int input_port) override;
+  // Run path: the devirtualized per-event loop (one virtual hop per run).
+  void OnRun(EventRun& run, int input_port) override;
   void Finish() override;
 
   // Registers one more input port on a live plan (Section 5.3 splitting

@@ -67,7 +67,7 @@ struct ExecutorOptions {
   // std::thread::hardware_concurrency().
   int worker_threads = 0;
   // kParallel only: per-edge SPSC ring capacity, in events.
-  size_t parallel_edge_capacity = 1024;
+  size_t parallel_edge_capacity = 256;
 };
 
 // Runs a started plan to completion over the given sources.

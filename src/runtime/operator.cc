@@ -6,6 +6,10 @@
 
 namespace stateslice {
 
+void Operator::OnRun(EventRun& run, int input_port) {
+  for (Event& event : run) Process(std::move(event), input_port);
+}
+
 void Operator::AttachInput(int port, EventQueue* queue) {
   SLICE_CHECK_GE(port, 0);
   SLICE_CHECK(queue != nullptr);

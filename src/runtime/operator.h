@@ -34,6 +34,15 @@ class Operator {
   // Handles one event arriving on `input_port`. Called by the scheduler.
   virtual void Process(Event event, int input_port) = 0;
 
+  // Batch entry point: handles a run of events drained from input
+  // `input_port`'s queue, in order. Schedulers deliver runs (bounded by
+  // their quantum / run length); the scalar Process path is the degenerate
+  // run of one. The base implementation loops Process over the run, so
+  // overriding is an optimization, never a semantic change — overriders
+  // must preserve exact per-event ordering. Events in `run` are consumed
+  // (moved from); the caller clears the run afterwards.
+  virtual void OnRun(EventRun& run, int input_port);
+
   // Number of tuples currently held in operator state (join windows). The
   // paper's memory metric (Figures 17a-f) sums this over all operators.
   virtual size_t StateSize() const { return 0; }

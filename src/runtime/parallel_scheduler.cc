@@ -72,10 +72,12 @@ void ParallelScheduler::BuildStages() {
   std::map<const Operator*, int> stage_of;
   double current = 0;
   int stage_index = order.empty() ? -1 : 0;
+  // lint: allow(hot-path-alloc) -- setup-time stage construction
   stages_.emplace_back(std::make_unique<Stage>());
   for (size_t i = 0; i < order.size(); ++i) {
     if (current > 0 && current + weights[i] > hi &&
         stage_index + 1 < k) {
+      // lint: allow(hot-path-alloc) -- setup-time stage construction
       stages_.emplace_back(std::make_unique<Stage>());
       ++stage_index;
       current = 0;
@@ -98,6 +100,7 @@ void ParallelScheduler::BuildStages() {
     const auto it = producer_of.find(queue);
     if (it == producer_of.end()) {
       // Entry queue: produced by the feeder thread.
+      // lint: allow(hot-path-alloc) -- setup-time edge construction
       auto edge = std::make_unique<CrossEdge>(options_.edge_capacity);
       edge->queue = queue;
       edge->consumer = op;
@@ -113,6 +116,7 @@ void ParallelScheduler::BuildStages() {
     } else {
       // Contiguity of the topological partition guarantees forward edges.
       SLICE_CHECK_LT(ps, cs);
+      // lint: allow(hot-path-alloc) -- setup-time edge construction
       auto edge = std::make_unique<CrossEdge>(options_.edge_capacity);
       edge->queue = queue;
       edge->consumer = op;
@@ -158,6 +162,33 @@ void ParallelScheduler::PushEntry(EventQueue* entry, Event event) {
   BlockingPush(edge, entry->Pop());
 }
 
+void ParallelScheduler::PushEntryRun(EventQueue* entry, EventRun* run) {
+  // The feeder is the owning caller thread (single-caller contract).
+  caller_role_.Assert();
+  SLICE_CHECK(started_);
+  SLICE_CHECK(!input_finished_);
+  CrossEdge* edge = nullptr;
+  for (CrossEdge* e : entry_edges_) {
+    if (e->queue == entry) {
+      edge = e;
+      break;
+    }
+  }
+  SLICE_CHECK(edge != nullptr);  // not an entry queue of this plan
+  // Same EventQueue round-trip as PushEntry, run-sized: accounting stays on
+  // the queue, and the drain bound keeps the scratch run's footprint at one
+  // quantum even for huge batches.
+  entry->PushRun(run);
+  for (;;) {
+    feeder_run_.clear();
+    if (entry->DrainRun(&feeder_run_,
+                        static_cast<size_t>(options_.quantum)) == 0) {
+      break;
+    }
+    BlockingPushRun(edge, &feeder_run_);
+  }
+}
+
 void ParallelScheduler::FinishInput() {
   caller_role_.Assert();  // lifecycle: owning caller thread only
   SLICE_CHECK(started_);
@@ -197,10 +228,30 @@ void ParallelScheduler::BlockingPush(CrossEdge* edge, Event event) {
   }
 }
 
+void ParallelScheduler::BlockingPushRun(CrossEdge* edge, EventRun* run) {
+  // Same single-producer justification as BlockingPush: the thread that
+  // reaches this call is the edge's one producer by construction.
+  edge->ring.AssertProducer();
+  size_t pushed = 0;
+  int spins = 0;
+  while (pushed < run->size()) {
+    const size_t n = edge->ring.TryPushRun(run, pushed);
+    pushed += n;
+    if (n == 0 && ++spins >= 16) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  run->clear();
+}
+
 void ParallelScheduler::RelayOutputs(Stage* stage) {
   for (CrossEdge* e : stage->outputs) {
     while (!e->queue->empty()) {
-      BlockingPush(e, e->queue->Pop());
+      stage->relay_run.clear();
+      e->queue->DrainRun(&stage->relay_run,
+                         static_cast<size_t>(options_.quantum));
+      BlockingPushRun(e, &stage->relay_run);
     }
   }
 }
@@ -211,9 +262,13 @@ void ParallelScheduler::DrainLocal(Stage* stage) {
   while (progress) {
     progress = false;
     for (const LocalEdge& edge : stage->locals) {
-      while (!edge.queue->empty()) {
-        edge.consumer->Process(edge.queue->Pop(), edge.port);
-        ++delta;
+      for (;;) {
+        stage->local_run.clear();
+        const size_t n = edge.queue->DrainRun(
+            &stage->local_run, static_cast<size_t>(options_.quantum));
+        if (n == 0) break;
+        edge.consumer->OnRun(stage->local_run, edge.port);
+        delta += n;
         progress = true;
       }
     }
@@ -231,19 +286,22 @@ void ParallelScheduler::RunStage(Stage* stage) {
   // This function is the worker thread's entry point: by construction the
   // executing thread is the one worker driving `stage`.
   stage->role.Assert();
+  // Composite tails this stage's operators spill draw from the plan arena
+  // (the arena pointer is immutable after plan construction; the arena
+  // itself is internally synchronized).
+  ArenaScope arena_scope(plan_->arena());
   for (;;) {
     uint64_t round = 0;
     for (CrossEdge* e : stage->inputs) {
       // Every input ring of this stage is consumed by this worker alone
       // (BuildStages wires each ring into exactly one stage's inputs).
       e->ring.AssertConsumer();
-      int popped = 0;
-      Event event;
-      while (popped < options_.quantum && e->ring.TryPop(&event)) {
-        e->consumer->Process(std::move(event), e->port);
-        ++popped;
-      }
+      stage->input_run.clear();
+      const size_t popped = e->ring.TryPopRun(
+          &stage->input_run, static_cast<size_t>(options_.quantum));
       if (popped > 0) {
+        e->consumer->OnRun(stage->input_run, e->port);
+        stage->input_run.clear();
         round += popped;
         stage->processed += popped;
         total_processed_.fetch_add(popped, std::memory_order_relaxed);

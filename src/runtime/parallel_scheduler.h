@@ -19,7 +19,11 @@
 //     EventQueue it alone fills (preserving the queue's accounting) and
 //     pushes into the ring, spinning/yielding while the ring is full
 //     (backpressure); the consumer stage's thread pops the ring and calls
-//     Operator::Process.
+//     the operator. Transfers are run-at-a-time: both sides move bounded
+//     runs (<= quantum events) per ring round-trip — one release store per
+//     run instead of per event — and consumers receive them through
+//     Operator::OnRun. Run buffers are stage-local (GUARDED_BY the stage
+//     role), so per-edge FIFO order is untouched.
 //  3. End of input propagates as a per-edge `closed` flag: when every input
 //     edge of a stage is closed and drained, the stage calls Finish() on
 //     its operators in topological order (flushing end-of-stream
@@ -59,8 +63,11 @@ struct ParallelSchedulerOptions {
   // operator count are clamped; 1 degenerates to a single-threaded drain.
   int num_workers = 2;
   // Capacity of each cross-stage SPSC ring, in events (rounded up to a
-  // power of two). Bounds queue memory and provides backpressure.
-  size_t edge_capacity = 1024;
+  // power of two). Bounds queue memory and provides backpressure. Sized
+  // so a saturated ring's live slot array (~capacity * sizeof(Event))
+  // stays cache-resident: under backpressure the ring runs full and every
+  // transfer streams through the whole array.
+  size_t edge_capacity = 256;
   // Max events a stage pops from one input ring before relaying outputs
   // and visiting its next input.
   int quantum = 64;
@@ -105,6 +112,11 @@ class ParallelScheduler {
   // Feeds one event into `entry` (a plan entry queue). Called by the
   // feeder thread only; blocks (spin/yield) while the entry ring is full.
   void PushEntry(EventQueue* entry, Event event);
+
+  // Feeds a whole run into `entry` in order, consuming the run (cleared on
+  // return, capacity retained). Same feeder-thread/backpressure contract as
+  // PushEntry, but amortizes the ring traffic across the run.
+  void PushEntryRun(EventQueue* entry, EventRun* run);
 
   // Declares end of input: closes all entry edges. Workers drain, flush
   // Finish() punctuations stage by stage, and exit.
@@ -166,6 +178,12 @@ class ParallelScheduler {
     std::vector<CrossEdge*> outputs;   // rings this stage relays into
     // events consumed by this stage
     uint64_t processed STATESLICE_GUARDED_BY(role) = 0;
+    // Reused run buffers, one per drain site so runs never interleave
+    // (ring input, local-queue drain, output relay). Stage-local: only the
+    // stage's worker touches them; clear() keeps their capacity.
+    EventRun input_run STATESLICE_GUARDED_BY(role);
+    EventRun local_run STATESLICE_GUARDED_BY(role);
+    EventRun relay_run STATESLICE_GUARDED_BY(role);
     std::thread thread;
   };
 
@@ -177,6 +195,9 @@ class ParallelScheduler {
   void DrainLocal(Stage* stage) STATESLICE_REQUIRES(stage->role);
   void RelayOutputs(Stage* stage) STATESLICE_REQUIRES(stage->role);
   void BlockingPush(CrossEdge* edge, Event event);
+  // Pushes all of `run` into the edge's ring (spin/yield on full), then
+  // clears the run. Producer thread of the edge only.
+  void BlockingPushRun(CrossEdge* edge, EventRun* run);
 
   QueryPlan* plan_;
   ParallelSchedulerOptions options_;  // immutable after construction
@@ -192,6 +213,8 @@ class ParallelScheduler {
       STATESLICE_GUARDED_BY(caller_role_);
   // Entry edges (no producer operator): fed by PushEntry.
   std::vector<CrossEdge*> entry_edges_ STATESLICE_GUARDED_BY(caller_role_);
+  // Feeder-side scratch run for PushEntryRun's queue round-trip.
+  EventRun feeder_run_ STATESLICE_GUARDED_BY(caller_role_);
 
   std::atomic<uint64_t> total_processed_{0};
   bool started_ STATESLICE_GUARDED_BY(caller_role_) = false;

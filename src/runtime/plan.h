@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/check.h"
 #include "src/common/cost_counters.h"
 #include "src/common/thread_annotations.h"
@@ -106,6 +107,12 @@ class QueryPlan {
   CostCounters& cost_counters() { return cost_counters_; }
   const CostCounters& cost_counters() const { return cost_counters_; }
 
+  // The plan's epoch arena backing spilled composite-tuple tails.
+  // Schedulers install it (ArenaScope) for the duration of a run; its
+  // lifetime is the plan's lifetime. Immutable pointer after construction,
+  // safe to read from any thread.
+  Arena* arena() { return &arena_; }
+
   bool started() const { return started_; }
 
   // --- execution-mode bookkeeping --------------------------------------
@@ -187,6 +194,10 @@ class QueryPlan {
  private:
   void RegisterOperator(std::unique_ptr<Operator> op);
 
+  // Declared before operators_/queues_ so it is destroyed *last*: operator
+  // state and queued events may hold arena-backed composite tails, and
+  // their destructors return blocks to this arena.
+  Arena arena_;
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<std::unique_ptr<EventQueue>> queues_;
   // queue -> (consumer operator, port)

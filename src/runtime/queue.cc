@@ -1,27 +1,58 @@
 #include "src/runtime/queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
 
 namespace stateslice {
 
+void EventQueue::Grow() {
+  const size_t old_size = size();
+  const size_t new_capacity =
+      slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+  std::vector<Event> fresh(new_capacity);
+  for (size_t i = 0; i < old_size; ++i) {
+    fresh[i] = std::move(slots_[(head_ + i) & mask_]);
+  }
+  slots_ = std::move(fresh);
+  mask_ = new_capacity - 1;
+  head_ = 0;
+  tail_ = old_size;
+}
+
 void EventQueue::Push(Event event) {
-  events_.push_back(std::move(event));
+  if (size() == slots_.size()) Grow();
+  slots_[tail_ & mask_] = std::move(event);
+  ++tail_;
   ++total_pushed_;
-  if (events_.size() > high_water_mark_) high_water_mark_ = events_.size();
+  if (size() > high_water_mark_) high_water_mark_ = size();
+}
+
+void EventQueue::PushRun(EventRun* run) {
+  for (Event& event : *run) Push(std::move(event));
+  run->clear();
 }
 
 Event EventQueue::Pop() {
-  SLICE_CHECK(!events_.empty());
-  Event event = std::move(events_.front());
-  events_.pop_front();
+  SLICE_CHECK(!empty());
+  Event event = std::move(slots_[head_ & mask_]);
+  ++head_;
   return event;
 }
 
 const Event& EventQueue::Front() const {
-  SLICE_CHECK(!events_.empty());
-  return events_.front();
+  SLICE_CHECK(!empty());
+  return slots_[head_ & mask_];
+}
+
+size_t EventQueue::DrainRun(EventRun* run, size_t max_events) {
+  const size_t count = std::min(max_events, size());
+  for (size_t i = 0; i < count; ++i) {
+    run->push_back(std::move(slots_[head_ & mask_]));
+    ++head_;
+  }
+  return count;
 }
 
 }  // namespace stateslice

@@ -11,6 +11,8 @@ RoundRobinScheduler::RoundRobinScheduler(QueryPlan* plan, int quantum)
 }
 
 uint64_t RoundRobinScheduler::RunSome(uint64_t max_events) {
+  // Composite tails spilled while operators run draw from the plan arena.
+  ArenaScope arena_scope(plan_->arena());
   uint64_t processed = 0;
   // One "lap" visits every consumer edge once. We stop after a full lap with
   // no progress (quiescent) or when the budget is exhausted.
@@ -21,18 +23,21 @@ uint64_t RoundRobinScheduler::RunSome(uint64_t max_events) {
     if (cursor_ >= edges.size()) cursor_ = 0;
     auto& [queue, consumer] = edges[cursor_];
     auto& [op, port] = consumer;
-    int consumed = 0;
-    while (consumed < quantum_ && !queue->empty() &&
-           processed < max_events) {
-      op->Process(queue->Pop(), port);
-      ++consumed;
-      ++processed;
-    }
+    const uint64_t budget_left = max_events - processed;
+    const size_t budget =
+        budget_left < static_cast<uint64_t>(quantum_)
+            ? static_cast<size_t>(budget_left)
+            : static_cast<size_t>(quantum_);
+    run_.clear();
+    const size_t consumed = queue->DrainRun(&run_, budget);
     if (consumed == 0) {
       ++idle_visits;
       // A full idle lap means every queue is empty.
       if (idle_visits >= edges.size()) break;
     } else {
+      op->OnRun(run_, port);
+      run_.clear();
+      processed += consumed;
       idle_visits = 0;
     }
     ++cursor_;

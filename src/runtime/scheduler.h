@@ -5,6 +5,14 @@
 // scheduler cycles over the plan's consumer queues and lets each consumer
 // process up to `quantum` events per visit. Execution is single-threaded and
 // deterministic.
+//
+// Run-at-a-time delivery: each visit drains up to `quantum` events from the
+// queue into a reused EventRun and hands the whole run to
+// Operator::OnRun. Because the plan is acyclic, an operator never feeds its
+// own input queue, so draining a snapshot of n <= quantum events is
+// order-identical to n sequential pops — the event order (and hence every
+// paper-unit cost total) is byte-identical to the historical
+// one-pop-per-iteration loop.
 #ifndef STATESLICE_RUNTIME_SCHEDULER_H_
 #define STATESLICE_RUNTIME_SCHEDULER_H_
 
@@ -36,6 +44,9 @@ class RoundRobinScheduler {
   int quantum_;
   uint64_t total_processed_ = 0;
   size_t cursor_ = 0;  // round-robin position over consumer edges
+  // Reused run buffer (single-threaded scheduler: one buffer suffices, and
+  // clear() keeps its capacity so steady state never reallocates).
+  EventRun run_;
 };
 
 }  // namespace stateslice

@@ -80,6 +80,35 @@ class SpscQueue {
     return true;
   }
 
+  // Bulk TryPush: appends values of `*run` starting at index `from`, as
+  // many as fit, and returns how many were pushed (possibly zero when the
+  // ring is full). All pushed values are published with a single release
+  // store, amortizing the atomic traffic across the run. `RunT` needs only
+  // size() and operator[] (EventRun, std::vector). Producer thread only.
+  template <typename RunT>
+  size_t TryPushRun(RunT* run, size_t from)
+      STATESLICE_REQUIRES(producer_role_) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t space = static_cast<size_t>(capacity_ - (tail - head_cache_));
+    if (space == 0) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      space = static_cast<size_t>(capacity_ - (tail - head_cache_));
+      if (space == 0) return 0;
+    }
+    const size_t want = run->size() - from;
+    const size_t count = want < space ? want : space;
+    for (size_t i = 0; i < count; ++i) {
+      slots_[(tail + i) & mask_] = std::move((*run)[from + i]);
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    total_pushed_.fetch_add(count, std::memory_order_relaxed);
+    const uint64_t occupancy = tail + count - head_cache_;
+    if (occupancy > high_water_mark_.load(std::memory_order_relaxed)) {
+      high_water_mark_.store(occupancy, std::memory_order_relaxed);
+    }
+    return count;
+  }
+
   // Attempts to move the front value into `*out`. Returns false when the
   // ring is empty. Consumer thread only.
   bool TryPop(T* out) STATESLICE_REQUIRES(consumer_role_) {
@@ -91,6 +120,29 @@ class SpscQueue {
     *out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Bulk TryPop: moves up to `max_values` front values into *out via
+  // push_back, publishing the consumption with a single release store.
+  // Returns how many moved (zero when empty). Consumer thread only.
+  template <typename RunT>
+  size_t TryPopRun(RunT* out, size_t max_values)
+      STATESLICE_REQUIRES(consumer_role_) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t available = tail_cache_ - head;
+    if (available == 0) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      available = tail_cache_ - head;
+      if (available == 0) return 0;
+    }
+    const size_t count = max_values < available
+                             ? max_values
+                             : static_cast<size_t>(available);
+    for (size_t i = 0; i < count; ++i) {
+      out->push_back(std::move(slots_[(head + i) & mask_]));
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
   }
 
   // Snapshot emptiness / occupancy (any thread; may be stale).

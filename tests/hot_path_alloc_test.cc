@@ -1,0 +1,229 @@
+// Counting-allocator proof of the zero-allocation steady state (ISSUE 7
+// acceptance): once an N-way deterministic engine has warmed up — queue
+// rings grown, scratch vectors at capacity, windows full — continuing to
+// push events performs ZERO global heap allocations per event. Composite
+// tails either stay inline (<= 4 constituents) or recycle plan-arena
+// blocks through the size-class freelists; nothing else on the hot path
+// may allocate (the hot-path-alloc lint rule enforces the same contract
+// statically).
+//
+// Warmup replays the measured feed itself: the warm phase is the same
+// generated event pattern (same seed, rate, and duration) and the steady
+// phase is that pattern shifted to follow contiguously. The deterministic
+// engine reproduces the same per-visit match bursts on the replay, so
+// every ring/scratch capacity maximum is reached during warmup and the
+// measured region can't trigger a fresh geometric doubling.
+//
+// The workload uses the generator's default ModSum condition, so the
+// equi-key hash index — whose amortized stale-id compaction legitimately
+// reallocates its buckets — is out of the picture: the nested-loop probe
+// path is the one the zero-allocation claim covers.
+//
+// This test overrides the global operator new/delete for the whole binary
+// (each test file links into its own executable), counting every
+// allocation; the measured region must not allocate at all.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "tests/test_util.h"
+
+// Sanitizer builds interpose the allocator themselves: replacing only the
+// throwing operators while the sanitizer serves the nothrow/aligned ones
+// trips alloc-dealloc-mismatch, and the sanitizer runtime's own
+// allocations would skew the counts anyway. There the tests still run the
+// full workload (worth it for the instrumentation) but count nothing, so
+// the zero-allocation assertions pass vacuously; the plain Release build
+// is the binding one.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define STATESLICE_COUNTING_ALLOCATOR 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define STATESLICE_COUNTING_ALLOCATOR 0
+#endif
+#endif
+#ifndef STATESLICE_COUNTING_ALLOCATOR
+#define STATESLICE_COUNTING_ALLOCATOR 1
+#endif
+
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+#if STATESLICE_COUNTING_ALLOCATOR
+
+// The replacement operator new forwards to malloc, so the replacement
+// delete forwards to free. When GCC inlines a caller's new-expression it
+// pairs that caller's `new` with the `free` inside our delete and misfires
+// -Wmismatched-new-delete (seen under -O2 -g RelWithDebInfo inlining).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // STATESLICE_COUNTING_ALLOCATOR
+
+namespace stateslice {
+namespace {
+
+// Maximal same-stream segments of a merged feed, precomputed so the
+// measured loop performs no work besides PushBatch calls.
+struct Segment {
+  size_t start = 0;
+  size_t length = 0;
+  StreamId side = 0;
+};
+
+std::vector<Segment> Segments(const std::vector<Tuple>& merged) {
+  std::vector<Segment> segments;
+  size_t i = 0;
+  while (i < merged.size()) {
+    size_t j = i + 1;
+    while (j < merged.size() && merged[j].side == merged[i].side) ++j;
+    segments.push_back({i, j - i, merged[i].side});
+    i = j;
+  }
+  return segments;
+}
+
+// A warmup pass followed by a time-shifted replay of the same pattern,
+// globally ordered. Both phases share the selectivity (hence ModSum
+// condition and key domain).
+struct TwoPhaseFeed {
+  std::vector<Tuple> warm;
+  std::vector<Tuple> steady;
+  JoinCondition condition;
+};
+
+TwoPhaseFeed MakeFeed(int num_streams, double rate, double s1) {
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = rate;
+  spec.duration_s = 20;
+  spec.join_selectivity = s1;
+  MultiWorkload warm = GenerateMultiWorkload(spec, num_streams);
+  // The steady phase is the SAME pattern (same seed) shifted to follow the
+  // warm phase contiguously: a gap would mass-expire the whole window in
+  // one purge, and a different pattern could out-burst the warmup's peaks.
+  MultiWorkload steady = GenerateMultiWorkload(spec, num_streams);
+  const TimePoint shift = SecondsToTicks(spec.duration_s);
+  for (std::vector<Tuple>& stream : steady.streams) {
+    for (Tuple& t : stream) t.timestamp += shift;
+  }
+
+  return {MergedArrivals(warm), MergedArrivals(steady), warm.condition};
+}
+
+void FeedBatched(Engine& engine, const std::vector<Tuple>& merged,
+                 const std::vector<Segment>& segments) {
+  for (const Segment& s : segments) {
+    engine.PushBatch(s.side, std::span(merged).subspan(s.start, s.length));
+  }
+}
+
+void CheckSteadyStateZeroAlloc(int num_streams) {
+  const double s1 = num_streams > 3 ? 0.08 : 0.15;
+  const TwoPhaseFeed feed = MakeFeed(num_streams, /*rate=*/20, s1);
+  const std::vector<Segment> warm_segments = Segments(feed.warm);
+  const std::vector<Segment> steady_segments = Segments(feed.steady);
+
+  Engine::Options eopt;
+  eopt.condition = feed.condition;  // ModSum: no equi-key index
+  eopt.collect_results = false;
+  // Push virtual-time sampling far past the feed so the measured region
+  // takes no memory samples (sample storage is not per-event cost).
+  eopt.sample_interval = SecondsToTicks(1000);
+  Engine engine(eopt);
+
+  ContinuousQuery q;
+  q.name = "Qn";
+  q.window = WindowSpec::TimeSeconds(1);
+  std::vector<std::string> names = {"A", "B", "C", "D", "E"};
+  names.resize(static_cast<size_t>(num_streams));
+  q.stream_names = names;
+  ASSERT_TRUE(engine.RegisterQuery(q).valid()) << engine.last_error();
+
+  FeedBatched(engine, feed.warm, warm_segments);
+
+  // Steady state: the whole lower-rate feed must not touch the heap.
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  FeedBatched(engine, feed.steady, steady_segments);
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations across "
+      << feed.steady.size() << " steady-state events (" << num_streams
+      << "-way)";
+  EXPECT_GT(feed.steady.size(), 100u);  // the region actually measured work
+  engine.Finish();
+  EXPECT_GT(engine.Snapshot().results_delivered, 0u);
+}
+
+TEST(HotPathAllocTest, ThreeWaySteadyStateIsAllocationFree) {
+  // 3-way: composite tails stay inline (3 constituents <= 4).
+  CheckSteadyStateZeroAlloc(3);
+}
+
+TEST(HotPathAllocTest, FiveWaySteadyStateRecyclesArenaBlocks) {
+  // 5-way: every composite tail spills past the inline capacity, so this
+  // run proves spills recycle arena freelist blocks instead of reaching
+  // the global heap.
+  CheckSteadyStateZeroAlloc(5);
+}
+
+TEST(HotPathAllocTest, PerEventPushIsAllocationFreeToo) {
+  // The scalar Push path shares the batched machinery (a push is a
+  // degenerate one-event run); spot-check it stays allocation-free.
+  const TwoPhaseFeed feed = MakeFeed(/*num_streams=*/2, /*rate=*/30, 0.1);
+
+  Engine::Options eopt;
+  eopt.condition = feed.condition;
+  eopt.sample_interval = SecondsToTicks(1000);
+  Engine engine(eopt);
+  ContinuousQuery q;
+  q.window = WindowSpec::TimeSeconds(1);
+  ASSERT_TRUE(engine.RegisterQuery(q).valid()) << engine.last_error();
+
+  for (const Tuple& t : feed.warm) engine.Push(t.side, t);
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (const Tuple& t : feed.steady) engine.Push(t.side, t);
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations across "
+      << feed.steady.size() << " per-event pushes";
+  engine.Finish();
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -9,6 +9,12 @@ namespace {
 
 using ::stateslice::testing::A;
 
+// Emission callback that appends each match to *out (the callback-form
+// replacement for the removed copy-out Probe overloads).
+auto Collect(std::vector<Tuple>* out) {
+  return [out](const Tuple& e) { out->push_back(e); };
+}
+
 TEST(JoinStateTest, InsertKeepsArrivalOrder) {
   JoinState s(WindowSpec::TimeSeconds(10));
   s.Insert(A(1, 1.0));
@@ -92,7 +98,7 @@ TEST(JoinStateTest, ProbeEquiKeyMatchesAndCharges) {
   s.Insert(A(3, 3.0, /*key=*/5));
   std::vector<Tuple> matches;
   const Tuple probe = testing::B(1, 4.0, /*key=*/5);
-  const ProbeStats stats = s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  const ProbeStats stats = s.Probe(probe, JoinCondition::EquiKey(), Collect(&matches));
   // The logical charge is the whole state size (Section 3 cost model),
   // however the probe executes.
   EXPECT_EQ(stats.comparisons, 3u);
@@ -111,7 +117,7 @@ TEST(JoinStateTest, IndexedProbeMatchesAndCharges) {
   s.Insert(A(3, 3.0, /*key=*/5));
   std::vector<Tuple> matches;
   const Tuple probe = testing::B(1, 4.0, /*key=*/5);
-  const ProbeStats stats = s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  const ProbeStats stats = s.Probe(probe, JoinCondition::EquiKey(), Collect(&matches));
   // Logical charge unchanged; physical work is one bucket lookup plus the
   // two matching entries.
   EXPECT_EQ(stats.comparisons, 3u);
@@ -132,7 +138,7 @@ TEST(JoinStateTest, IndexedProbeMissesCheaply) {
   std::vector<Tuple> matches;
   const ProbeStats stats =
       s.Probe(testing::B(1, 2.0, /*key=*/1234), JoinCondition::EquiKey(),
-              &matches);
+              Collect(&matches));
   EXPECT_EQ(stats.comparisons, 100u);  // logical unit: full state
   EXPECT_EQ(stats.key_lookups, 1u);
   EXPECT_EQ(stats.entries_visited, 0u);  // physical: empty bucket
@@ -149,7 +155,7 @@ TEST(JoinStateTest, IndexSurvivesPurgeLazily) {
   s.Purge(SecondsToTicks(3.0), &purged);  // expires seq 1 and 2
   ASSERT_EQ(purged.size(), 2u);
   std::vector<Tuple> matches;
-  s.Probe(testing::B(1, 3.0, /*key=*/5), JoinCondition::EquiKey(), &matches);
+  s.Probe(testing::B(1, 3.0, /*key=*/5), JoinCondition::EquiKey(), Collect(&matches));
   ASSERT_EQ(matches.size(), 1u);
   EXPECT_EQ(matches[0].seq, 3u);
   s.CheckIndexConsistency();  // the probe pruned the stale bucket ids
@@ -162,7 +168,7 @@ TEST(JoinStateTest, IndexedModSumFallsBackToNestedLoop) {
   s.Insert(A(2, 2.0, /*key=*/1));
   std::vector<Tuple> matches;
   const ProbeStats stats = s.Probe(testing::B(1, 3.0, /*key=*/1),
-                                   JoinCondition::ModSum(2, 1), &matches);
+                                   JoinCondition::ModSum(2, 1), Collect(&matches));
   EXPECT_EQ(stats.key_lookups, 0u);      // condition-kind dispatch
   EXPECT_EQ(stats.entries_visited, 2u);  // scanned the whole state
   ASSERT_EQ(matches.size(), 1u);
@@ -180,7 +186,7 @@ TEST(JoinStateTest, IndexFollowsCountEviction) {
   EXPECT_EQ(s.size(), 2u);
   s.CheckIndexConsistency();
   std::vector<Tuple> matches;
-  s.Probe(testing::B(1, 20.0, /*key=*/1), JoinCondition::EquiKey(), &matches);
+  s.Probe(testing::B(1, 20.0, /*key=*/1), JoinCondition::EquiKey(), Collect(&matches));
   ASSERT_EQ(matches.size(), 1u);
   EXPECT_EQ(matches[0].seq, 10u);  // only the live key=1 entry
 }
@@ -197,7 +203,7 @@ TEST(JoinStateTest, IndexRebuildsAfterHeavyChurn) {
   s.CheckIndexConsistency();
   std::vector<Tuple> matches;
   const Tuple probe = testing::B(1, 0.1 * 1999, /*key=*/1999 % 8);
-  s.Probe(probe, JoinCondition::EquiKey(), &matches);
+  s.Probe(probe, JoinCondition::EquiKey(), Collect(&matches));
   EXPECT_FALSE(matches.empty());
   s.CheckIndexConsistency();
 }
@@ -209,7 +215,7 @@ TEST(JoinStateTest, ProbeModSumCondition) {
   std::vector<Tuple> matches;
   // (ka + kb) % 2 < 1: with kb = 1, matches only ka = 1.
   s.Probe(testing::B(1, 3.0, /*key=*/1), JoinCondition::ModSum(2, 1),
-          &matches);
+          Collect(&matches));
   ASSERT_EQ(matches.size(), 1u);
   EXPECT_EQ(matches[0].seq, 2u);
 }

@@ -48,6 +48,13 @@ Workload EquiWorkload(const WorkloadSpec& spec, int64_t key_domain,
 
 class StateFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
+// Emission callback that appends each match to *out (the callback-form
+// replacement for the removed copy-out Probe overloads).
+template <typename EntryT>
+auto Collect(std::vector<EntryT>* out) {
+  return [out](const EntryT& e) { out->push_back(e); };
+}
+
 TEST_P(StateFuzzTest, IndexedMatchesPlainUnderRandomOps) {
   Rng rng(GetParam() * 2654435761u);
   const bool count_window = rng.NextBounded(2) == 1;
@@ -86,8 +93,8 @@ TEST_P(StateFuzzTest, IndexedMatchesPlainUnderRandomOps) {
     } else if (pick < 95) {
       const Tuple probe = testing::B(++seq, now_s, key);
       std::vector<Tuple> m_i, m_p;
-      const ProbeStats s_i = indexed.Probe(probe, equi, &m_i);
-      const ProbeStats s_p = plain.Probe(probe, equi, &m_p);
+      const ProbeStats s_i = indexed.Probe(probe, equi, Collect(&m_i));
+      const ProbeStats s_p = plain.Probe(probe, equi, Collect(&m_p));
       ASSERT_EQ(s_i.comparisons, s_p.comparisons);  // logical unit equal
       ASSERT_EQ(m_i.size(), m_p.size());
       for (size_t k = 0; k < m_i.size(); ++k) {
@@ -124,8 +131,8 @@ TEST(StateFuzzTest, CompositeIndexAnchorsCorrectConstituent) {
   for (int64_t key = 0; key < 8; ++key) {
     const Tuple probe = testing::MakeTuple(2, 1000, 2.5, key);
     std::vector<CompositeTuple> m_i, m_p;
-    indexed.Probe(probe, JoinCondition::EquiKey(), &m_i, /*anchor=*/1);
-    plain.Probe(probe, JoinCondition::EquiKey(), &m_p, /*anchor=*/1);
+    indexed.Probe(probe, JoinCondition::EquiKey(), Collect(&m_i), /*anchor=*/1);
+    plain.Probe(probe, JoinCondition::EquiKey(), Collect(&m_p), /*anchor=*/1);
     ASSERT_EQ(m_i.size(), m_p.size()) << "key " << key;
     for (size_t k = 0; k < m_i.size(); ++k) {
       ASSERT_EQ(m_i[k].b.seq, m_p[k].b.seq);

@@ -55,6 +55,67 @@ TEST(EventQueueTest, CarriesAllEventKinds) {
   EXPECT_TRUE(IsPunctuation(q.Pop()));
 }
 
+TEST(EventQueueTest, DrainRunPopsInFifoOrderUpToBound) {
+  EventQueue q("q");
+  for (int i = 0; i < 5; ++i) q.Push(A(i + 1, 1.0 * i));
+  EventRun run;
+  EXPECT_EQ(q.DrainRun(&run, 3), 3u);
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(std::get<Tuple>(run[0]).seq, 1u);
+  EXPECT_EQ(std::get<Tuple>(run[1]).seq, 2u);
+  EXPECT_EQ(std::get<Tuple>(run[2]).seq, 3u);
+  EXPECT_EQ(q.size(), 2u);
+  // A second drain appends after what the caller left in the run.
+  EXPECT_EQ(q.DrainRun(&run, 8), 2u);
+  ASSERT_EQ(run.size(), 5u);
+  EXPECT_EQ(std::get<Tuple>(run[4]).seq, 5u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.DrainRun(&run, 8), 0u);  // empty queue: no-op, not an error
+}
+
+TEST(EventQueueTest, PushRunEnqueuesInOrderAndClearsRun) {
+  EventQueue q("q");
+  EventRun run;
+  for (int i = 0; i < 4; ++i) run.push_back(A(i + 1, 1.0 * i));
+  q.PushRun(&run);
+  EXPECT_TRUE(run.empty());  // consumed: ready for reuse
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.total_pushed(), 4u);
+  for (uint32_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(std::get<Tuple>(q.Pop()).seq, i);
+  }
+}
+
+TEST(EventQueueTest, RunRoundTripSurvivesRingWrapAndGrowth) {
+  EventQueue q("q");
+  EventRun run;
+  uint32_t next_push = 1;
+  uint32_t next_pop = 1;
+  // Interleave batched pushes and bounded drains so head/tail wrap and the
+  // ring grows (initial capacity is 8) with live events rebased.
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 7; ++i) run.push_back(A(next_push++, 1.0));
+    q.PushRun(&run);
+    EventRun out;
+    const size_t n = q.DrainRun(&out, 5);
+    EXPECT_EQ(n, 5u);
+    for (const Event& e : out) {
+      EXPECT_EQ(std::get<Tuple>(e).seq, next_pop++);
+    }
+  }
+  while (!q.empty()) EXPECT_EQ(std::get<Tuple>(q.Pop()).seq, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(EventQueueTest, RunClearKeepsCapacity) {
+  EventRun run;
+  for (int i = 0; i < 16; ++i) run.push_back(A(i, 1.0));
+  const size_t cap = run.capacity();
+  run.clear();
+  EXPECT_TRUE(run.empty());
+  EXPECT_EQ(run.capacity(), cap);  // reuse without reallocating
+}
+
 TEST(EventQueueDeathTest, PopOnEmptyAborts) {
   EventQueue q("q");
   EXPECT_DEATH(q.Pop(), "CHECK failed");

@@ -8,6 +8,7 @@
 
 #include "src/common/random.h"
 #include "src/common/tuple.h"
+#include "src/runtime/queue.h"
 #include "tests/test_util.h"
 
 namespace stateslice {
@@ -104,6 +105,98 @@ TEST(SpscQueueTest, CarriesEvents) {
   EXPECT_EQ(std::get<Tuple>(e).seq, 7u);
   ASSERT_TRUE(q.TryPop(&e));
   EXPECT_TRUE(IsPunctuation(e));
+}
+
+TEST(SpscQueueTest, PushRunMovesWhatFitsAndReportsCount) {
+  SpscQueue<Event> q(4);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
+  EventRun run;
+  for (int i = 0; i < 6; ++i) run.push_back(A(i + 1, 1.0 * i));
+  // Capacity 4, so only the first 4 events fit; the caller retries the
+  // tail from the returned offset.
+  EXPECT_EQ(q.TryPushRun(&run, 0), 4u);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.TryPushRun(&run, 4), 0u);  // full: nothing moves
+  Event e;
+  ASSERT_TRUE(q.TryPop(&e));
+  ASSERT_TRUE(q.TryPop(&e));
+  EXPECT_EQ(q.TryPushRun(&run, 4), 2u);
+  EXPECT_EQ(q.total_pushed(), 6u);
+  // FIFO across the split push: seq 3..6 remain.
+  for (uint32_t want = 3; want <= 6; ++want) {
+    ASSERT_TRUE(q.TryPop(&e));
+    EXPECT_EQ(std::get<Tuple>(e).seq, want);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueueTest, PopRunDrainsBoundedAndAppends) {
+  SpscQueue<Event> q(8);
+  // Single-threaded test: this thread plays both SPSC roles.
+  q.AssertProducer();
+  q.AssertConsumer();
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.TryPush(A(i + 1, 1.0 * i)));
+  EventRun run;
+  EXPECT_EQ(q.TryPopRun(&run, 4), 4u);
+  ASSERT_EQ(run.size(), 4u);
+  EXPECT_EQ(std::get<Tuple>(run[0]).seq, 1u);
+  EXPECT_EQ(std::get<Tuple>(run[3]).seq, 4u);
+  // Appends after existing contents, drains only what's there.
+  EXPECT_EQ(q.TryPopRun(&run, 4), 2u);
+  ASSERT_EQ(run.size(), 6u);
+  EXPECT_EQ(std::get<Tuple>(run[5]).seq, 6u);
+  EXPECT_EQ(q.TryPopRun(&run, 4), 0u);  // empty: no-op
+  EXPECT_TRUE(q.empty());
+}
+
+// Run-based producer/consumer across threads: batched pushes and pops must
+// preserve exactly the per-event FIFO contract. Run under TSan in CI (tsan
+// preset) to certify the single release-store publication per run.
+TEST(SpscQueueStressTest, RunTransfersAcrossThreads) {
+  constexpr uint32_t kCount = 100000;
+  SpscQueue<Event> q(64);
+
+  std::thread producer([&q] {
+    q.AssertProducer();  // this thread is the only pusher
+    Rng rng(3);
+    EventRun run;
+    uint32_t next = 0;
+    while (next < kCount) {
+      run.clear();
+      const uint64_t batch = 1 + rng.NextBounded(96);
+      for (uint64_t i = 0; i < batch && next < kCount; ++i) {
+        run.push_back(A(next++, 1.0));
+      }
+      size_t pushed = 0;
+      while (pushed < run.size()) {
+        const size_t n = q.TryPushRun(&run, pushed);
+        pushed += n;
+        if (n == 0) std::this_thread::yield();
+      }
+    }
+  });
+
+  q.AssertConsumer();  // the main thread is the only popper
+  Rng rng(4);
+  EventRun run;
+  uint32_t expected = 0;
+  while (expected < kCount) {
+    run.clear();
+    const size_t n = q.TryPopRun(&run, 1 + rng.NextBounded(96));
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Event& e : run) {
+      ASSERT_EQ(std::get<Tuple>(e).seq, expected);  // FIFO, no loss
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.total_pushed(), kCount);
+  EXPECT_TRUE(q.empty());
 }
 
 // Producer/consumer threads with randomized batch sizes: every value must

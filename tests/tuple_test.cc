@@ -74,13 +74,23 @@ TEST(CompositeTupleTest, NWayAccessorsAndKeys) {
   EXPECT_EQ(r.timestamp(), SecondsToTicks(3.0));
 }
 
-TEST(CompositeTupleTest, RvalueWithAppendedReusesTailAndResetsRole) {
+TEST(CompositeTupleTest, SmallTailsStayInline) {
+  // Up to 4 total constituents (tail of 2) the tail never allocates.
+  CompositeTuple r{A(2, 1.0), B(7, 3.0)};
+  r = r.WithAppended(testing::MakeTuple(2, 4, 2.0));
+  r = std::move(r).WithAppended(testing::MakeTuple(3, 9, 4.0));
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_FALSE(r.tail.spilled());
+}
+
+TEST(CompositeTupleTest, RvalueWithAppendedReusesSpilledTailAndResetsRole) {
   CompositeTuple r{A(2, 1.0), B(7, 3.0)};
   r = r.WithAppended(testing::MakeTuple(2, 4, 2.0));
   r.role = TupleRole::kMale;
-  r.tail.reserve(2);  // room for the append, so the buffer must be reused
+  r.tail.reserve(4);  // spill past the inline buffer, with room to append
+  ASSERT_TRUE(r.tail.spilled());
   const Tuple* tail_data = r.tail.data();
-  // The && overload steals this composite's tail allocation instead of
+  // The && overload steals this composite's spilled tail block instead of
   // cloning it, and resets the chain-propagation role like the const&
   // overload does.
   CompositeTuple extended =

@@ -2,6 +2,7 @@
 // cost-model figures silently lose this operator's comparisons.
 void Op::ProcessTuple(const Tuple& t) {
   std::vector<Entry> matches;
-  const ProbeStats stats = state_b_.Probe(t, options_.condition, &matches);
+  const ProbeStats stats = state_b_.Probe(
+      t, options_.condition, [&](const Entry& e) { matches.push_back(e); });
   for (const Entry& e : matches) Emit(e);
 }

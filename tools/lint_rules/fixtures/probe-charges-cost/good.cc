@@ -2,16 +2,18 @@
 // window), or carrying a justified suppression, are clean.
 void Op::ProcessTuple(const Tuple& t) {
   std::vector<Entry> matches;
-  const ProbeStats stats = state_b_.Probe(t, options_.condition, &matches);
+  const ProbeStats stats = state_b_.Probe(
+      t, options_.condition, [&](const Entry& e) { matches.push_back(e); });
   ChargeProbe(stats, &state_b_);
   for (const Entry& e : matches) Emit(e);
 }
 
 void Op::ProcessOther(const Tuple& t) {
-  ChargeProbe(state_a_.Probe(t, options_.condition, nullptr), &state_a_);
+  ChargeProbe(state_a_.Probe(t, options_.condition, [](const Entry&) {}),
+              &state_a_);
 }
 
 void Op::DryRun(const Tuple& t) {
   // lint: allow(probe-charges-cost) -- dry-run probe; caller charges stats
-  state_b_.Probe(t, options_.condition, nullptr);
+  state_b_.Probe(t, options_.condition, [](const Entry&) {});
 }

@@ -1,7 +1,8 @@
 """Rule: hot-path-alloc.
 
-The per-event hot path — join-state probes/purges, the slot ring, the SPSC
-ring, and the window-join Process paths — must not heap-allocate per event:
+The per-event hot path — join-state probes/purges, the slot ring, the event
+and SPSC rings, the schedulers' run loops, the arena, the tuple tail, and
+the window-join Process paths — must not heap-allocate per event:
 ad-hoc new/make_unique there turns the O(matches) probe work into allocator
 traffic and wrecks the parallel pipeline's latency. Amortized container
 growth (vector::push_back into pre-sized storage) is the sanctioned
@@ -18,7 +19,15 @@ FIXTURE_RELPATH = "src/operators/join_state.h"
 
 HOT_FILES = {
     "src/operators/join_state.h",
+    "src/common/arena.cc",
+    "src/common/arena.h",
     "src/common/slot_ring.h",
+    "src/common/tuple.cc",
+    "src/common/tuple.h",
+    "src/runtime/queue.cc",
+    "src/runtime/queue.h",
+    "src/runtime/scheduler.cc",
+    "src/runtime/parallel_scheduler.cc",
     "src/runtime/spsc_queue.h",
     "src/operators/sliced_window_join.cc",
     "src/operators/sliding_window_join.cc",
