@@ -147,7 +147,14 @@ def main():
         if metric is None:
             failures.append(f"{name}: report has no throughput metric")
             continue
-        base = entry["value"]
+        base = entry.get("value") if isinstance(entry, dict) else None
+        if not isinstance(base, (int, float)):
+            # A hand-edited or older-schema baseline entry without a usable
+            # value must not crash the gate; the bench simply isn't gated
+            # until the baseline is regenerated.
+            print(f"warning: {name}: baseline entry has no numeric 'value';"
+                  " skipped (regenerate with --update)")
+            continue
         floor = base * (1.0 - args.threshold)
         ratio = value / base if base > 0 else float("inf")
         status = "OK" if value >= floor else "REGRESSION"
@@ -162,8 +169,8 @@ def main():
     for name in sorted(set(reports) - set(baseline.get("benches", {}))):
         if representative_throughput(reports[name])[0] is None:
             continue  # analytic/foreign-schema bench; --update skips it too
-        print(f"{'NEW':>10}  {name:<24} not in baseline "
-              "(add with --update)")
+        print(f"{'NEW':>10}  {name:<24} warning: not in baseline; "
+              "skipped, not gated (add with --update)")
 
     if args.summary:
         write_job_summary(args.summary, summary_rows, args.threshold,

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unit tests for bench/check_regression.py.
+
+Pins the gate's edge-case behavior:
+  - a bench present in the results but absent from the baseline is a
+    warning, not a failure (new benches must not need a same-PR baseline
+    edit);
+  - a baseline entry without a usable numeric value is warned and skipped,
+    never a KeyError;
+  - a genuine throughput drop below the floor still fails the gate.
+
+Run directly (`python3 bench/test_check_regression.py`) or via ctest
+(registered as `check_regression_test`).
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression", Path(__file__).resolve().parent /
+    "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _report(name, throughput):
+    return {"bench": name,
+            "rows": [{"throughput_tuples_per_wall_sec": throughput}]}
+
+
+class CheckRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        self.out = self.root / "out"
+        self.out.mkdir()
+        self.baseline = self.root / "baseline.json"
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def _write_report(self, name, throughput):
+        path = self.out / f"BENCH_{name}.json"
+        path.write_text(json.dumps(_report(name, throughput)))
+
+    def _write_baseline(self, benches):
+        self.baseline.write_text(json.dumps(
+            {"schema_version": 1, "machine": "test", "benches": benches}))
+
+    def _run_gate(self, extra_args=()):
+        argv = ["check_regression.py", "--dir", str(self.out),
+                "--baseline", str(self.baseline), *extra_args]
+        old_argv, old_env = sys.argv, os.environ.pop(
+            "GITHUB_STEP_SUMMARY", None)
+        sys.argv = argv
+        try:
+            return check_regression.main()
+        finally:
+            sys.argv = old_argv
+            if old_env is not None:
+                os.environ["GITHUB_STEP_SUMMARY"] = old_env
+
+    def test_bench_missing_from_baseline_warns_but_passes(self):
+        self._write_baseline(
+            {"alpha": {"metric": "throughput_tuples_per_wall_sec",
+                       "value": 100.0}})
+        self._write_report("alpha", 110.0)
+        self._write_report("beta", 50.0)  # new bench, no baseline entry
+        self.assertEqual(self._run_gate(), 0)
+
+    def test_baseline_entry_without_value_is_skipped_not_keyerror(self):
+        self._write_baseline(
+            {"alpha": {"metric": "throughput_tuples_per_wall_sec"},
+             "gamma": "not-even-a-dict"})
+        self._write_report("alpha", 110.0)
+        self._write_report("gamma", 10.0)
+        self.assertEqual(self._run_gate(), 0)
+
+    def test_regression_below_floor_still_fails(self):
+        self._write_baseline(
+            {"alpha": {"metric": "throughput_tuples_per_wall_sec",
+                       "value": 100.0}})
+        self._write_report("alpha", 60.0)  # below the default 25% floor
+        self.assertEqual(self._run_gate(), 1)
+
+    def test_within_threshold_passes(self):
+        self._write_baseline(
+            {"alpha": {"metric": "throughput_tuples_per_wall_sec",
+                       "value": 100.0}})
+        self._write_report("alpha", 80.0)
+        self.assertEqual(self._run_gate(), 0)
+
+    def test_baselined_bench_missing_report_fails(self):
+        self._write_baseline(
+            {"alpha": {"metric": "throughput_tuples_per_wall_sec",
+                       "value": 100.0},
+             "lost": {"metric": "throughput_tuples_per_wall_sec",
+                      "value": 100.0}})
+        self._write_report("alpha", 110.0)
+        self.assertEqual(self._run_gate(), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

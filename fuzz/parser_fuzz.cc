@@ -1,0 +1,80 @@
+// libFuzzer harness for the mini-CQL parser.
+//
+// Contract under test (src/query/parser.h): ParseQuery never aborts on bad
+// input — malformed queries must come back as ok=false with a diagnostic,
+// not trip a SLICE_CHECK or invoke UB downstream. The harness additionally
+// round-trips accepted queries through their parsed WindowSpec to catch
+// accepted-but-poisonous values (non-finite extents, count windows that
+// overflow int64) that would only abort later, inside the runtime.
+//
+// Two build modes share this file:
+//  - STATESLICE_FUZZ_STANDALONE: a plain main() that replays every file
+//    passed on the command line (the seed corpus) once. Portable to any
+//    compiler; registered as the parser_fuzz_corpus CTest so the corpus is
+//    a permanent regression suite even on GCC-only toolchains.
+//  - otherwise: the usual LLVMFuzzerTestOneInput entry point, linked with
+//    -fsanitize=fuzzer by the Clang-only `fuzz` preset.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/operators/window_spec.h"
+#include "src/query/parser.h"
+
+namespace {
+
+int RunOne(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const stateslice::ParseResult result = stateslice::ParseQuery(text);
+  if (!result.ok) {
+    // Rejection must come with a diagnostic (callers print it verbatim).
+    if (result.error.empty()) {
+      std::fprintf(stderr, "parser_fuzz: ok=false with empty error\n");
+      __builtin_trap();
+    }
+    return 0;
+  }
+  // Accepted queries must carry a usable window: finite, positive extent
+  // (time) or a positive in-range row count. A NaN or overflowed window
+  // parses "successfully" but aborts later inside the runtime, which is
+  // exactly the class of deferred crash this harness exists to surface.
+  const stateslice::WindowSpec& w = result.query.window;
+  if (w.extent <= 0) {
+    std::fprintf(stderr, "parser_fuzz: accepted query with unusable window\n");
+    __builtin_trap();
+  }
+  return 0;
+}
+
+}  // namespace
+
+#if defined(STATESLICE_FUZZ_STANDALONE)
+
+#include <fstream>
+#include <iterator>
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "parser_fuzz: cannot open %s\n", argv[i]);
+      return 2;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    RunOne(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("parser_fuzz: replayed %d corpus file(s)\n", replayed);
+  return 0;
+}
+
+#else  // libFuzzer build
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return RunOne(data, size);
+}
+
+#endif  // STATESLICE_FUZZ_STANDALONE

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
@@ -289,22 +290,37 @@ class Parser {
       unit = Peek().lower;
       Advance();
     }
+    // Scale to the extent's native unit (ticks or rows) in double first, so
+    // the range check below covers unit multiplication overflow too.
+    double scaled = 0;
+    bool count_window = false;
     if (unit == "ms" || unit == "millis" || unit == "milliseconds") {
-      query->window = WindowSpec::TimeSeconds(magnitude / 1000.0);
+      scaled = (magnitude / 1000.0) * kTicksPerSecond;
     } else if (unit == "s" || unit == "sec" || unit == "secs" ||
                unit == "second" || unit == "seconds") {
-      query->window = WindowSpec::TimeSeconds(magnitude);
+      scaled = magnitude * kTicksPerSecond;
     } else if (unit == "min" || unit == "mins" || unit == "minute" ||
                unit == "minutes") {
-      query->window = WindowSpec::TimeSeconds(magnitude * 60.0);
+      scaled = magnitude * 60.0 * kTicksPerSecond;
     } else if (unit == "h" || unit == "hr" || unit == "hrs" ||
                unit == "hour" || unit == "hours") {
-      query->window = WindowSpec::TimeSeconds(magnitude * 3600.0);
+      scaled = magnitude * 3600.0 * kTicksPerSecond;
     } else if (unit == "rows" || unit == "tuples") {
-      query->window = WindowSpec::Count(static_cast<int64_t>(magnitude));
+      scaled = magnitude;
+      count_window = true;
     } else {
       return Fail("unknown window unit '" + unit + "'", error);
     }
+    // Casting a NaN or out-of-int64-range double is undefined behavior, so
+    // validate BEFORE converting to an extent. 2^62 ticks ≈ 146k years of
+    // virtual time — anything past it is a typo, not a window.
+    if (!std::isfinite(scaled) ||
+        scaled >= 4611686018427387904.0 /* 2^62 */) {
+      return Fail("window magnitude out of range", error);
+    }
+    const auto extent = static_cast<int64_t>(scaled);
+    query->window = count_window ? WindowSpec::Count(extent)
+                                 : WindowSpec::Time(extent);
     if (query->window.extent <= 0) {
       // Covers literal zero/negative magnitudes and positive magnitudes
       // that round to zero ticks/rows (e.g. "WINDOW 0.4 rows"). A malformed

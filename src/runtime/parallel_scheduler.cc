@@ -5,10 +5,25 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/runtime/sync_point.h"
 
 namespace stateslice {
 
 namespace {
+
+// Order of the consumer-side close-flag load in RunStage's done check. The
+// acquire is load-bearing: reading closed==true must also make the
+// producer's final ring publication visible, or the emptiness probe that
+// follows can see a stale tail and exit with events still in flight. The
+// STATESLICE_SEEDED_BUG_3 variant drops the acquire so the interleave
+// explorer (tests/interleave/) can prove it catches the resulting lost
+// events — compiled only by the seeded-violation catch test.
+#if defined(STATESLICE_SEEDED_BUG_3)
+// lint: allow(atomic-memory-order) -- seeded interleave-catch violation
+constexpr std::memory_order kClosedLoadOrder = std::memory_order_relaxed;
+#else
+constexpr std::memory_order kClosedLoadOrder = std::memory_order_acquire;
+#endif
 
 // Number of contiguous blocks a greedy packing needs when no block may
 // exceed `capacity` total weight.
@@ -137,9 +152,12 @@ void ParallelScheduler::Start() {
   started_ = true;
   plan_->BeginExecution(ExecutionMode::kParallel);
   BuildStages();
-  for (const auto& stage : stages_) {
-    stage->thread =
-        std::thread(&ParallelScheduler::RunStage, this, stage.get());
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    // Announce the spawn before the thread exists so a schedule-test
+    // explorer knows to wait for the worker's registration.
+    STATESLICE_SYNC_THREAD_SPAWN();
+    stages_[i]->thread = std::thread(&ParallelScheduler::RunStage, this,
+                                     stages_[i].get(), static_cast<int>(i));
   }
 }
 
@@ -195,7 +213,10 @@ void ParallelScheduler::FinishInput() {
   if (input_finished_) return;
   input_finished_ = true;
   for (CrossEdge* e : entry_edges_) {
-    e->closed.store(true, std::memory_order_release);
+    // Release pairs with the acquire in RunStage's done check: a consumer
+    // that observes closed==true also observes every prior entry push.
+    STATESLICE_ATOMIC_STORE("psched.entry_close", e->closed, true,
+                            std::memory_order_release);
   }
 }
 
@@ -204,9 +225,13 @@ void ParallelScheduler::Join() {
   if (joined_) return;
   SLICE_CHECK(started_);
   SLICE_CHECK(input_finished_);  // FinishInput() must precede Join()
+  // Park brackets the real blocking joins so a schedule-test explorer does
+  // not wait on this thread while it waits on the workers.
+  STATESLICE_SYNC_PARK();
   for (const auto& stage : stages_) {
     if (stage->thread.joinable()) stage->thread.join();
   }
+  STATESLICE_SYNC_UNPARK();
   joined_ = true;
   plan_->EndExecution();
 }
@@ -221,6 +246,8 @@ void ParallelScheduler::BlockingPush(CrossEdge* edge, Event event) {
   // briefly, then yield so this works on oversubscribed machines too.
   int spins = 0;
   while (!edge->ring.TryPush(std::move(event))) {
+    // Futile until the consumer pops: no store of ours can unblock us.
+    STATESLICE_SYNC_FUTILE("psched.push_backpressure");
     if (++spins >= 16) {
       std::this_thread::yield();
       spins = 0;
@@ -237,9 +264,13 @@ void ParallelScheduler::BlockingPushRun(CrossEdge* edge, EventRun* run) {
   while (pushed < run->size()) {
     const size_t n = edge->ring.TryPushRun(run, pushed);
     pushed += n;
-    if (n == 0 && ++spins >= 16) {
-      std::this_thread::yield();
-      spins = 0;
+    if (n == 0) {
+      // Futile until the consumer pops: no store of ours can unblock us.
+      STATESLICE_SYNC_FUTILE("psched.push_run_backpressure");
+      if (++spins >= 16) {
+        std::this_thread::yield();
+        spins = 0;
+      }
     }
   }
   run->clear();
@@ -278,13 +309,17 @@ void ParallelScheduler::DrainLocal(Stage* stage) {
   }
   if (delta > 0) {
     stage->processed += delta;
-    total_processed_.fetch_add(delta, std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- commutative accounting counter
+    STATESLICE_ATOMIC_ACCOUNTING_FETCH_ADD("psched.local.total",
+                                           total_processed_, delta,
+                                           std::memory_order_relaxed);
   }
 }
 
-void ParallelScheduler::RunStage(Stage* stage) {
+void ParallelScheduler::RunStage(Stage* stage, int stage_index) {
   // This function is the worker thread's entry point: by construction the
   // executing thread is the one worker driving `stage`.
+  STATESLICE_SYNC_THREAD_BEGIN(stage_index);
   stage->role.Assert();
   // Composite tails this stage's operators spill draw from the plan arena
   // (the arena pointer is immutable after plan construction; the arena
@@ -304,7 +339,10 @@ void ParallelScheduler::RunStage(Stage* stage) {
         stage->input_run.clear();
         round += popped;
         stage->processed += popped;
-        total_processed_.fetch_add(popped, std::memory_order_relaxed);
+        // lint: allow(atomic-memory-order) -- commutative accounting counter
+        STATESLICE_ATOMIC_ACCOUNTING_FETCH_ADD("psched.drain.total",
+                                               total_processed_, popped,
+                                               std::memory_order_relaxed);
         DrainLocal(stage);
       }
     }
@@ -314,13 +352,16 @@ void ParallelScheduler::RunStage(Stage* stage) {
       // (the producer publishes all pushes before the closed flag).
       bool done = true;
       for (CrossEdge* e : stage->inputs) {
-        if (!e->closed.load(std::memory_order_acquire) ||
+        if (!STATESLICE_ATOMIC_LOAD("psched.closed_check", e->closed,
+                                    kClosedLoadOrder) ||
             !e->ring.empty()) {
           done = false;
           break;
         }
       }
       if (done) break;
+      // Futile until an upstream push or close lands.
+      STATESLICE_SYNC_FUTILE("psched.idle");
       std::this_thread::yield();
     }
   }
@@ -334,8 +375,12 @@ void ParallelScheduler::RunStage(Stage* stage) {
   }
   RelayOutputs(stage);
   for (CrossEdge* e : stage->outputs) {
-    e->closed.store(true, std::memory_order_release);
+    // Release pairs with the downstream done check's acquire: observing
+    // closed==true implies observing every relay this stage published.
+    STATESLICE_ATOMIC_STORE("psched.stage_close", e->closed, true,
+                            std::memory_order_release);
   }
+  STATESLICE_SYNC_THREAD_END();
 }
 
 uint64_t ParallelScheduler::edges_total_pushed() const {

@@ -54,6 +54,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/runtime/plan.h"
 #include "src/runtime/spsc_queue.h"
+#include "src/runtime/sync_point.h"
 
 namespace stateslice {
 
@@ -131,7 +132,9 @@ class ParallelScheduler {
   // pops — the same unit as RoundRobinScheduler::total_processed). Exact
   // after Join(); a relaxed snapshot while running.
   uint64_t total_processed() const {
-    return total_processed_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- stale-snapshot accounting read
+    return STATESLICE_ATOMIC_ACCOUNTING_LOAD("psched.total", total_processed_,
+                                             std::memory_order_relaxed);
   }
 
   // Stage layout (valid after Start): operators per stage, topological
@@ -188,7 +191,9 @@ class ParallelScheduler {
   };
 
   void BuildStages() STATESLICE_REQUIRES(caller_role_);
-  void RunStage(Stage* stage);
+  // Worker entry point; `stage_index` is the stable thread id reported to a
+  // schedule-test explorer (stages are created in deterministic order).
+  void RunStage(Stage* stage, int stage_index);
   // Drains intra-stage queues to quiescence, relaying cross-stage output
   // queues into their rings as events appear. Worker-side: runs on the
   // stage's own thread only.

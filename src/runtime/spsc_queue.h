@@ -23,8 +23,37 @@
 
 #include "src/common/check.h"
 #include "src/common/thread_annotations.h"
+#include "src/runtime/sync_point.h"
 
 namespace stateslice {
+
+namespace spsc_internal {
+
+// Publication orders for the ring indices. The release stores are the load-
+// bearing half of the SPSC protocol: they order the slot writes before the
+// index publication the other side acquires. The STATESLICE_SEEDED_BUG_*
+// variants deliberately weaken one of them so the interleave explorer
+// (tests/interleave/) can prove it catches the resulting data race — they
+// are compiled only by the seeded-violation catch tests, never by
+// production targets.
+#if defined(STATESLICE_SEEDED_BUG_1)
+// lint: allow(atomic-memory-order) -- seeded interleave-catch violation
+inline constexpr std::memory_order kTailPublishOrder =
+    std::memory_order_relaxed;
+#else
+inline constexpr std::memory_order kTailPublishOrder =
+    std::memory_order_release;
+#endif
+#if defined(STATESLICE_SEEDED_BUG_2)
+// lint: allow(atomic-memory-order) -- seeded interleave-catch violation
+inline constexpr std::memory_order kRunPublishOrder =
+    std::memory_order_relaxed;
+#else
+inline constexpr std::memory_order kRunPublishOrder =
+    std::memory_order_release;
+#endif
+
+}  // namespace spsc_internal
 
 // Bounded SPSC FIFO of default-constructible, movable values.
 //
@@ -65,17 +94,30 @@ class SpscQueue {
   // Attempts to append `value`. Returns false (leaving `value` untouched)
   // when the ring is full. Producer thread only.
   bool TryPush(T&& value) STATESLICE_REQUIRES(producer_role_) {
-    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- producer-owned index, self-read
+    const uint64_t tail = STATESLICE_ATOMIC_LOAD_OWNER(
+        "spsc.push.tail_read", tail_, std::memory_order_relaxed);
     if (tail - head_cache_ >= capacity_) {
-      head_cache_ = head_.load(std::memory_order_acquire);
+      head_cache_ = STATESLICE_ATOMIC_LOAD("spsc.push.head_refresh", head_,
+                                           std::memory_order_acquire);
       if (tail - head_cache_ >= capacity_) return false;
     }
+    STATESLICE_SYNC_PLAIN_WRITE("spsc.push.slot", &slots_[tail & mask_]);
     slots_[tail & mask_] = std::move(value);
-    tail_.store(tail + 1, std::memory_order_release);
-    total_pushed_.fetch_add(1, std::memory_order_relaxed);
+    STATESLICE_ATOMIC_STORE("spsc.push.tail_publish", tail_, tail + 1,
+                            spsc_internal::kTailPublishOrder);
+    // lint: allow(atomic-memory-order) -- single-writer accounting counter
+    STATESLICE_ATOMIC_ACCOUNTING_FETCH_ADD("spsc.push.total", total_pushed_,
+                                           1, std::memory_order_relaxed);
     const uint64_t occupancy = tail + 1 - head_cache_;
-    if (occupancy > high_water_mark_.load(std::memory_order_relaxed)) {
-      high_water_mark_.store(occupancy, std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- single-writer accounting counter
+    if (occupancy > STATESLICE_ATOMIC_ACCOUNTING_LOAD(
+                        "spsc.push.hwm_read", high_water_mark_,
+                        std::memory_order_relaxed)) {
+      // lint: allow(atomic-memory-order) -- single-writer accounting counter
+      STATESLICE_ATOMIC_ACCOUNTING_STORE("spsc.push.hwm_write",
+                                         high_water_mark_, occupancy,
+                                         std::memory_order_relaxed);
     }
     return true;
   }
@@ -88,23 +130,38 @@ class SpscQueue {
   template <typename RunT>
   size_t TryPushRun(RunT* run, size_t from)
       STATESLICE_REQUIRES(producer_role_) {
-    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- producer-owned index, self-read
+    const uint64_t tail = STATESLICE_ATOMIC_LOAD_OWNER(
+        "spsc.push_run.tail_read", tail_, std::memory_order_relaxed);
     size_t space = static_cast<size_t>(capacity_ - (tail - head_cache_));
     if (space == 0) {
-      head_cache_ = head_.load(std::memory_order_acquire);
+      head_cache_ = STATESLICE_ATOMIC_LOAD("spsc.push_run.head_refresh",
+                                           head_, std::memory_order_acquire);
       space = static_cast<size_t>(capacity_ - (tail - head_cache_));
       if (space == 0) return 0;
     }
     const size_t want = run->size() - from;
     const size_t count = want < space ? want : space;
     for (size_t i = 0; i < count; ++i) {
+      STATESLICE_SYNC_PLAIN_WRITE("spsc.push_run.slot",
+                                  &slots_[(tail + i) & mask_]);
       slots_[(tail + i) & mask_] = std::move((*run)[from + i]);
     }
-    tail_.store(tail + count, std::memory_order_release);
-    total_pushed_.fetch_add(count, std::memory_order_relaxed);
+    STATESLICE_ATOMIC_STORE("spsc.push_run.tail_publish", tail_,
+                            tail + count, spsc_internal::kRunPublishOrder);
+    // lint: allow(atomic-memory-order) -- single-writer accounting counter
+    STATESLICE_ATOMIC_ACCOUNTING_FETCH_ADD("spsc.push_run.total",
+                                           total_pushed_, count,
+                                           std::memory_order_relaxed);
     const uint64_t occupancy = tail + count - head_cache_;
-    if (occupancy > high_water_mark_.load(std::memory_order_relaxed)) {
-      high_water_mark_.store(occupancy, std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- single-writer accounting counter
+    if (occupancy > STATESLICE_ATOMIC_ACCOUNTING_LOAD(
+                        "spsc.push_run.hwm_read", high_water_mark_,
+                        std::memory_order_relaxed)) {
+      // lint: allow(atomic-memory-order) -- single-writer accounting counter
+      STATESLICE_ATOMIC_ACCOUNTING_STORE("spsc.push_run.hwm_write",
+                                         high_water_mark_, occupancy,
+                                         std::memory_order_relaxed);
     }
     return count;
   }
@@ -112,13 +169,18 @@ class SpscQueue {
   // Attempts to move the front value into `*out`. Returns false when the
   // ring is empty. Consumer thread only.
   bool TryPop(T* out) STATESLICE_REQUIRES(consumer_role_) {
-    const uint64_t head = head_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- consumer-owned index, self-read
+    const uint64_t head = STATESLICE_ATOMIC_LOAD_OWNER(
+        "spsc.pop.head_read", head_, std::memory_order_relaxed);
     if (head == tail_cache_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
+      tail_cache_ = STATESLICE_ATOMIC_LOAD("spsc.pop.tail_refresh", tail_,
+                                           std::memory_order_acquire);
       if (head == tail_cache_) return false;
     }
+    STATESLICE_SYNC_PLAIN_READ("spsc.pop.slot", &slots_[head & mask_]);
     *out = std::move(slots_[head & mask_]);
-    head_.store(head + 1, std::memory_order_release);
+    STATESLICE_ATOMIC_STORE("spsc.pop.head_publish", head_, head + 1,
+                            std::memory_order_release);
     return true;
   }
 
@@ -128,10 +190,13 @@ class SpscQueue {
   template <typename RunT>
   size_t TryPopRun(RunT* out, size_t max_values)
       STATESLICE_REQUIRES(consumer_role_) {
-    const uint64_t head = head_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- consumer-owned index, self-read
+    const uint64_t head = STATESLICE_ATOMIC_LOAD_OWNER(
+        "spsc.pop_run.head_read", head_, std::memory_order_relaxed);
     uint64_t available = tail_cache_ - head;
     if (available == 0) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
+      tail_cache_ = STATESLICE_ATOMIC_LOAD("spsc.pop_run.tail_refresh",
+                                           tail_, std::memory_order_acquire);
       available = tail_cache_ - head;
       if (available == 0) return 0;
     }
@@ -139,17 +204,22 @@ class SpscQueue {
                              ? max_values
                              : static_cast<size_t>(available);
     for (size_t i = 0; i < count; ++i) {
+      STATESLICE_SYNC_PLAIN_READ("spsc.pop_run.slot",
+                                 &slots_[(head + i) & mask_]);
       out->push_back(std::move(slots_[(head + i) & mask_]));
     }
-    head_.store(head + count, std::memory_order_release);
+    STATESLICE_ATOMIC_STORE("spsc.pop_run.head_publish", head_, head + count,
+                            std::memory_order_release);
     return count;
   }
 
   // Snapshot emptiness / occupancy (any thread; may be stale).
   bool empty() const { return size() == 0; }
   size_t size() const {
-    const uint64_t tail = tail_.load(std::memory_order_acquire);
-    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = STATESLICE_ATOMIC_LOAD("spsc.size.tail", tail_,
+                                                 std::memory_order_acquire);
+    const uint64_t head = STATESLICE_ATOMIC_LOAD("spsc.size.head", head_,
+                                                 std::memory_order_acquire);
     return tail >= head ? static_cast<size_t>(tail - head) : 0;
   }
 
@@ -157,12 +227,16 @@ class SpscQueue {
 
   // Largest producer-observed occupancy (see file comment for precision).
   size_t high_water_mark() const {
-    return high_water_mark_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- stale-snapshot accounting read
+    return STATESLICE_ATOMIC_ACCOUNTING_LOAD("spsc.hwm", high_water_mark_,
+                                             std::memory_order_relaxed);
   }
 
   // Total number of values ever pushed.
   uint64_t total_pushed() const {
-    return total_pushed_.load(std::memory_order_relaxed);
+    // lint: allow(atomic-memory-order) -- stale-snapshot accounting read
+    return STATESLICE_ATOMIC_ACCOUNTING_LOAD("spsc.total", total_pushed_,
+                                             std::memory_order_relaxed);
   }
 
  private:

@@ -1,0 +1,21 @@
+#include "src/runtime/sync_point.h"
+
+#if defined(STATESLICE_SCHED_TEST)
+
+namespace stateslice::schedtest {
+namespace {
+
+// Plain pointer, not atomic: the explorer installs hooks before spawning
+// instrumented threads and uninstalls after joining them, so every access
+// from an instrumented thread is ordered by the spawn/join edges.
+SchedHooks* g_hooks = nullptr;
+
+}  // namespace
+
+SchedHooks* Hooks() { return g_hooks; }
+
+void InstallHooks(SchedHooks* hooks) { g_hooks = hooks; }
+
+}  // namespace stateslice::schedtest
+
+#endif  // STATESLICE_SCHED_TEST

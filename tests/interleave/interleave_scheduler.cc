@@ -1,0 +1,603 @@
+#include "tests/interleave/interleave_scheduler.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stateslice::interleave {
+
+namespace {
+
+// Identity of the calling thread within the current episode; -1 while
+// unregistered (unregistered threads pass through every hook).
+thread_local Tid tls_tid = -1;
+
+// A registered thread that waits this long for a scheduling grant is
+// evidence of a scheduler bug (or a genuinely wedged episode); reporting a
+// violation flips the model into free-run so CTest sees a failure instead
+// of a timeout.
+constexpr std::chrono::seconds kStallGuard(20);
+
+bool IsAcquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+bool IsRelease(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+
+}  // namespace
+
+InterleaveScheduler::InterleaveScheduler(Strategy* strategy)
+    : InterleaveScheduler(strategy, Options()) {}
+
+InterleaveScheduler::InterleaveScheduler(Strategy* strategy, Options options)
+    : strategy_(strategy), options_(options) {}
+
+InterleaveScheduler::~InterleaveScheduler() {
+  if (schedtest::Hooks() == this) schedtest::InstallHooks(nullptr);
+}
+
+void InterleaveScheduler::ExpectThreads(int n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  expected_ += n;
+}
+
+bool InterleaveScheduler::HasViolations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !violations_.empty();
+}
+
+std::vector<Violation> InterleaveScheduler::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+void InterleaveScheduler::ReportExternalViolation(const std::string& reason) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ReportViolationLocked(reason);
+}
+
+void InterleaveScheduler::TraceLocked(Tid tid, std::string line) {
+  if (trace_.size() >= options_.max_trace) {
+    trace_.erase(trace_.begin(),
+                 trace_.begin() + static_cast<long>(options_.max_trace / 2));
+  }
+  trace_.push_back("[t" + std::to_string(tid) + "] " + std::move(line));
+}
+
+std::string InterleaveScheduler::TraceTailLocked() const {
+  std::string out;
+  for (const std::string& line : trace_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void InterleaveScheduler::ReportViolationLocked(const std::string& reason) {
+  violations_.push_back(Violation{reason, TraceTailLocked()});
+  // Stand down: release every blocked thread and stop modeling so the
+  // episode's threads can run to completion on the real atomics.
+  free_run_ = true;
+  for (auto& [tid, tr] : threads_) {
+    tr.granted = true;
+    (void)tid;
+  }
+  cv_.notify_all();
+}
+
+void InterleaveScheduler::EvaluateLocked() {
+  if (free_run_) {
+    cv_.notify_all();
+    return;
+  }
+  // A decision instant requires full quiescence: nobody running, nobody
+  // announced-but-unregistered, no grant still in flight.
+  if (running_ > 0 || expected_ > 0) return;
+  std::vector<Tid> runnable;
+  bool any_granted = false;
+  for (auto& [tid, tr] : threads_) {
+    if (tr.state == TState::kAtPoint) {
+      if (tr.granted) {
+        any_granted = true;
+      } else {
+        runnable.push_back(tid);
+      }
+    }
+  }
+  if (any_granted) return;
+  if (runnable.empty()) {
+    std::vector<Tid> futile;
+    bool any_parked = false;
+    bool all_done = true;
+    for (auto& [tid, tr] : threads_) {
+      if (tr.state == TState::kFutile) futile.push_back(tid);
+      if (tr.state == TState::kParked) any_parked = true;
+      if (tr.state != TState::kDone) all_done = false;
+    }
+    if (!futile.empty()) {
+      // Every live thread is blocked on values that will not change. Wake
+      // them pinned to the newest allowed stores: if they still cannot
+      // make progress on the freshest state, the futility is a real
+      // deadlock and the next instant reports it.
+      for (Tid t : futile) {
+        threads_[t].state = TState::kAtPoint;
+        threads_[t].force_latest = true;
+      }
+      runnable = futile;
+      TraceLocked(-1, "recovery wake: all live threads futile");
+    } else if (any_parked || all_done) {
+      return;  // progress owed by an unpark or the episode is over
+    } else {
+      ReportViolationLocked("deadlock: no runnable, futile, or parked thread");
+      return;
+    }
+  }
+  if (++steps_ > options_.max_steps) {
+    ReportViolationLocked("step limit exceeded (livelock?)");
+    return;
+  }
+  // Preemption bounding: once the budget is spent, a thread that could
+  // continue always does; switches forced by futility/park/exit are free.
+  bool last_could_continue = false;
+  for (const Tid t : runnable) {
+    if (t == last_granted_) last_could_continue = true;
+  }
+  if (options_.preemption_bound >= 0 && last_could_continue &&
+      preemptions_used_ >= options_.preemption_bound) {
+    runnable.assign(1, last_granted_);
+  }
+  const int idx =
+      runnable.size() == 1
+          ? 0
+          : strategy_->ChooseThread(runnable);
+  const Tid chosen = runnable[static_cast<size_t>(idx)];
+  if (last_could_continue && chosen != last_granted_) ++preemptions_used_;
+  last_granted_ = chosen;
+  threads_[chosen].granted = true;
+  cv_.notify_all();
+}
+
+void InterleaveScheduler::YieldLocked(std::unique_lock<std::mutex>& lk,
+                                      Tid tid) {
+  ThreadRec& tr = threads_[tid];
+  tr.state = TState::kAtPoint;
+  tr.granted = false;
+  --running_;
+  EvaluateLocked();
+  while (!tr.granted && !free_run_) {
+    if (cv_.wait_for(lk, kStallGuard) == std::cv_status::timeout &&
+        !tr.granted && !free_run_) {
+      ReportViolationLocked("scheduler stall: no grant within guard window");
+    }
+  }
+  tr.state = TState::kRunning;
+  ++running_;
+}
+
+InterleaveScheduler::AtomicVar& InterleaveScheduler::GetAtomicLocked(
+    const void* var, uint64_t initial) {
+  AtomicVar& av = atomics_[var];
+  if (av.history.empty()) {
+    StoreRecord init;
+    init.value = initial;
+    init.release = true;  // construction happens-before every thread
+    av.history.push_back(init);
+  }
+  return av;
+}
+
+void InterleaveScheduler::SyncPoint(const char* tag) {
+  if (tls_tid < 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_) return;
+  TraceLocked(tls_tid, std::string("yield ") + tag);
+  YieldLocked(lk, tls_tid);
+}
+
+void InterleaveScheduler::Futile(const char* tag) {
+  if (tls_tid < 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_) return;
+  ThreadRec& tr = threads_[tls_tid];
+  TraceLocked(tls_tid, std::string("futile ") + tag);
+  tr.state = TState::kFutile;
+  tr.granted = false;
+  --running_;
+  EvaluateLocked();
+  while (!tr.granted && !free_run_) {
+    if (cv_.wait_for(lk, kStallGuard) == std::cv_status::timeout &&
+        !tr.granted && !free_run_) {
+      ReportViolationLocked("scheduler stall: futile thread never woken");
+    }
+  }
+  tr.state = TState::kRunning;
+  ++running_;
+}
+
+uint64_t InterleaveScheduler::AtomicLoad(const char* tag, const void* var,
+                                         std::memory_order order,
+                                         uint64_t initial) {
+  if (tls_tid < 0) return initial;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_) return initial;
+  const Tid tid = tls_tid;
+  YieldLocked(lk, tid);
+  if (free_run_) return initial;
+
+  AtomicVar& av = GetAtomicLocked(var, initial);
+  ThreadRec& tr = threads_[tid];
+  ++tr.clock.c[tid];
+
+  // Coherence floor: nothing older than what this thread already observed
+  // of this variable, nor older than the newest store that happens-before
+  // this load (reading past a visible store would violate coherence).
+  size_t lo = 0;
+  if (auto it = av.floor.find(tid); it != av.floor.end()) lo = it->second;
+  for (size_t i = av.history.size(); i-- > lo + 1;) {
+    const StoreRecord& sr = av.history[i];
+    if (sr.tid == -1 || tr.clock.Get(sr.tid) >= sr.tid_clock) {
+      if (i > lo) lo = i;
+      break;
+    }
+  }
+  const size_t hi = av.history.size() - 1;
+  size_t idx = lo;
+  if (tr.force_latest) {
+    idx = hi;
+  } else if (hi > lo) {
+    idx = lo + static_cast<size_t>(
+                   strategy_->ChooseValue(static_cast<int>(hi - lo + 1)));
+  }
+  size_t& fl = av.floor[tid];
+  if (idx > fl) fl = idx;
+  const StoreRecord& sr = av.history[idx];
+  if (IsAcquire(order) && sr.release) tr.clock.Join(sr.clock);
+  TraceLocked(tid, std::string("load ") + tag + " = " +
+                       std::to_string(sr.value) + " (store " +
+                       std::to_string(idx) + "/" + std::to_string(hi) + ")");
+  return sr.value;
+}
+
+void InterleaveScheduler::AtomicStore(const char* tag, void* var,
+                                      std::memory_order order, uint64_t value,
+                                      uint64_t initial) {
+  if (tls_tid < 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_) return;
+  const Tid tid = tls_tid;
+  YieldLocked(lk, tid);
+  if (free_run_) return;
+
+  AtomicVar& av = GetAtomicLocked(var, initial);
+  ThreadRec& tr = threads_[tid];
+  StoreRecord sr;
+  sr.value = value;
+  sr.tid = tid;
+  sr.tid_clock = ++tr.clock.c[tid];
+  sr.clock = tr.clock;
+  sr.release = IsRelease(order);
+  sr.tag = tag;
+  av.history.push_back(sr);
+  av.floor[tid] = av.history.size() - 1;
+  TraceLocked(tid, std::string("store ") + tag + " = " +
+                       std::to_string(value) +
+                       (sr.release ? " (release)" : " (relaxed)"));
+  // New information: futile threads get another chance, and pinned loads
+  // resume branching.
+  for (auto& [t, rec] : threads_) {
+    rec.force_latest = false;
+    if (rec.state == TState::kFutile) rec.state = TState::kAtPoint;
+    (void)t;
+  }
+}
+
+void InterleaveScheduler::PlainWrite(const char* tag, const void* addr) {
+  if (tls_tid < 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_run_) return;
+  const Tid tid = tls_tid;
+  ThreadRec& tr = threads_[tid];
+  const uint64_t c = ++tr.clock.c[tid];
+  PlainVar& pv = plains_[addr];
+  if (pv.writer != -1 && pv.writer != tid &&
+      tr.clock.Get(pv.writer) < pv.writer_clock) {
+    ReportViolationLocked(std::string("data race: write ") + tag +
+                          " by t" + std::to_string(tid) +
+                          " concurrent with write " + pv.writer_tag +
+                          " by t" + std::to_string(pv.writer));
+    return;
+  }
+  for (const auto& [rt, rc] : pv.readers) {
+    if (rt != tid && tr.clock.Get(rt) < rc.first) {
+      ReportViolationLocked(std::string("data race: write ") + tag +
+                            " by t" + std::to_string(tid) +
+                            " concurrent with read " + rc.second +
+                            " by t" + std::to_string(rt));
+      return;
+    }
+  }
+  pv.writer = tid;
+  pv.writer_clock = c;
+  pv.writer_tag = tag;
+  pv.readers.clear();
+}
+
+void InterleaveScheduler::PlainRead(const char* tag, const void* addr) {
+  if (tls_tid < 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_run_) return;
+  const Tid tid = tls_tid;
+  ThreadRec& tr = threads_[tid];
+  const uint64_t c = ++tr.clock.c[tid];
+  PlainVar& pv = plains_[addr];
+  if (pv.writer != -1 && pv.writer != tid &&
+      tr.clock.Get(pv.writer) < pv.writer_clock) {
+    ReportViolationLocked(std::string("data race: read ") + tag + " by t" +
+                          std::to_string(tid) + " concurrent with write " +
+                          pv.writer_tag + " by t" +
+                          std::to_string(pv.writer));
+    return;
+  }
+  auto& slot = pv.readers[tid];
+  slot.first = c;
+  slot.second = tag;
+}
+
+void InterleaveScheduler::ThreadSpawn() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_run_) return;
+  ++expected_;
+}
+
+void InterleaveScheduler::ThreadBegin(int stable_id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  tls_tid = stable_id;
+  ThreadRec& tr = threads_[stable_id];
+  tr.state = TState::kAtPoint;
+  tr.granted = false;
+  --expected_;
+  TraceLocked(stable_id, "begin");
+  if (free_run_) {
+    tr.state = TState::kRunning;
+    ++running_;
+    return;
+  }
+  EvaluateLocked();
+  while (!tr.granted && !free_run_) {
+    if (cv_.wait_for(lk, kStallGuard) == std::cv_status::timeout &&
+        !tr.granted && !free_run_) {
+      ReportViolationLocked("scheduler stall: registered thread never ran");
+    }
+  }
+  tr.state = TState::kRunning;
+  ++running_;
+}
+
+void InterleaveScheduler::ThreadEnd() {
+  if (tls_tid < 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  ThreadRec& tr = threads_[tls_tid];
+  TraceLocked(tls_tid, "end");
+  tr.state = TState::kDone;
+  --running_;
+  tls_tid = -1;
+  if (!free_run_) EvaluateLocked();
+}
+
+void InterleaveScheduler::Park() {
+  if (tls_tid < 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_run_) return;
+  threads_[tls_tid].state = TState::kParked;
+  --running_;
+  TraceLocked(tls_tid, "park");
+  EvaluateLocked();
+}
+
+void InterleaveScheduler::Unpark() {
+  if (tls_tid < 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  ThreadRec& tr = threads_[tls_tid];
+  TraceLocked(tls_tid, "unpark");
+  if (free_run_) {
+    tr.state = TState::kRunning;
+    ++running_;
+    return;
+  }
+  tr.state = TState::kAtPoint;
+  tr.granted = false;
+  EvaluateLocked();
+  while (!tr.granted && !free_run_) {
+    if (cv_.wait_for(lk, kStallGuard) == std::cv_status::timeout &&
+        !tr.granted && !free_run_) {
+      ReportViolationLocked("scheduler stall: unparked thread never ran");
+    }
+  }
+  tr.state = TState::kRunning;
+  ++running_;
+}
+
+// ---------------------------------------------------------------------
+// DfsStrategy
+// ---------------------------------------------------------------------
+
+int DfsStrategy::Choose(int n) {
+  const size_t pos = taken_.size();
+  int pick = pos < prefix_.size() ? prefix_[pos] : 0;
+  // A prefix decision out of range means the schedule diverged from the
+  // episode that recorded it (nondeterministic episode body); clamp so
+  // exploration stays well-defined.
+  if (pick >= n) pick = n - 1;
+  taken_.emplace_back(pick, n);
+  return pick;
+}
+
+bool DfsStrategy::Advance() {
+  while (!taken_.empty() &&
+         taken_.back().first + 1 >= taken_.back().second) {
+    taken_.pop_back();
+  }
+  if (taken_.empty()) return false;
+  ++taken_.back().first;
+  prefix_.clear();
+  prefix_.reserve(taken_.size());
+  for (const auto& [choice, alternatives] : taken_) {
+    prefix_.push_back(choice);
+    (void)alternatives;
+  }
+  taken_.clear();
+  return true;
+}
+
+std::string DfsStrategy::ScheduleString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < taken_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(taken_[i].first);
+    out += '/';
+    out += std::to_string(taken_[i].second);
+  }
+  out += ']';
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// PctStrategy
+// ---------------------------------------------------------------------
+
+PctStrategy::PctStrategy(uint64_t seed, int depth, uint64_t expected_steps)
+    : seed_(seed), rng_state_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (expected_steps == 0) expected_steps = 1;
+  for (int i = 1; i < depth; ++i) {
+    rng_state_ = Mix(rng_state_);
+    change_points_.insert(rng_state_ % expected_steps + 1);
+  }
+}
+
+uint64_t PctStrategy::Mix(uint64_t x) const {
+  // splitmix64 finalizer: cheap, well-distributed, dependency-free.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int PctStrategy::ChooseThread(const std::vector<Tid>& tids) {
+  ++steps_;
+  int best_index = 0;
+  int64_t best_priority = INT64_MIN;
+  for (size_t i = 0; i < tids.size(); ++i) {
+    const Tid t = tids[i];
+    int64_t priority;
+    if (auto it = demoted_.find(t); it != demoted_.end()) {
+      priority = it->second;  // negative: demoted below every base priority
+    } else {
+      // Base priority derived from (seed, tid) alone so it is independent
+      // of OS-dependent registration order.
+      priority = static_cast<int64_t>(
+          Mix(seed_ ^ (static_cast<uint64_t>(t) * 0x2545f4914f6cdd1dULL)) >>
+          1);
+    }
+    if (priority > best_priority) {
+      best_priority = priority;
+      best_index = static_cast<int>(i);
+    }
+  }
+  if (change_points_.count(steps_) != 0) {
+    demoted_[tids[static_cast<size_t>(best_index)]] = next_demotion_--;
+  }
+  return best_index;
+}
+
+int PctStrategy::ChooseValue(int n) {
+  rng_state_ = Mix(rng_state_);
+  return static_cast<int>(rng_state_ % static_cast<uint64_t>(n));
+}
+
+// ---------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------
+
+DfsResult ExploreDfs(const EpisodeFn& episode, uint64_t max_episodes,
+                     InterleaveScheduler::Options options) {
+  DfsStrategy strategy;
+  DfsResult result;
+  for (;;) {
+    if (result.episodes >= max_episodes) break;
+    strategy.BeginEpisode();
+    InterleaveScheduler sched(&strategy, options);
+    sched.Install();
+    const std::string invariant_error = episode(&sched);
+    sched.Uninstall();
+    if (!invariant_error.empty()) {
+      sched.ReportExternalViolation(invariant_error);
+    }
+    ++result.episodes;
+    if (sched.HasViolations()) {
+      result.violations = sched.violations();
+      result.failing_schedule = strategy.ScheduleString();
+      std::fprintf(stderr,
+                   "interleave: DFS violation after %" PRIu64
+                   " schedules; replay prefix %s\n",
+                   result.episodes, result.failing_schedule.c_str());
+      break;
+    }
+    if (!strategy.Advance()) {
+      result.exhausted = true;
+      break;
+    }
+  }
+  return result;
+}
+
+PctResult ExplorePct(const EpisodeFn& episode, uint64_t base_seed,
+                     uint64_t num_seeds, int depth, uint64_t expected_steps,
+                     InterleaveScheduler::Options options) {
+  PctResult result;
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    const uint64_t seed = base_seed + s;
+    PctStrategy strategy(seed, depth, expected_steps);
+    InterleaveScheduler sched(&strategy, options);
+    sched.Install();
+    const std::string invariant_error = episode(&sched);
+    sched.Uninstall();
+    if (!invariant_error.empty()) {
+      sched.ReportExternalViolation(invariant_error);
+    }
+    ++result.episodes;
+    if (sched.HasViolations()) {
+      result.violations = sched.violations();
+      result.failing_seed = seed;
+      std::fprintf(stderr,
+                   "interleave: PCT violation at seed %" PRIu64
+                   " (replay: STATESLICE_INTERLEAVE_SEED=%" PRIu64 ")\n",
+                   seed, seed);
+      break;
+    }
+  }
+  return result;
+}
+
+uint64_t EnvSeedOverride(bool* has_override) {
+  const char* env = std::getenv("STATESLICE_INTERLEAVE_SEED");
+  if (env == nullptr || *env == '\0') {
+    *has_override = false;
+    return 0;
+  }
+  *has_override = true;
+  return std::strtoull(env, nullptr, 10);
+}
+
+uint64_t EnvNightlyScale() {
+  const char* env = std::getenv("STATESLICE_INTERLEAVE_NIGHTLY");
+  if (env == nullptr || *env == '\0') return 1;
+  const uint64_t scale = std::strtoull(env, nullptr, 10);
+  return scale == 0 ? 1 : scale;
+}
+
+}  // namespace stateslice::interleave

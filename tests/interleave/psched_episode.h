@@ -1,0 +1,93 @@
+// ParallelScheduler pipeline episode for the PCT explorer.
+//
+// One episode = a fresh 3-operator pipeline (pass -> pass -> sink) driven
+// by a ParallelScheduler with 3 workers over tiny rings, fed by the
+// registered main thread. With the feeder that is 4 modeled threads —
+// exhaustive DFS is infeasible, so these episodes run under PctStrategy.
+// Post-invariants: every event reaches the sink in order and the processed
+// accounting matches; the close protocol (entry_close / stage_close /
+// closed_check sync points) is exercised on every exit path.
+#ifndef STATESLICE_TESTS_INTERLEAVE_PSCHED_EPISODE_H_
+#define STATESLICE_TESTS_INTERLEAVE_PSCHED_EPISODE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/tuple.h"
+#include "src/runtime/parallel_scheduler.h"
+#include "src/runtime/plan.h"
+#include "src/runtime/sink.h"
+#include "tests/interleave/interleave_scheduler.h"
+
+namespace stateslice::interleave {
+
+// Pass-through operator (local definition: tests/test_util.h pulls in more
+// than the interleave binaries need).
+class PassThrough : public Operator {
+ public:
+  explicit PassThrough(std::string name) : Operator(std::move(name)) {}
+  void Process(Event event, int) override { Emit(0, event); }
+};
+
+struct PschedEpisodeConfig {
+  int events = 6;
+  size_t edge_capacity = 2;  // tiny ring: constant backpressure
+  int quantum = 2;           // small runs: many partial segments
+};
+
+// Stable id for the feeder (worker stages take 0..num_stages-1).
+inline constexpr int kFeederTid = 100;
+
+inline std::string RunPschedEpisode(InterleaveScheduler* sched,
+                                    const PschedEpisodeConfig& cfg) {
+  QueryPlan plan;
+  auto* first = plan.AddOperator(std::make_unique<PassThrough>("p1"));
+  auto* second = plan.AddOperator(std::make_unique<PassThrough>("p2"));
+  auto* sink = plan.AddOperator(std::make_unique<CountingSink>("sink"));
+  EventQueue* entry = plan.AddEntryQueue("entry", first, 0);
+  plan.Connect(first, 0, second, 0);
+  plan.Connect(second, 0, sink, 0);
+  plan.Start();
+
+  sched->ExpectThreads(1);
+  sched->ThreadBegin(kFeederTid);
+  {
+    ParallelScheduler scheduler(&plan,
+                                {.num_workers = 3,
+                                 .edge_capacity = cfg.edge_capacity,
+                                 .quantum = cfg.quantum});
+    scheduler.Start();
+    for (int i = 0; i < cfg.events; ++i) {
+      Tuple t;
+      t.timestamp = i;
+      t.key = i;
+      t.value = 1.0;
+      t.seq = static_cast<uint32_t>(i);
+      scheduler.PushEntry(entry, Event(t));
+    }
+    scheduler.FinishInput();
+    scheduler.Join();
+    if (scheduler.total_processed() !=
+        static_cast<uint64_t>(cfg.events) * 3) {
+      sched->ThreadEnd();
+      return "lost events: total_processed " +
+             std::to_string(scheduler.total_processed()) + ", expected " +
+             std::to_string(cfg.events * 3);
+    }
+  }
+  sched->ThreadEnd();
+
+  if (sink->tuple_count() != static_cast<uint64_t>(cfg.events)) {
+    return "lost events: sink saw " + std::to_string(sink->tuple_count()) +
+           " of " + std::to_string(cfg.events);
+  }
+  if (!sink->saw_ordered_stream()) {
+    return "sink observed out-of-order timestamps";
+  }
+  return "";
+}
+
+}  // namespace stateslice::interleave
+
+#endif  // STATESLICE_TESTS_INTERLEAVE_PSCHED_EPISODE_H_

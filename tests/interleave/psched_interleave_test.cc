@@ -1,0 +1,53 @@
+// PCT exploration of the 4-thread ParallelScheduler pipeline.
+//
+// Exhaustive DFS is infeasible at this thread count, so these tests sweep
+// PCT schedules (randomized priorities + d-1 change points) across many
+// seeds. A failure prints the seed; replay it alone with
+//   STATESLICE_INTERLEAVE_SEED=<seed> ./psched_interleave_test
+// Nightly builds multiply the seed count via STATESLICE_INTERLEAVE_NIGHTLY.
+#include "tests/interleave/psched_episode.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/interleave/interleave_scheduler.h"
+
+namespace stateslice::interleave {
+namespace {
+
+void ExpectCleanPct(const PschedEpisodeConfig& cfg, uint64_t base_seed,
+                    uint64_t num_seeds, int depth) {
+  bool has_override = false;
+  const uint64_t override_seed = EnvSeedOverride(&has_override);
+  if (has_override) {
+    base_seed = override_seed;
+    num_seeds = 1;
+  } else {
+    num_seeds *= EnvNightlyScale();
+  }
+  const PctResult result = ExplorePct(
+      [&cfg](InterleaveScheduler* sched) {
+        return RunPschedEpisode(sched, cfg);
+      },
+      base_seed, num_seeds, depth);
+  ASSERT_TRUE(result.violations.empty())
+      << "seed " << result.failing_seed
+      << " (replay: STATESLICE_INTERLEAVE_SEED=" << result.failing_seed
+      << "): " << result.violations[0].reason << "\n"
+      << result.violations[0].trace;
+  EXPECT_EQ(result.episodes, num_seeds);
+}
+
+TEST(PschedInterleavePctTest, TinyRingsManySeeds) {
+  // Capacity-2 rings + quantum 2: backpressure and partial run segments on
+  // every edge, priority inversions injected at depth 3.
+  ExpectCleanPct({.events = 6, .edge_capacity = 2, .quantum = 2},
+                 /*base_seed=*/1000, /*num_seeds=*/60, /*depth=*/3);
+}
+
+TEST(PschedInterleavePctTest, LargerRunsDeeperSchedules) {
+  ExpectCleanPct({.events = 8, .edge_capacity = 4, .quantum = 3},
+                 /*base_seed=*/2000, /*num_seeds=*/40, /*depth=*/4);
+}
+
+}  // namespace
+}  // namespace stateslice::interleave

@@ -1,0 +1,40 @@
+// Seeded-violation catch test for the ParallelScheduler close protocol.
+//
+// Built with STATESLICE_SEEDED_BUG_3: parallel_scheduler.cc is recompiled
+// into this binary with the done-check's close-flag load weakened from
+// acquire to relaxed (see kClosedLoadOrder there). Without the acquire, a
+// worker that reads closed==true gets no happens-before edge to the
+// producer's final ring publication, so the emptiness probe can read a
+// stale tail and the stage exits with events still in flight. The PCT
+// explorer MUST observe that as lost events (or a slot race) within the
+// seed budget — if it stops catching this, the verification layer is
+// broken, not the scheduler.
+#if !defined(STATESLICE_SEEDED_BUG_3)
+#error "psched_seeded_catch_test.cc requires STATESLICE_SEEDED_BUG_3"
+#endif
+
+#include "tests/interleave/psched_episode.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/interleave/interleave_scheduler.h"
+
+namespace stateslice::interleave {
+namespace {
+
+TEST(PschedSeededBugCatchTest, DroppedCloseAcquireIsCaught) {
+  const PschedEpisodeConfig cfg{
+      .events = 6, .edge_capacity = 2, .quantum = 2};
+  const uint64_t num_seeds = 300 * EnvNightlyScale();
+  const PctResult result = ExplorePct(
+      [&cfg](InterleaveScheduler* sched) {
+        return RunPschedEpisode(sched, cfg);
+      },
+      /*base_seed=*/5000, num_seeds, /*depth=*/3);
+  ASSERT_FALSE(result.violations.empty())
+      << "seeded close-flag bug survived " << result.episodes
+      << " PCT seeds: the explorer has lost its teeth";
+}
+
+}  // namespace
+}  // namespace stateslice::interleave

@@ -1,0 +1,57 @@
+// Seeded-violation catch tests: prove the explorer has teeth.
+//
+// Compiled once per planted bug (tests/interleave/CMakeLists.txt):
+//   STATESLICE_SEEDED_BUG_1  tail publication weakened to relaxed
+//   STATESLICE_SEEDED_BUG_2  run-segment publication weakened to relaxed
+// Both bugs live in spsc_queue.h's spsc_internal order constants, so
+// defining the macro here re-instantiates the (header-only) queue with the
+// weakened order. The DFS explorer MUST find a violation — this test
+// FAILING would mean the verification layer can no longer detect the very
+// bug class it exists for.
+#if !defined(STATESLICE_SEEDED_BUG_1) && !defined(STATESLICE_SEEDED_BUG_2)
+#error "spsc_seeded_catch_test.cc requires a STATESLICE_SEEDED_BUG_N define"
+#endif
+
+#include "tests/interleave/spsc_episodes.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/interleave/interleave_scheduler.h"
+
+namespace stateslice::interleave {
+namespace {
+
+constexpr uint64_t kMaxEpisodes = 400000;
+
+void ExpectDfsCatches(const SpscEpisodeConfig& cfg) {
+  InterleaveScheduler::Options options;
+  options.preemption_bound = 2;
+  const DfsResult result = ExploreDfs(
+      [&cfg](InterleaveScheduler* sched) {
+        return RunSpscEpisode(sched, cfg);
+      },
+      kMaxEpisodes, options);
+  ASSERT_FALSE(result.violations.empty())
+      << "seeded memory-order bug survived " << result.episodes
+      << " schedules: the explorer has lost its teeth";
+  // The weakened publication must surface as the modeled consequence: a
+  // data race on a slot the consumer read without a happens-before edge
+  // (or, downstream of it, a corrupted pop sequence).
+  EXPECT_FALSE(result.failing_schedule.empty());
+}
+
+#if defined(STATESLICE_SEEDED_BUG_1)
+TEST(SpscSeededBugCatchTest, WeakenedTailReleaseIsCaught) {
+  ExpectDfsCatches({.capacity = 2, .items = 3});
+}
+#endif
+
+#if defined(STATESLICE_SEEDED_BUG_2)
+TEST(SpscSeededBugCatchTest, WeakenedRunPublicationIsCaught) {
+  ExpectDfsCatches(
+      {.capacity = 4, .items = 6, .push_chunk = 3, .pop_chunk = 2});
+}
+#endif
+
+}  // namespace
+}  // namespace stateslice::interleave

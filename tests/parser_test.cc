@@ -146,6 +146,38 @@ TEST(ParserTest, ErrorNonPositiveWindow) {
   }
 }
 
+TEST(ParserTest, ErrorNonFiniteOrOverflowingWindow) {
+  // Regression pin for a fuzz finding: NaN/inf magnitudes and magnitudes
+  // whose tick/row conversion overflows int64 used to reach the
+  // static_cast in SecondsToTicks/Count — undefined behavior that only
+  // looked rejected because x86 happens to produce INT64_MIN. They must be
+  // rejected by validation, with ok=false and a message.
+  // (Exponent forms like "1e300" tokenize as two tokens and are rejected
+  // earlier as an unknown unit, so the overflow pins use digit strings.)
+  for (const char* window :
+       {"nan s", "inf s", "-inf min",
+        "1000000000000000000000000000 s",        // 1e27 s  -> 1e33 ticks
+        "9000000000000000000000000000000 rows",  // 9e30 rows
+        "100000000000000000 hours"}) {           // 1e17 h  -> 3.6e26 ticks
+    const ParseResult r = ParseQuery(
+        std::string("SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW ") +
+        window);
+    EXPECT_FALSE(r.ok) << window;
+    EXPECT_NE(r.error.find("window magnitude out of range"),
+              std::string::npos)
+        << window << ": " << r.error;
+  }
+}
+
+TEST(ParserTest, LargeButRepresentableWindowStillParses) {
+  // Just inside the validation bound: a century-scale window is absurd but
+  // representable, and must not be caught by the overflow rejection.
+  const ParseResult r = ParseQuery(
+      "SELECT * FROM S1 A, S2 B WHERE A.k = B.k WINDOW 1000000000 s");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.query.window.extent, SecondsToTicks(1e9));
+}
+
 TEST(ParserTest, ToCqlRoundTrip) {
   // Parse -> ToCql -> parse reproduces window and selections exactly.
   const char* texts[] = {

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Line-coverage driver for the `coverage` CMake preset.
+#
+# Configures/builds the preset if needed, runs the test suite, aggregates
+# per-line counters with `gcov --json-format` (no gcovr/lcov install
+# required), writes an lcov-format tracefile (coverage.info) suitable for
+# genhtml/Coveralls, prints a per-file summary for src/, and optionally
+# enforces a line-coverage floor over src/runtime/ — the lock-free code the
+# interleave explorer exists to keep honest.
+#
+# Usage:
+#   tools/coverage.sh                          # build, test, summarize
+#   tools/coverage.sh --min-runtime 80         # fail below 80% in src/runtime/
+#   tools/coverage.sh --no-tests               # just re-aggregate counters
+#   tools/coverage.sh --build-dir DIR --out FILE
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-coverage
+MIN_RUNTIME=""
+RUN_TESTS=1
+OUT=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)   BUILD_DIR="$2"; shift 2 ;;
+    --min-runtime) MIN_RUNTIME="$2"; shift 2 ;;
+    --no-tests)    RUN_TESTS=0; shift ;;
+    --out)         OUT="$2"; shift 2 ;;
+    -h|--help)     grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+OUT="${OUT:-${BUILD_DIR}/coverage.info}"
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DSTATESLICE_COVERAGE=ON -DSTATESLICE_BUILD_BENCHES=OFF \
+    -DSTATESLICE_BUILD_EXAMPLES=OFF
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+if [[ "${RUN_TESTS}" == 1 ]]; then
+  find "${BUILD_DIR}" -name '*.gcda' -delete
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure
+fi
+
+GCOV="${GCOV:-gcov}"
+export BUILD_DIR OUT GCOV MIN_RUNTIME
+
+python3 - <<'PYEOF'
+"""Aggregates gcov JSON over every .gcda, emits lcov + a summary table."""
+import collections
+import gzip
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+build_dir = Path(os.environ["BUILD_DIR"]).resolve()
+out_path = Path(os.environ["OUT"])
+gcov = os.environ["GCOV"]
+min_runtime = os.environ.get("MIN_RUNTIME") or None
+repo = Path.cwd().resolve()
+
+gcdas = sorted(build_dir.rglob("*.gcda"))
+if not gcdas:
+    sys.exit(f"no .gcda counters under {build_dir}; run the tests first")
+
+# file -> line -> hit count (summed across the TUs that include the file,
+# matching lcov's merge semantics for headers).
+counts = collections.defaultdict(collections.Counter)
+for gcda in gcdas:
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", "--branch-probabilities",
+         str(gcda)],
+        capture_output=True, cwd=gcda.parent, check=False)
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda.name}: "
+              f"{proc.stderr.decode().strip()}", file=sys.stderr)
+        continue
+    # --stdout may concatenate one JSON document per .gcno; gcov emits them
+    # newline-separated.
+    for doc in proc.stdout.splitlines():
+        if not doc.strip():
+            continue
+        data = json.loads(gzip.decompress(doc) if doc[:2] == b"\x1f\x8b"
+                          else doc)
+        for f in data.get("files", []):
+            src = Path(f["file"])
+            if not src.is_absolute():
+                src = (gcda.parent / src).resolve()
+            try:
+                rel = src.resolve().relative_to(repo).as_posix()
+            except ValueError:
+                continue  # system/toolchain header
+            if not rel.startswith("src/"):
+                continue
+            for line in f.get("lines", []):
+                counts[rel][line["line_number"]] += line["count"]
+
+out_path.parent.mkdir(parents=True, exist_ok=True)
+with open(out_path, "w") as f:
+    f.write("TN:stateslice\n")
+    for rel in sorted(counts):
+        lines = counts[rel]
+        f.write(f"SF:{repo / rel}\n")
+        for ln in sorted(lines):
+            f.write(f"DA:{ln},{lines[ln]}\n")
+        f.write(f"LH:{sum(1 for c in lines.values() if c)}\n")
+        f.write(f"LF:{len(lines)}\n")
+        f.write("end_of_record\n")
+
+print(f"\nlcov tracefile: {out_path}")
+print(f"{'file':<44} {'lines':>7} {'hit':>7} {'cover':>8}")
+totals = collections.Counter()
+for rel in sorted(counts):
+    lf = len(counts[rel])
+    lh = sum(1 for c in counts[rel].values() if c)
+    totals["lf"] += lf
+    totals["lh"] += lh
+    if rel.startswith("src/runtime/"):
+        totals["rt_lf"] += lf
+        totals["rt_lh"] += lh
+    print(f"{rel:<44} {lf:>7} {lh:>7} {100.0 * lh / lf:>7.1f}%")
+pct = 100.0 * totals["lh"] / totals["lf"] if totals["lf"] else 0.0
+print(f"{'TOTAL src/':<44} {totals['lf']:>7} {totals['lh']:>7} "
+      f"{pct:>7.1f}%")
+rt_pct = (100.0 * totals["rt_lh"] / totals["rt_lf"]
+          if totals["rt_lf"] else 0.0)
+print(f"{'TOTAL src/runtime/':<44} {totals['rt_lf']:>7} "
+      f"{totals['rt_lh']:>7} {rt_pct:>7.1f}%")
+
+if min_runtime is not None:
+    floor = float(min_runtime)
+    if rt_pct < floor:
+        sys.exit(f"\ncoverage gate FAILED: src/runtime/ line coverage "
+                 f"{rt_pct:.1f}% is below the {floor:.1f}% floor")
+    print(f"\ncoverage gate passed: src/runtime/ {rt_pct:.1f}% >= "
+          f"{floor:.1f}% floor")
+PYEOF

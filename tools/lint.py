@@ -10,6 +10,12 @@ Rules (tools/lint_rules/):
                       cost counters via ChargeProbe.
   hot-path-alloc      per-event hot-path files don't heap-allocate.
   header-guards       src/ headers carry canonical include guards.
+  atomic-memory-order lock-free files spell out an explicit memory order on
+                      every std::atomic op; memory_order_relaxed needs a
+                      justification comment.
+  sync-point-coverage atomic sites in lock-free files route through the
+                      STATESLICE_ATOMIC_* sync-point macros so the
+                      interleave explorer (tests/interleave/) sees them.
 
 Usage:
   tools/lint.py [--root DIR]      lint the repo; exit 1 on findings

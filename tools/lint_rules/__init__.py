@@ -7,11 +7,13 @@ Each rule module exposes:
   check(relpath, text) -> [common.Finding]
 """
 
+from . import atomic_memory_order
 from . import check_side_effects
 from . import header_guards
 from . import hot_path_alloc
 from . import no_raw_checks
 from . import probe_charges
+from . import sync_point_coverage
 
 ALL_RULES = [
     no_raw_checks,
@@ -19,4 +21,6 @@ ALL_RULES = [
     probe_charges,
     hot_path_alloc,
     header_guards,
+    atomic_memory_order,
+    sync_point_coverage,
 ]

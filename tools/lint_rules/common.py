@@ -57,6 +57,32 @@ def allowed(original_lines, line_index, rule):
     return False
 
 
+def statement_start_line(stripped_text, match_pos):
+    """0-based line of the statement containing `match_pos`: scans the
+    stripped text backwards to the previous ';', '{' or '}' so findings on
+    (and suppressions above) multi-line statements anchor to the line a
+    human reads as the site."""
+    boundary = max(stripped_text.rfind(c, 0, match_pos)
+                   for c in (";", "{", "}"))
+    start = boundary + 1
+    while start < match_pos and stripped_text[start] in " \t\n":
+        start += 1
+    return stripped_text.count("\n", 0, start)
+
+
+def allowed_statement(original_lines, stripped_text, match_pos, rule):
+    """True when the statement containing `match_pos`, or the line above
+    it, carries an allow(<rule>) suppression. For single-line statements
+    this degenerates to allowed()."""
+    first = statement_start_line(stripped_text, match_pos)
+    last = stripped_text.count("\n", 0, match_pos)
+    for i in range(max(first - 1, 0), min(last, len(original_lines) - 1) + 1):
+        m = _ALLOW_RE.search(original_lines[i])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
 def balanced_argument(text, open_paren_index):
     """Returns (argument_text, end_index) for the parenthesized region
     starting at `open_paren_index` (which must be '('), or (None, -1) when

@@ -1,0 +1,20 @@
+// Fixture: defaulted (seq_cst) atomic ops and an unjustified relaxed in a
+// lock-free file must each produce a finding.
+#include <atomic>
+
+struct Ring {
+  std::atomic<unsigned> tail{0};
+  std::atomic<unsigned> head{0};
+
+  void Publish(unsigned t) {
+    tail.store(t);  // no explicit order: finding
+  }
+
+  unsigned Observe() {
+    return head.load();  // no explicit order: finding
+  }
+
+  unsigned Peek() {
+    return tail.load(std::memory_order_relaxed);  // unjustified: finding
+  }
+};

@@ -1,0 +1,25 @@
+// Fixture: explicit orders, named order constants, and justified relaxed
+// uses are all clean.
+#include <atomic>
+
+inline constexpr auto kTailPublishOrder = std::memory_order_release;
+
+struct Ring {
+  std::atomic<unsigned> tail{0};
+  std::atomic<unsigned> head{0};
+
+  void Publish(unsigned t) { tail.store(t, kTailPublishOrder); }
+
+  unsigned Observe() { return head.load(std::memory_order_acquire); }
+
+  unsigned Peek() {
+    // lint: allow(atomic-memory-order) -- single-writer self-read
+    return tail.load(std::memory_order_relaxed);
+  }
+
+  unsigned PeekMultiline() {
+    // lint: allow(atomic-memory-order) -- self-read; spans lines like macros
+    return tail.load(
+        std::memory_order_relaxed);
+  }
+};

@@ -1,0 +1,11 @@
+// Fixture: a raw atomic op in a lock-free runtime file bypasses the
+// interleave explorer's instrumentation and must produce a finding.
+#include <atomic>
+
+struct Ring {
+  std::atomic<unsigned> tail{0};
+
+  void Publish(unsigned t) {
+    tail.store(t, std::memory_order_release);  // raw: finding
+  }
+};
