@@ -30,6 +30,8 @@ struct ScalingRun {
   int stages = 1;
   uint64_t edge_events = 0;
   size_t edge_hwm = 0;
+  // Per-stage busy (vs idle-polling) wall-clock fraction, stage order.
+  std::vector<double> stage_busy;
 };
 
 // Builds a fresh plan (join state is stateful; every run needs its own)
@@ -51,6 +53,7 @@ ScalingRun RunOnce(const std::vector<ContinuousQuery>& queries,
   out.stages = out.run.stats.worker_threads;
   out.edge_events = out.run.stats.parallel_edge_events;
   out.edge_hwm = out.run.stats.parallel_edge_high_water_mark;
+  out.stage_busy = out.run.stats.stage_busy_fraction;
   return out;
 }
 
@@ -141,6 +144,23 @@ int main(int argc, char** argv) {
         static_cast<double>(par.edge_events)));
     Set(&row, "edge_high_water_mark", JsonScalar::Num(
         static_cast<double>(par.edge_hwm)));
+    // Per-stage occupancy: the spread exposes the heaviest-stage
+    // bottleneck that caps pipeline speedup (and that the sharded mode
+    // sidesteps by replicating the whole chain per key partition).
+    double busy_sum = 0;
+    double busy_max = 0;
+    for (size_t i = 0; i < par.stage_busy.size(); ++i) {
+      Set(&row, "stage" + std::to_string(i) + "_busy_fraction",
+          JsonScalar::Num(par.stage_busy[i]));
+      busy_sum += par.stage_busy[i];
+      busy_max = std::max(busy_max, par.stage_busy[i]);
+    }
+    if (!par.stage_busy.empty()) {
+      Set(&row, "avg_stage_busy_fraction",
+          JsonScalar::Num(busy_sum /
+                          static_cast<double>(par.stage_busy.size())));
+      Set(&row, "max_stage_busy_fraction", JsonScalar::Num(busy_max));
+    }
     AddRunMetrics(&row, par.run);
   }
 

@@ -1,0 +1,197 @@
+// Sharded-runtime scaling bench: key-partitioned shards vs pipeline
+// stages on a Zipf-skewed equi-join workload.
+//
+// The stage-parallel runtime splits the shared chain into contiguous
+// pipeline stages, so its throughput is capped by the heaviest stage.
+// The sharded runtime replicates the whole chain per key partition
+// instead: every shard processes its keys independently and the skewed
+// (hot-key) shard sheds whole EventRuns into its overflow deque, where
+// idle workers steal them. This bench runs the same Engine workload
+// under the deterministic scheduler (result oracle + 1x reference), the
+// parallel pipeline at 4 workers (the mode the tentpole claim is
+// against), and the sharded runtime at 1/2/4/8 shards, reporting ingest
+// throughput, the sharded-vs-parallel ratio, and the steal/spill
+// counters that prove work-stealing engaged.
+//
+// Shard parallelism needs cores: on a single-core machine the shard
+// sweep degenerates to ~1x (workers timeshare) — the ≥2x-vs-parallel
+// acceptance floor (and the steal-counter floor that rides on real
+// worker overlap) is therefore enforced only when hardware_concurrency
+// reports at least 4; the ratio and counters are always reported.
+//
+//   $ ./bench/bench_shard_scaling [--quick] [--json BENCH_....json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace stateslice;
+using namespace stateslice::bench;
+
+namespace {
+
+struct ShardRun {
+  double wall_seconds = 0;
+  uint64_t input_tuples = 0;
+  uint64_t results = 0;
+  uint64_t steals = 0;
+  uint64_t spilled_runs = 0;
+  int workers = 1;
+};
+
+// One Engine run over the merged arrivals. Each run builds a fresh
+// Engine (join state is stateful) with the same four selection-free
+// time-window queries sharing one Mem-Opt sliced chain.
+ShardRun RunOnce(const Workload& workload, ExecutionMode mode, int workers,
+                 size_t edge_capacity) {
+  Engine::Options options;
+  options.condition = workload.condition;
+  options.mode = mode;
+  options.worker_threads = workers;
+  options.shard_count = workers;
+  options.parallel_edge_capacity = edge_capacity;
+  Engine engine(options);
+  for (double w : {2.0, 6.0, 10.0, 14.0}) {
+    ContinuousQuery q;
+    q.window = WindowSpec::TimeSeconds(w);
+    SLICE_CHECK(engine.RegisterQuery(q).valid());
+  }
+
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  const auto start = std::chrono::steady_clock::now();
+  for (const Tuple& t : merged) {
+    engine.Push(t.side, t);
+  }
+  engine.Finish();
+  ShardRun out;
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  const RunStats stats = engine.Snapshot();
+  out.input_tuples = stats.input_tuples;
+  out.results = stats.results_delivered;
+  out.steals = stats.shard_steals;
+  out.spilled_runs = stats.shard_spilled_runs;
+  out.workers = stats.worker_threads;
+  return out;
+}
+
+double Throughput(const ShardRun& r) {
+  return r.wall_seconds > 0
+             ? static_cast<double>(r.input_tuples) / r.wall_seconds
+             : 0.0;
+}
+
+void AddRow(BenchReport* report, const char* mode, int workers,
+            const ShardRun& run, double vs_parallel4) {
+  JsonObject& row = report->AddRow();
+  Set(&row, "mode", JsonScalar::Str(mode));
+  Set(&row, "workers", JsonScalar::Num(workers));
+  Set(&row, "input_tuples",
+      JsonScalar::Num(static_cast<double>(run.input_tuples)));
+  Set(&row, "results_delivered",
+      JsonScalar::Num(static_cast<double>(run.results)));
+  Set(&row, "wall_seconds", JsonScalar::Num(run.wall_seconds));
+  Set(&row, "throughput_tuples_per_wall_sec",
+      JsonScalar::Num(Throughput(run)));
+  Set(&row, "speedup_vs_parallel4", JsonScalar::Num(vs_parallel4));
+  Set(&row, "shard_steals",
+      JsonScalar::Num(static_cast<double>(run.steals)));
+  Set(&row, "shard_spilled_runs",
+      JsonScalar::Num(static_cast<double>(run.spilled_runs)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  if (!args.ok) return 2;
+  const double duration_s = args.quick ? 30 : 90;
+  const double rate = 60;
+  const int64_t key_domain = 16;
+  const double zipf_s = 1.2;  // hottest key draws ~40% of arrivals
+  // Small ingress rings force the hot shard to spill stealable runs.
+  const size_t edge_capacity = 32;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  WorkloadSpec wspec;
+  wspec.rate_a = wspec.rate_b = rate;
+  wspec.duration_s = duration_s;
+  wspec.seed = 23;
+  Workload workload = GenerateWorkload(wspec);
+  RekeyForEquiJoinZipf(&workload, key_domain, zipf_s, /*key_seed=*/97);
+
+  BenchReport report;
+  report.bench = "shard_scaling";
+  report.SetConfig("quick", JsonScalar::Bool(args.quick));
+  report.SetConfig("duration_s", JsonScalar::Num(duration_s));
+  report.SetConfig("rate", JsonScalar::Num(rate));
+  report.SetConfig("key_domain", JsonScalar::Num(
+      static_cast<double>(key_domain)));
+  report.SetConfig("zipf_s", JsonScalar::Num(zipf_s));
+  report.SetConfig("edge_capacity", JsonScalar::Num(
+      static_cast<double>(edge_capacity)));
+  report.SetConfig("num_queries", JsonScalar::Num(4));
+  report.SetConfig("hardware_concurrency", JsonScalar::Num(hw));
+
+  std::printf("sharded scaling (4 shared-chain queries, Zipf(%g) keys over "
+              "%lld, %g t/s, %g s, %u hardware threads)\n\n",
+              zipf_s, static_cast<long long>(key_domain), rate, duration_s,
+              hw);
+
+  const ShardRun det =
+      RunOnce(workload, ExecutionMode::kDeterministic, 1, edge_capacity);
+  const ShardRun par4 =
+      RunOnce(workload, ExecutionMode::kParallel, 4, edge_capacity);
+  // Every mode must deliver exactly the deterministic answer.
+  SLICE_CHECK_EQ(par4.results, det.results);
+  const double par4_tput = Throughput(par4);
+
+  std::printf("%-14s %8s %14s %12s %10s %10s\n", "mode", "workers",
+              "tuples/s", "vs par-4", "steals", "spills");
+  std::printf("%-14s %8d %14.0f %11.2fx %10s %10s\n", "deterministic", 1,
+              Throughput(det),
+              par4_tput > 0 ? Throughput(det) / par4_tput : 0.0, "-", "-");
+  AddRow(&report, "deterministic", 1, det,
+         par4_tput > 0 ? Throughput(det) / par4_tput : 0.0);
+  std::printf("%-14s %8d %14.0f %11.2fx %10s %10s\n", "parallel", par4.workers,
+              par4_tput, 1.0, "-", "-");
+  AddRow(&report, "parallel", 4, par4, 1.0);
+
+  double sharded4_ratio = 0.0;
+  uint64_t sharded4_steals = 0;
+  for (const int shards : {1, 2, 4, 8}) {
+    const ShardRun run =
+        RunOnce(workload, ExecutionMode::kSharded, shards, edge_capacity);
+    SLICE_CHECK_EQ(run.results, det.results);
+    const double ratio = par4_tput > 0 ? Throughput(run) / par4_tput : 0.0;
+    if (shards == 4) {
+      sharded4_ratio = ratio;
+      sharded4_steals = run.steals;
+    }
+    std::printf("%-14s %8d %14.0f %11.2fx %10llu %10llu\n",
+                ("sharded-" + std::to_string(shards)).c_str(), run.workers,
+                Throughput(run), ratio,
+                static_cast<unsigned long long>(run.steals),
+                static_cast<unsigned long long>(run.spilled_runs));
+    AddRow(&report, "sharded", shards, run, ratio);
+  }
+
+  std::printf("\nexpected: sharded-4 beats parallel-4 by >=2x on machines "
+              "with >=4 free cores (shards replicate the whole chain, so "
+              "no single stage caps throughput) with steals > 0 absorbing "
+              "the Zipf hot-key shard; ~1x on fewer cores, where workers "
+              "timeshare.\n");
+
+  // The tentpole acceptance floor — only meaningful with real worker
+  // overlap, so gated on hardware_concurrency (the JSON always carries
+  // the measured ratio and counters for offline inspection).
+  if (hw >= 4) {
+    SLICE_CHECK(sharded4_ratio >= 2.0);
+    SLICE_CHECK(sharded4_steals > 0);
+  }
+  return FinishReport(args, report);
+}

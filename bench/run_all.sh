@@ -59,6 +59,7 @@ figure_benches=(
   bench_multiway_scaling
   bench_parallel_scaling
   bench_probe_index
+  bench_shard_scaling
 )
 
 failures=0

@@ -34,6 +34,7 @@ Engine::Engine(Options options)
 
 Engine::~Engine() {
   if (par_scheduler_ != nullptr) PauseParallel();
+  if (shard_scheduler_ != nullptr) PauseSharded();
 }
 
 // ------------------------------------------------------------ query churn
@@ -71,6 +72,19 @@ bool Engine::ValidateNewQuery(const ContinuousQuery& query,
   if (query.window.extent <= 0) {
     *error = "window must be positive";
     return false;
+  }
+  if (options_.mode == ExecutionMode::kSharded) {
+    // Key partitioning only covers predicates that pair equal keys (so a
+    // key's matches all live in one shard) over time windows (count
+    // windows depend on the global arrival sequence).
+    if (options_.condition.kind != JoinCondition::Kind::kEquiKey) {
+      *error = "sharded execution requires the equi-key join condition";
+      return false;
+    }
+    if (query.window.kind != WindowKind::kTime) {
+      *error = "sharded execution requires time-based windows";
+      return false;
+    }
   }
   if (active_queries() >= static_cast<size_t>(kMaxQueries)) {
     // Lineage tracks one bit per query; the stream count of each query
@@ -296,6 +310,9 @@ bool Engine::CanMigrateAdd(const ContinuousQuery& query) const {
       options_.use_lineage) {
     return false;
   }
+  // Sharded churn always drains and rebuilds: ChainMigrator would have to
+  // mutate every replica plus the merge plan in lock-step.
+  if (options_.mode == ExecutionMode::kSharded) return false;
   // In-place migration is binary-chain-only: a multi-way newcomer, or any
   // running multi-level tree, rebuilds (cutoff recorded in
   // rebuild_cutoffs).
@@ -331,6 +348,7 @@ bool Engine::CanMigrateRemove() const {
       built_.num_levels != 1) {
     return false;
   }
+  if (options_.mode == ExecutionMode::kSharded) return false;  // see Add
   for (const QueryRecord& r : records_) {
     if (r.active && !r.query.Unfiltered()) return false;
   }
@@ -354,32 +372,48 @@ void Engine::BuildPlan() {
   bopt.collect_results = options_.collect_results;
   bopt.use_lineage = options_.use_lineage &&
                      options_.strategy == SharingStrategy::kStateSlice;
-  switch (options_.strategy) {
-    case SharingStrategy::kStateSlice: {
-      // The tree builders yield a single-level tree for binary workloads,
-      // which BuildStateSlicePlan wires exactly as the historical chain.
-      const JoinTreePlan tree =
-          options_.objective == ChainObjective::kMemOpt
-              ? BuildMemOptTree(queries)
-              : BuildCpuOptTree(queries, options_.cost_params);
-      built_ = BuildStateSlicePlan(queries, tree, bopt);
-      break;
-    }
-    case SharingStrategy::kPullUp:
-      built_ = BuildPullUpPlan(queries, bopt);
-      break;
-    case SharingStrategy::kPushDown:
-      built_ = BuildPushDownPlan(queries, bopt);
-      break;
-    case SharingStrategy::kUnshared:
-      built_ = BuildUnsharedPlans(queries, bopt);
-      break;
+  // Resolve the state-slice tree once; sharded mode builds one plan per
+  // replica from the same tree. The tree builders yield a single-level
+  // tree for binary workloads, which BuildStateSlicePlan wires exactly as
+  // the historical chain.
+  JoinTreePlan tree;
+  if (options_.strategy == SharingStrategy::kStateSlice) {
+    tree = options_.objective == ChainObjective::kMemOpt
+               ? BuildMemOptTree(queries)
+               : BuildCpuOptTree(queries, options_.cost_params);
   }
-  if (options_.mode == ExecutionMode::kDeterministic) {
-    // run_length == 0 keeps the paper-faithful default quantum of 8.
-    det_scheduler_ = std::make_unique<RoundRobinScheduler>(
-        built_.plan.get(),
-        options_.run_length > 0 ? options_.run_length : 8);
+  const auto build_one = [&](const BuildOptions& opt) -> BuiltPlan {
+    switch (options_.strategy) {
+      case SharingStrategy::kStateSlice:
+        return BuildStateSlicePlan(queries, tree, opt);
+      case SharingStrategy::kPullUp:
+        return BuildPullUpPlan(queries, opt);
+      case SharingStrategy::kPushDown:
+        return BuildPushDownPlan(queries, opt);
+      case SharingStrategy::kUnshared:
+        return BuildUnsharedPlans(queries, opt);
+    }
+    SLICE_CHECK(false);  // unreachable: exhaustive switch
+    return BuiltPlan{};
+  };
+  if (options_.mode == ExecutionMode::kSharded) {
+    // Key-partitioned replicas; the merge plan carries the authoritative
+    // sinks (and the CollectingSinks, when enabled), so replicas skip
+    // result collection.
+    BuildOptions shard_opt = bopt;
+    shard_opt.collect_results = false;
+    const int shards = ShardCount();
+    last_shard_count_ = shards;
+    sharded_ = std::make_unique<ShardedPlanSet>(BuildShardedPlanSet(
+        shards, queries, bopt, [&] { return build_one(shard_opt); }));
+  } else {
+    built_ = build_one(bopt);
+    if (options_.mode == ExecutionMode::kDeterministic) {
+      // run_length == 0 keeps the paper-faithful default quantum of 8.
+      det_scheduler_ = std::make_unique<RoundRobinScheduler>(
+          built_.plan.get(),
+          options_.run_length > 0 ? options_.run_length : 8);
+    }
   }
   for (SubscriptionRecord& sub : subscriptions_) {
     const QueryRecord* rec = FindRecord(sub.query_token);
@@ -387,6 +421,9 @@ void Engine::BuildPlan() {
   }
   if (options_.mode == ExecutionMode::kParallel && !finished_) {
     StartParallel();
+  }
+  if (options_.mode == ExecutionMode::kSharded && !finished_) {
+    StartSharded();
   }
 }
 
@@ -398,26 +435,75 @@ void Engine::EnsureBuilt() {
 }
 
 void Engine::HarvestSinks() {
+  // In sharded mode the authoritative sinks live on the merge plan.
+  BuiltPlan& rp = result_plan();
   for (QueryRecord& r : records_) {
     if (!r.active) continue;
     const int qid = r.query.id;
-    if (built_.sinks[qid] != nullptr) {
-      r.delivered += built_.sinks[qid]->result_count();
+    if (rp.sinks[qid] != nullptr) {
+      r.delivered += rp.sinks[qid]->result_count();
     }
-    if (qid < static_cast<int>(built_.collectors.size()) &&
-        built_.collectors[qid] != nullptr) {
-      MergeMultiset(built_.collectors[qid]->ResultMultiset(), &r.collected);
+    if (qid < static_cast<int>(rp.collectors.size()) &&
+        rp.collectors[qid] != nullptr) {
+      MergeMultiset(rp.collectors[qid]->ResultMultiset(), &r.collected);
     }
   }
 }
 
 void Engine::FoldPlanCost() {
+  if (sharded_ != nullptr) {
+    for (const BuiltPlan& shard : sharded_->shards) {
+      AddCost(shard.plan->cost_counters(), &cost_accum_);
+    }
+    AddCost(sharded_->merge.plan->cost_counters(), &cost_accum_);
+    return;
+  }
   AddCost(built_.plan->cost_counters(), &cost_accum_);
 }
 
 void Engine::TearDownPlan() {
   SLICE_CHECK(running());
   if (par_scheduler_ != nullptr) PauseParallel();
+  if (sharded_ != nullptr) {
+    PauseSharded();  // no-op if already paused
+    // Flush each replica: drain, Finish (emits the kMaxTime punctuations
+    // the merge unions need to release everything), drain again, then
+    // relay the exit-tap tails into the merge plan.
+    size_t state_tuples = 0;
+    size_t queue_events = 0;
+    const int nq = sharded_->num_queries();
+    for (int s = 0; s < sharded_->num_shards(); ++s) {
+      BuiltPlan& shard = sharded_->shards[s];
+      RoundRobinScheduler drain(shard.plan.get());
+      drain.RunUntilQuiescent();
+      state_tuples += shard.plan->TotalStateSize();
+      queue_events += shard.plan->TotalQueueSize();
+      shard.plan->FinishAll();
+      drain.RunUntilQuiescent();
+      events_accum_ += drain.total_processed();
+      EventRun relay;
+      for (int q = 0; q < nq; ++q) {
+        while (sharded_->exits[s][q]->DrainRun(&relay, 256) > 0) {
+          sharded_->merge_entries[s][q]->PushRun(&relay);
+        }
+      }
+    }
+    RoundRobinScheduler mdrain(sharded_->merge.plan.get());
+    mdrain.RunUntilQuiescent();
+    memory_samples_.push_back(MemorySample{
+        .time = watermark_,
+        .state_tuples = state_tuples + sharded_->merge.plan->TotalStateSize(),
+        .queue_events = queue_events + sharded_->merge.plan->TotalQueueSize(),
+    });
+    sharded_->merge.plan->FinishAll();
+    mdrain.RunUntilQuiescent();
+    events_accum_ += mdrain.total_processed();
+    HarvestSinks();
+    FoldPlanCost();
+    sharded_.reset();
+    for (SubscriptionRecord& sub : subscriptions_) sub.sink = nullptr;
+    return;
+  }
   RoundRobinScheduler drain(built_.plan.get());
   drain.RunUntilQuiescent();
   memory_samples_.push_back(MemorySample{
@@ -470,12 +556,51 @@ void Engine::PauseParallel() {
   parallel_edge_events_accum_ += par_scheduler_->edges_total_pushed();
   parallel_edge_hwm_ =
       std::max(parallel_edge_hwm_, par_scheduler_->edges_high_water_mark());
+  // Occupancy is a per-segment ratio, not a sum: keep the latest segment's
+  // fractions (benches pause exactly once, after the measured feed).
+  parallel_stage_busy_ = par_scheduler_->stage_busy_fractions();
   par_scheduler_.reset();
+}
+
+int Engine::ShardCount() const {
+  if (options_.shard_count > 0) return options_.shard_count;
+  if (options_.worker_threads > 0) return options_.worker_threads;
+  const unsigned hw = std::thread::hardware_concurrency();  // may be 0
+  return static_cast<int>(hw > 1 ? hw - 1 : 1);
+}
+
+void Engine::StartSharded() {
+  SLICE_CHECK(sharded_ != nullptr);
+  SLICE_CHECK(shard_scheduler_ == nullptr);
+  ShardedSchedulerOptions sopt;
+  sopt.ring_capacity = options_.parallel_edge_capacity;
+  if (options_.run_length > 0) sopt.quantum = options_.run_length;
+  shard_scheduler_ =
+      std::make_unique<ShardedScheduler>(sharded_.get(), sopt);
+  shard_scheduler_->Start();
+}
+
+void Engine::PauseSharded() {
+  if (shard_scheduler_ == nullptr) return;
+  shard_scheduler_->FinishInput();
+  shard_scheduler_->Join();
+  poll_pending_ +=
+      shard_scheduler_->total_processed() - poll_segment_reported_;
+  poll_segment_reported_ = 0;
+  events_accum_ += shard_scheduler_->total_processed();
+  parallel_edge_events_accum_ += shard_scheduler_->edges_total_pushed();
+  parallel_edge_hwm_ = std::max(parallel_edge_hwm_,
+                                shard_scheduler_->edges_high_water_mark());
+  shard_steals_accum_ += shard_scheduler_->steals();
+  shard_spilled_accum_ += shard_scheduler_->spilled_runs();
+  shard_scheduler_.reset();
 }
 
 void Engine::QuiesceForSurgery() {
   if (par_scheduler_ != nullptr) {
     PauseParallel();
+  } else if (shard_scheduler_ != nullptr) {
+    PauseSharded();
   } else if (det_scheduler_ != nullptr) {
     det_scheduler_->RunUntilQuiescent();
   }
@@ -486,6 +611,11 @@ void Engine::ResumeAfterSurgery() {
       options_.mode == ExecutionMode::kParallel &&
       par_scheduler_ == nullptr) {
     StartParallel();
+  }
+  if (running() && !finished_ &&
+      options_.mode == ExecutionMode::kSharded &&
+      shard_scheduler_ == nullptr) {
+    StartSharded();
   }
 }
 
@@ -529,6 +659,8 @@ void Engine::Push(StreamId stream, Tuple&& tuple) {
   ++input_tuples_;
   if (par_scheduler_ != nullptr) {
     par_scheduler_->PushEntry(built_.entry, std::move(tuple));
+  } else if (shard_scheduler_ != nullptr) {
+    shard_scheduler_->PushEntry(Event(std::move(tuple)));
   } else {
     built_.entry->Push(std::move(tuple));
     if (options_.auto_drain && det_scheduler_ != nullptr) {
@@ -579,6 +711,19 @@ void Engine::PushBatch(StreamId stream, std::span<const Tuple> tuples) {
       batch_run_.push_back(Event(std::move(staged)));
     }
     par_scheduler_->PushEntryRun(built_.entry, &batch_run_);
+  } else if (shard_scheduler_ != nullptr) {
+    // Same staging as parallel mode; the router partitions the run. A
+    // flush at the batch boundary bounds how long a partial spill run can
+    // sit staged in the router (batch-granular visibility).
+    batch_run_.clear();
+    batch_run_.reserve(tuples.size());
+    for (const Tuple& t : tuples) {
+      Tuple staged = t;
+      staged.side = stream;
+      batch_run_.push_back(Event(std::move(staged)));
+    }
+    shard_scheduler_->PushEntryRun(&batch_run_);
+    shard_scheduler_->FlushInput();
   } else {
     // Deterministic mode owns the entry queue outright: write each event
     // straight into the ring (no staging round trip), then drain once for
@@ -612,6 +757,16 @@ uint64_t Engine::Poll(uint64_t max_events) {
     poll_pending_ = 0;
     return delta;
   }
+  if (shard_scheduler_ != nullptr) {
+    // Flush the router's staged spill runs so single-Push feeds make
+    // progress even below the spill-run granule, then report as above.
+    shard_scheduler_->FlushInput();
+    const uint64_t current = shard_scheduler_->total_processed();
+    const uint64_t delta = poll_pending_ + (current - poll_segment_reported_);
+    poll_segment_reported_ = current;
+    poll_pending_ = 0;
+    return delta;
+  }
   // A paused or finished parallel engine still owes the remainder folded
   // in at the last pause; deterministic engines keep poll_pending_ at 0.
   const uint64_t carried = poll_pending_;
@@ -624,6 +779,9 @@ void Engine::Drain() {
   if (!running()) return;
   if (par_scheduler_ != nullptr) {
     PauseParallel();  // pipeline barrier: workers drain everything
+    ResumeAfterSurgery();
+  } else if (shard_scheduler_ != nullptr) {
+    PauseSharded();  // shard barrier: all routed input reaches the sinks
     ResumeAfterSurgery();
   } else if (det_scheduler_ != nullptr) {
     det_scheduler_->RunUntilQuiescent();
@@ -680,16 +838,18 @@ bool Engine::Unsubscribe(SubscriptionId id) {
   if (it->sink != nullptr && running()) {
     QuiesceForSurgery();
     // Quiesced above: workers joined (or never started), queues drained.
-    built_.plan->AssertSurgeryExclusive();
+    // Callback sinks hang off the result plan (merge plan when sharded).
+    BuiltPlan& rp = result_plan();
+    rp.plan->AssertSurgeryExclusive();
     const QueryRecord* rec = FindRecord(it->query_token);
     SLICE_CHECK(rec != nullptr);
-    std::vector<SinkEdge>& edges = built_.sink_edges[rec->query.id];
+    std::vector<SinkEdge>& edges = rp.sink_edges[rec->query.id];
     for (size_t e = 0; e < edges.size(); ++e) {
       if (edges[e].sink != it->sink) continue;
       edges[e].producer->DetachOutput(edges[e].producer_port,
                                       edges[e].queue);
-      built_.plan->RetireQueue(edges[e].queue);
-      built_.plan->RemoveOperatorWhileRunning(edges[e].sink);
+      rp.plan->RetireQueue(edges[e].queue);
+      rp.plan->RemoveOperatorWhileRunning(edges[e].sink);
       edges.erase(edges.begin() + e);
       break;
     }
@@ -701,22 +861,25 @@ bool Engine::Unsubscribe(SubscriptionId id) {
 
 void Engine::WireSubscription(SubscriptionRecord* sub) {
   // Callers hold surgery_cap_ (REQUIRES), so the pipeline is quiescent and
-  // the plan structure is this thread's to mutate.
-  built_.plan->AssertSurgeryExclusive();
+  // the plan structure is this thread's to mutate. Sharded mode taps the
+  // merge plan (the only stream carrying globally ordered results), so
+  // callbacks fire on the merge worker thread.
+  BuiltPlan& rp = result_plan();
+  rp.plan->AssertSurgeryExclusive();
   const QueryRecord* rec = FindRecord(sub->query_token);
   SLICE_CHECK(rec != nullptr && rec->active);
   const int qid = rec->query.id;
-  SLICE_CHECK(!built_.sink_edges[qid].empty());
+  SLICE_CHECK(!rp.sink_edges[qid].empty());
   // Tap the same producer that feeds the query's counting sink (the gate,
   // union, router branch, or slice — whichever terminates this query).
-  const SinkEdge proto = built_.sink_edges[qid].front();
-  auto* sink = built_.plan->InsertOperatorWhileRunning(
+  const SinkEdge proto = rp.sink_edges[qid].front();
+  auto* sink = rp.plan->InsertOperatorWhileRunning(
       std::make_unique<CallbackSink>(
           rec->query.name + ".cb" + std::to_string(sub->token),
           sub->callback));
-  EventQueue* queue = built_.plan->ConnectWhileRunning(
+  EventQueue* queue = rp.plan->ConnectWhileRunning(
       proto.producer, proto.producer_port, sink, 0);
-  built_.sink_edges[qid].push_back(
+  rp.sink_edges[qid].push_back(
       SinkEdge{proto.producer, proto.producer_port, queue, sink});
   sub->sink = sink;
 }
@@ -726,11 +889,15 @@ uint64_t Engine::ResultCount(QueryHandle handle) {
   if (rec == nullptr) return 0;
   uint64_t total = rec->delivered;
   if (rec->active && running() &&
-      built_.sinks[rec->query.id] != nullptr) {
-    const bool was_parallel = par_scheduler_ != nullptr;
-    if (was_parallel) PauseParallel();  // quiescent, synchronized read
-    total += built_.sinks[rec->query.id]->result_count();
-    if (was_parallel) ResumeAfterSurgery();
+      result_plan().sinks[rec->query.id] != nullptr) {
+    // Pause workers (if any) for a quiescent, synchronized read; a
+    // deterministic engine stays lazy (Poll/auto_drain drive progress).
+    const bool had_workers =
+        par_scheduler_ != nullptr || shard_scheduler_ != nullptr;
+    if (par_scheduler_ != nullptr) PauseParallel();
+    if (shard_scheduler_ != nullptr) PauseSharded();
+    total += result_plan().sinks[rec->query.id]->result_count();
+    if (had_workers) ResumeAfterSurgery();
   }
   return total;
 }
@@ -740,12 +907,14 @@ std::map<std::string, int> Engine::CollectedResults(QueryHandle handle) {
   if (rec == nullptr) return {};
   std::map<std::string, int> results = rec->collected;
   if (rec->active && running() &&
-      built_.collectors[rec->query.id] != nullptr) {
-    const bool was_parallel = par_scheduler_ != nullptr;
-    if (was_parallel) PauseParallel();
-    MergeMultiset(built_.collectors[rec->query.id]->ResultMultiset(),
+      result_plan().collectors[rec->query.id] != nullptr) {
+    const bool had_workers =
+        par_scheduler_ != nullptr || shard_scheduler_ != nullptr;
+    if (par_scheduler_ != nullptr) PauseParallel();
+    if (shard_scheduler_ != nullptr) PauseSharded();
+    MergeMultiset(result_plan().collectors[rec->query.id]->ResultMultiset(),
                   &results);
-    if (was_parallel) ResumeAfterSurgery();
+    if (had_workers) ResumeAfterSurgery();
   }
   return results;
 }
@@ -804,11 +973,16 @@ int Engine::CompactChain() {
 RunStats Engine::Snapshot() {
   RunStats stats;
   stats.mode = options_.mode;
-  stats.worker_threads = options_.mode == ExecutionMode::kParallel
-                             ? std::max(last_parallel_stages_, 1)
-                             : 1;
-  const bool was_parallel = par_scheduler_ != nullptr;
-  if (was_parallel) PauseParallel();  // consistent quiescent snapshot
+  stats.worker_threads =
+      options_.mode == ExecutionMode::kParallel
+          ? std::max(last_parallel_stages_, 1)
+          : (options_.mode == ExecutionMode::kSharded
+                 ? std::max(last_shard_count_, 1)
+                 : 1);
+  const bool had_workers =
+      par_scheduler_ != nullptr || shard_scheduler_ != nullptr;
+  if (par_scheduler_ != nullptr) PauseParallel();  // quiescent snapshot
+  if (shard_scheduler_ != nullptr) PauseSharded();
   // Either the pause above joined the workers, or none existed
   // (deterministic mode / idle): the accumulators are this thread's.
   surgery_cap_.Assert();
@@ -820,8 +994,10 @@ RunStats Engine::Snapshot() {
   }
   for (const QueryRecord& r : records_) {
     stats.results_delivered += r.delivered;
-    if (r.active && running() && built_.sinks[r.query.id] != nullptr) {
-      stats.results_delivered += built_.sinks[r.query.id]->result_count();
+    if (r.active && running() &&
+        result_plan().sinks[r.query.id] != nullptr) {
+      stats.results_delivered +=
+          result_plan().sinks[r.query.id]->result_count();
     }
   }
   stats.virtual_end_time = watermark_;
@@ -829,20 +1005,40 @@ RunStats Engine::Snapshot() {
                            std::chrono::steady_clock::now() - created_)
                            .count();
   CostCounters cost = cost_accum_;
-  if (running()) AddCost(built_.plan->cost_counters(), &cost);
+  if (running()) {
+    if (sharded_ != nullptr) {
+      for (const BuiltPlan& shard : sharded_->shards) {
+        AddCost(shard.plan->cost_counters(), &cost);
+      }
+      AddCost(sharded_->merge.plan->cost_counters(), &cost);
+    } else {
+      AddCost(built_.plan->cost_counters(), &cost);
+    }
+  }
   stats.cost = cost;
   stats.memory_samples = memory_samples_;
   if (running()) {
-    stats.memory_samples.push_back(MemorySample{
-        .time = watermark_,
-        .state_tuples = built_.plan->TotalStateSize(),
-        .queue_events = built_.plan->TotalQueueSize(),
-    });
+    MemorySample sample{.time = watermark_};
+    if (sharded_ != nullptr) {
+      for (const BuiltPlan& shard : sharded_->shards) {
+        sample.state_tuples += shard.plan->TotalStateSize();
+        sample.queue_events += shard.plan->TotalQueueSize();
+      }
+      sample.state_tuples += sharded_->merge.plan->TotalStateSize();
+      sample.queue_events += sharded_->merge.plan->TotalQueueSize();
+    } else {
+      sample.state_tuples = built_.plan->TotalStateSize();
+      sample.queue_events = built_.plan->TotalQueueSize();
+    }
+    stats.memory_samples.push_back(sample);
   }
   stats.parallel_edge_events = parallel_edge_events_accum_;
   stats.parallel_edge_high_water_mark = parallel_edge_hwm_;
+  stats.stage_busy_fraction = parallel_stage_busy_;
+  stats.shard_steals = shard_steals_accum_;
+  stats.shard_spilled_runs = shard_spilled_accum_;
 
-  if (was_parallel) ResumeAfterSurgery();
+  if (had_workers) ResumeAfterSurgery();
   return stats;
 }
 
@@ -862,7 +1058,10 @@ std::string Engine::PlanDot() {
   EnsureBuilt();
   if (!running()) return "";
   // Structure (operators/edges) is only mutated from this thread at
-  // surgery points, so rendering it does not race the workers.
+  // surgery points, so rendering it does not race the workers. Sharded
+  // mode renders shard replica 0 — the actual shared sliced chain (the
+  // other replicas are wiring-identical; the merge plan is just unions).
+  if (sharded_ != nullptr) return sharded_->shards[0].plan->ToDot();
   return built_.plan->ToDot();
 }
 

@@ -48,6 +48,22 @@
 // pipeline (workers are joined, the plan is mutated in deterministic mode,
 // and a fresh pipeline resumes). Subscription callbacks fire on worker
 // threads in parallel mode.
+//
+// ExecutionMode::kSharded replaces the stage pipeline with key-partitioned
+// data parallelism: arrivals are hash-routed by join key into
+// Options::shard_count independent replicas of the shared plan (one worker
+// each, work-stealing between them for skewed key distributions), and a
+// merge plan re-establishes global timestamp order before the sinks — see
+// src/runtime/sharded_scheduler.h. Sharded mode requires the equi-key join
+// condition (so equal keys meet in one replica) and time-based windows
+// (count windows depend on the global arrival sequence). Query churn on a
+// running sharded engine always takes the drain-rebuild path, and the
+// authoritative sinks — what Subscribe/ResultCount/CollectedResults
+// observe — live on the merge plan. The merge releases results as the
+// slowest shard's watermark advances, so a mid-stream ResultCount can
+// trail the deterministic engine; after Finish() (or any drain-rebuild)
+// the delivered results are multiset- and order-identical. Subscription
+// callbacks fire on the merge worker thread.
 #ifndef STATESLICE_API_ENGINE_H_
 #define STATESLICE_API_ENGINE_H_
 
@@ -67,12 +83,14 @@
 #include "src/core/cost_model.h"
 #include "src/core/migration.h"
 #include "src/core/shared_plan_builder.h"
+#include "src/core/sharded_plan.h"
 #include "src/operators/sliced_window_join.h"
 #include "src/query/query.h"
 #include "src/runtime/execution_mode.h"
 #include "src/runtime/metrics.h"
 #include "src/runtime/parallel_scheduler.h"
 #include "src/runtime/scheduler.h"
+#include "src/runtime/sharded_scheduler.h"
 
 namespace stateslice {
 
@@ -110,7 +128,11 @@ class Engine {
     ExecutionMode mode = ExecutionMode::kDeterministic;
     // kParallel: pipeline stages; 0 = hardware_concurrency() - 1.
     int worker_threads = 0;
-    // kParallel: per-edge SPSC ring capacity, in events.
+    // kSharded: key-partitioned plan replicas (one worker each);
+    // 0 = worker_threads (or its hardware default). Clamped to >= 1.
+    int shard_count = 0;
+    // kParallel: per-edge SPSC ring capacity, in events. kSharded reuses
+    // it for the per-shard ingress rings.
     size_t parallel_edge_capacity = 256;
     JoinCondition condition = JoinCondition::EquiKey();
     // CPU-Opt objective inputs (stream rates, S1, C_sys).
@@ -258,7 +280,9 @@ class Engine {
 
   size_t active_queries() const;
   TimePoint watermark() const { return watermark_; }
-  bool running() const { return built_.plan != nullptr; }
+  bool running() const {
+    return built_.plan != nullptr || sharded_ != nullptr;
+  }
   bool finished() const { return finished_; }
   uint64_t input_tuples() const { return input_tuples_; }
   uint64_t dropped_tuples() const { return dropped_tuples_; }
@@ -317,6 +341,16 @@ class Engine {
   // Joins the workers and folds their counters; after it returns no other
   // thread touches engine state, which is exactly surgery_cap_.
   void PauseParallel() STATESLICE_ASSERT_CAPABILITY(surgery_cap_);
+  // kSharded analogues of StartParallel/PauseParallel: launch / join the
+  // shard workers + merge worker over sharded_.
+  void StartSharded();
+  void PauseSharded() STATESLICE_ASSERT_CAPABILITY(surgery_cap_);
+  int ShardCount() const;
+  // The plan carrying the authoritative per-query sinks: the merge plan in
+  // sharded mode, built_ otherwise. Valid only while running().
+  BuiltPlan& result_plan() {
+    return sharded_ != nullptr ? sharded_->merge : built_;
+  }
   // Brings the plan to a quiescent, deterministic-mode state so plan
   // surgery is legal; ResumeAfterSurgery restarts the pipeline if needed.
   void QuiesceForSurgery() STATESLICE_ASSERT_CAPABILITY(surgery_cap_);
@@ -342,6 +376,11 @@ class Engine {
   std::unique_ptr<RoundRobinScheduler> det_scheduler_;
   std::unique_ptr<ParallelScheduler> par_scheduler_;
   int last_parallel_stages_ = 0;
+  // kSharded: the shard replicas + merge plan (built_ stays empty), and
+  // the scheduler threading them while running.
+  std::unique_ptr<ShardedPlanSet> sharded_;
+  std::unique_ptr<ShardedScheduler> shard_scheduler_;
+  int last_shard_count_ = 0;
 
   TimePoint watermark_ = 0;
   int max_streams_ = 0;  // streams read by active queries (Push drop check)
@@ -367,6 +406,10 @@ class Engine {
   uint64_t parallel_edge_events_accum_ STATESLICE_GUARDED_BY(surgery_cap_) =
       0;
   size_t parallel_edge_hwm_ STATESLICE_GUARDED_BY(surgery_cap_) = 0;
+  std::vector<double> parallel_stage_busy_
+      STATESLICE_GUARDED_BY(surgery_cap_);
+  uint64_t shard_steals_accum_ STATESLICE_GUARDED_BY(surgery_cap_) = 0;
+  uint64_t shard_spilled_accum_ STATESLICE_GUARDED_BY(surgery_cap_) = 0;
   CostCounters cost_accum_ STATESLICE_GUARDED_BY(surgery_cap_);
   std::vector<MemorySample> memory_samples_
       STATESLICE_GUARDED_BY(surgery_cap_);

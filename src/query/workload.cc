@@ -253,4 +253,29 @@ void RekeyForEquiJoin(MultiWorkload* workload, int64_t key_domain,
   workload->key_domain = key_domain;
 }
 
+void RekeyForEquiJoinZipf(Workload* workload, int64_t key_domain,
+                          double zipf_s, uint64_t key_seed) {
+  SLICE_CHECK_GT(key_domain, 0);
+  SLICE_CHECK_GE(zipf_s, 0.0);
+  // Inverse-CDF sampling over the precomputed cumulative weights: exact
+  // for the modest key domains the benches use, and reproducible (no
+  // dependence on the platform's <random> Zipf approximations).
+  std::vector<double> cdf(static_cast<size_t>(key_domain));
+  double total = 0.0;
+  for (int64_t k = 0; k < key_domain; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+    cdf[static_cast<size_t>(k)] = total;
+  }
+  Rng rng(key_seed);
+  auto draw = [&]() {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<int64_t>(it - cdf.begin());
+  };
+  for (Tuple& t : workload->stream_a) t.key = draw();
+  for (Tuple& t : workload->stream_b) t.key = draw();
+  workload->condition = JoinCondition::EquiKey();
+  workload->key_domain = key_domain;
+}
+
 }  // namespace stateslice

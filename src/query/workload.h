@@ -77,6 +77,15 @@ void RekeyForEquiJoin(Workload* workload, int64_t key_domain,
 void RekeyForEquiJoin(MultiWorkload* workload, int64_t key_domain,
                       uint64_t key_seed);
 
+// Like RekeyForEquiJoin, but keys follow a Zipf(s) distribution over
+// [0, key_domain): P(key = k) ∝ 1/(k+1)^s. s = 0 degenerates to uniform;
+// s ≈ 1 is the classic web-trace skew where the hottest key dominates.
+// Used by the sharded runtime's skew benchmarks and equivalence tests —
+// hash partitioning sends each hot key to a single shard, so Zipf keys
+// are exactly the load imbalance work-stealing has to absorb.
+void RekeyForEquiJoinZipf(Workload* workload, int64_t key_domain,
+                          double zipf_s, uint64_t key_seed);
+
 // ---------------------------------------------------------------------
 // Query-set factories for the paper's experiments.
 // ---------------------------------------------------------------------

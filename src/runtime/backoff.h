@@ -1,0 +1,66 @@
+// Capped exponential backoff for bounded busy-wait loops.
+//
+// The runtime's backpressure loops (a producer blocked on a full SPSC
+// ring, a worker waiting for a contended shard token) previously spun a
+// fixed 16 iterations between yields; under a stalled consumer that burns
+// a full core at the highest possible cache-line ping-pong rate, forever.
+// SpinBackoff escalates instead: a few cheap spin rounds (the latency of
+// an almost-free ring slot is unchanged), then prompt yields (so a
+// same-core peer — the only thread that can unblock us on an
+// oversubscribed machine — runs immediately), then exponentially growing
+// sleeps capped at kSleepCapUs so a genuinely stalled peer costs
+// microseconds of latency instead of a pinned core.
+#ifndef STATESLICE_RUNTIME_BACKOFF_H_
+#define STATESLICE_RUNTIME_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace stateslice {
+
+// One backoff progression: construct before a retry loop, call Pause()
+// after each failed attempt, Reset() (or reconstruct) once the awaited
+// condition holds.
+class SpinBackoff {
+ public:
+  // Pause() calls spent in each phase before escalating to the next.
+  static constexpr uint32_t kSpinRounds = 4;    // 1+2+4+8 relax iterations
+  static constexpr uint32_t kYieldRounds = 8;   // prompt timeslice handoff
+  // Sleep phase: doubling from 4us, capped. A backpressured ring holds a
+  // full capacity of events, so the peer needs far longer than this to
+  // drain it — the cap bounds wakeup latency, not throughput.
+  static constexpr uint32_t kSleepCapUs = 128;
+
+  void Pause() {
+    if (round_ < kSpinRounds) {
+      const uint32_t spins = 1u << round_;
+      for (uint32_t i = 0; i < spins; ++i) {
+        // Portable CPU-relax: a dependent volatile read keeps the loop
+        // from being optimized away while staying cheap.
+        volatile uint32_t sink = i;
+        (void)sink;
+      }
+      ++round_;
+    } else if (round_ < kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+      ++round_;
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      if (sleep_us_ < kSleepCapUs) sleep_us_ *= 2;
+    }
+  }
+
+  void Reset() {
+    round_ = 0;
+    sleep_us_ = 4;
+  }
+
+ private:
+  uint32_t round_ = 0;
+  uint32_t sleep_us_ = 4;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_BACKOFF_H_

@@ -17,9 +17,17 @@ namespace stateslice {
 //    stages, one worker thread per stage, SPSC ring queues between stages.
 //    Plan surgery (the *WhileRunning hooks) is not allowed while a parallel
 //    execution is active.
+//  - kSharded: the key-partitioned scheduler of
+//    src/runtime/sharded_scheduler.h. Arrivals are hash-partitioned by the
+//    plan's equi-join key into N independent replicas of the sliced chain
+//    (data parallelism), one worker per shard plus bounded work-stealing
+//    for skewed key domains; a merge plan re-establishes timestamp order
+//    through UnionMerge before the authoritative sinks. Requires an
+//    equi-key join condition; plan surgery takes the drain-rebuild path.
 enum class ExecutionMode {
   kDeterministic = 0,
   kParallel = 1,
+  kSharded = 2,
 };
 
 }  // namespace stateslice

@@ -169,6 +169,7 @@ RunStats Executor::RunParallel() {
   stats.events_processed = scheduler.total_processed();
   stats.parallel_edge_events = scheduler.edges_total_pushed();
   stats.parallel_edge_high_water_mark = scheduler.edges_high_water_mark();
+  stats.stage_busy_fraction = scheduler.stage_busy_fractions();
   stats.cost = plan_->cost_counters();
 
   // One end-of-run sample so memory reporting is not entirely empty.

@@ -43,9 +43,17 @@ struct RunStats {
   uint64_t events_processed = 0;  // scheduler event count (incl. internal)
   uint64_t results_delivered = 0;  // JoinResults received by all sinks
   // kParallel only: events relayed over cross-stage SPSC rings, and the
-  // largest ring occupancy observed (queue-memory analogue).
+  // largest ring occupancy observed (queue-memory analogue). kSharded
+  // reuses both for its ingress + result rings.
   uint64_t parallel_edge_events = 0;
   size_t parallel_edge_high_water_mark = 0;
+  // kParallel only: per-stage fraction of worker wall-clock spent moving
+  // events (vs idle-polling input rings), in stage order.
+  std::vector<double> stage_busy_fraction;
+  // kSharded only: overflow runs executed by a non-owner worker, and runs
+  // spilled from ingress rings into the overflow deques (stealable work).
+  uint64_t shard_steals = 0;
+  uint64_t shard_spilled_runs = 0;
 
   // --- time -------------------------------------------------------------
   TimePoint virtual_end_time = 0;  // virtual time horizon of the run

@@ -1,10 +1,12 @@
 #include "src/runtime/parallel_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/runtime/backoff.h"
 #include "src/runtime/sync_point.h"
 
 namespace stateslice {
@@ -242,16 +244,14 @@ void ParallelScheduler::BlockingPush(CrossEdge* edge, Event event) {
   // entry edges (PushEntry). Whichever thread reaches this call *is* that
   // producer.
   edge->ring.AssertProducer();
-  // A full ring is backpressure: the consumer stage is behind. Spin
-  // briefly, then yield so this works on oversubscribed machines too.
-  int spins = 0;
+  // A full ring is backpressure: the consumer stage is behind. Back off
+  // exponentially (capped), then yield so a stalled consumer does not pin
+  // a producer core and oversubscribed machines still make progress.
+  SpinBackoff backoff;
   while (!edge->ring.TryPush(std::move(event))) {
     // Futile until the consumer pops: no store of ours can unblock us.
     STATESLICE_SYNC_FUTILE("psched.push_backpressure");
-    if (++spins >= 16) {
-      std::this_thread::yield();
-      spins = 0;
-    }
+    backoff.Pause();
   }
 }
 
@@ -260,17 +260,16 @@ void ParallelScheduler::BlockingPushRun(CrossEdge* edge, EventRun* run) {
   // reaches this call is the edge's one producer by construction.
   edge->ring.AssertProducer();
   size_t pushed = 0;
-  int spins = 0;
+  SpinBackoff backoff;
   while (pushed < run->size()) {
     const size_t n = edge->ring.TryPushRun(run, pushed);
     pushed += n;
     if (n == 0) {
       // Futile until the consumer pops: no store of ours can unblock us.
       STATESLICE_SYNC_FUTILE("psched.push_run_backpressure");
-      if (++spins >= 16) {
-        std::this_thread::yield();
-        spins = 0;
-      }
+      backoff.Pause();
+    } else {
+      backoff.Reset();
     }
   }
   run->clear();
@@ -325,6 +324,7 @@ void ParallelScheduler::RunStage(Stage* stage, int stage_index) {
   // (the arena pointer is immutable after plan construction; the arena
   // itself is internally synchronized).
   ArenaScope arena_scope(plan_->arena());
+  auto tick = std::chrono::steady_clock::now();
   for (;;) {
     uint64_t round = 0;
     for (CrossEdge* e : stage->inputs) {
@@ -344,6 +344,22 @@ void ParallelScheduler::RunStage(Stage* stage, int stage_index) {
                                                total_processed_, popped,
                                                std::memory_order_relaxed);
         DrainLocal(stage);
+      }
+    }
+    // Attribute this iteration's wall time: a sweep that moved events is
+    // busy, a futile poll (plus the yield below, charged to the next
+    // stamp) is idle. One clock read per sweep — noise next to the up-to-
+    // quantum-events-per-ring work a productive sweep does.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      const int64_t ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - tick)
+              .count();
+      tick = now;
+      if (round > 0) {
+        stage->busy_ns += ns;
+      } else {
+        stage->idle_ns += ns;
       }
     }
     if (round == 0) {
@@ -397,6 +413,23 @@ size_t ParallelScheduler::edges_high_water_mark() const {
     max_hwm = std::max(max_hwm, edge->ring.high_water_mark());
   }
   return max_hwm;
+}
+
+std::vector<double> ParallelScheduler::stage_busy_fractions() const {
+  caller_role_.Assert();  // accounting reads: owning caller thread only
+  SLICE_CHECK(joined_);   // exact only once the workers have exited
+  std::vector<double> fractions;
+  fractions.reserve(stages_.size());
+  for (const auto& stage : stages_) {
+    // Join() synchronized with the worker's exit, so this thread is the
+    // only one left touching the stage's loop counters.
+    stage->role.Assert();
+    const int64_t total = stage->busy_ns + stage->idle_ns;
+    fractions.push_back(total > 0 ? static_cast<double>(stage->busy_ns) /
+                                        static_cast<double>(total)
+                                  : 0.0);
+  }
+  return fractions;
 }
 
 }  // namespace stateslice

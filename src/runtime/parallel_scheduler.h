@@ -154,6 +154,11 @@ class ParallelScheduler {
   uint64_t edges_total_pushed() const;
   size_t edges_high_water_mark() const;
 
+  // Per-stage occupancy: fraction of each worker's loop wall-clock spent
+  // moving events (vs idle-polling its input rings). One entry per stage,
+  // in stage order. Valid only after Join().
+  std::vector<double> stage_busy_fractions() const;
+
  private:
   // A queue edge crossing stages (or entering the pipeline): the producer
   // thread relays `queue` into `ring`; the consumer thread pops `ring` and
@@ -181,6 +186,11 @@ class ParallelScheduler {
     std::vector<CrossEdge*> outputs;   // rings this stage relays into
     // events consumed by this stage
     uint64_t processed STATESLICE_GUARDED_BY(role) = 0;
+    // Wall-clock occupancy split of the worker loop: iterations that moved
+    // events accrue busy_ns, futile polls accrue idle_ns (the scaling
+    // bench reports busy / (busy + idle) per stage).
+    int64_t busy_ns STATESLICE_GUARDED_BY(role) = 0;
+    int64_t idle_ns STATESLICE_GUARDED_BY(role) = 0;
     // Reused run buffers, one per drain site so runs never interleave
     // (ring input, local-queue drain, output relay). Stage-local: only the
     // stage's worker touches them; clear() keeps their capacity.

@@ -1,0 +1,201 @@
+// Bounded overflow deque of event runs for the sharded runtime.
+//
+// Each shard of the sharded scheduler (src/runtime/sharded_scheduler.h) is
+// fed through a small SPSC ring; when the ring fills — a loaded or skewed
+// shard — the router spills whole `EventRun`s into this deque instead. The
+// deque is the unit of work-stealing: an idle worker that wins the shard's
+// execution token drains it on the owner's behalf. Because shard-local
+// join state must see events in timestamp order, work is always taken from
+// the FIFO head (the oldest run); "stealing" migrates the *executor*, not
+// the order.
+//
+// Thread contract: exactly one producer (the routing/feeder thread) pushes
+// at the back. The pop side is serialized by the shard's execution token:
+// whichever thread holds the token is the deque's single consumer for the
+// duration, and the token's release/acquire handoff
+// (src/runtime/shard_router.h) carries the consumer-side cache between
+// successive holders. Both claims are machine-checked with thread roles,
+// same discipline as SpscQueue.
+#ifndef STATESLICE_RUNTIME_STEAL_DEQUE_H_
+#define STATESLICE_RUNTIME_STEAL_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+#include "src/runtime/sync_point.h"
+
+namespace stateslice {
+
+namespace steal_internal {
+
+// Publication orders for the deque indices. The release stores order the
+// slot writes (reads) before the index publication the other side
+// acquires. The STATESLICE_SEEDED_BUG_* variants deliberately weaken one
+// of them so the interleave explorer (tests/interleave/) can prove it
+// catches the resulting data race — they are compiled only by the
+// seeded-violation catch tests, never by production targets.
+#if defined(STATESLICE_SEEDED_BUG_4)
+// lint: allow(atomic-memory-order) -- seeded interleave-catch violation
+inline constexpr std::memory_order kBottomPublishOrder =
+    std::memory_order_relaxed;
+#else
+inline constexpr std::memory_order kBottomPublishOrder =
+    std::memory_order_release;
+#endif
+#if defined(STATESLICE_SEEDED_BUG_6)
+// lint: allow(atomic-memory-order) -- seeded interleave-catch violation
+inline constexpr std::memory_order kTopPublishOrder =
+    std::memory_order_relaxed;
+#else
+inline constexpr std::memory_order kTopPublishOrder =
+    std::memory_order_release;
+#endif
+
+}  // namespace steal_internal
+
+// Bounded FIFO of default-constructible, movable values (EventRun in
+// production). PushBack requires the producer role; PopFront the consumer
+// role, which in the sharded runtime is claimed by asserting after winning
+// the shard's execution token.
+template <typename T>
+class StealDeque {
+ public:
+  // Rounds `min_capacity` up to the next power of two (>= 2) so the
+  // index is a mask instead of a modulo.
+  explicit StealDeque(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  // Declares that the calling thread is the deque's single producer, or
+  // its current serialized consumer (token holder). Document why at each
+  // call site.
+  void AssertProducer() const STATESLICE_ASSERT_CAPABILITY(producer_role_) {}
+  void AssertConsumer() const STATESLICE_ASSERT_CAPABILITY(consumer_role_) {}
+
+  // Attempts to append `value` at the back. Returns false (leaving `value`
+  // untouched) when the deque is full. Producer thread only.
+  bool TryPushBack(T&& value) STATESLICE_REQUIRES(producer_role_) {
+    // lint: allow(atomic-memory-order) -- producer-owned index, self-read
+    const uint64_t bottom = STATESLICE_ATOMIC_LOAD_OWNER(
+        "sdq.push.bottom_read", bottom_, std::memory_order_relaxed);
+    if (bottom - top_cache_ >= capacity_) {
+      top_cache_ = STATESLICE_ATOMIC_LOAD("sdq.push.top_refresh", top_,
+                                          std::memory_order_acquire);
+      if (bottom - top_cache_ >= capacity_) return false;
+    }
+    STATESLICE_SYNC_PLAIN_WRITE("sdq.push.slot", &slots_[bottom & mask_]);
+    slots_[bottom & mask_] = std::move(value);
+    STATESLICE_ATOMIC_STORE("sdq.push.bottom_publish", bottom_, bottom + 1,
+                            steal_internal::kBottomPublishOrder);
+    // lint: allow(atomic-memory-order) -- single-writer accounting counter
+    STATESLICE_ATOMIC_ACCOUNTING_FETCH_ADD("sdq.push.total", total_pushed_, 1,
+                                           std::memory_order_relaxed);
+    const uint64_t occupancy = bottom + 1 - top_cache_;
+    // lint: allow(atomic-memory-order) -- single-writer accounting counter
+    if (occupancy > STATESLICE_ATOMIC_ACCOUNTING_LOAD(
+                        "sdq.push.hwm_read", high_water_mark_,
+                        std::memory_order_relaxed)) {
+      // lint: allow(atomic-memory-order) -- single-writer accounting counter
+      STATESLICE_ATOMIC_ACCOUNTING_STORE("sdq.push.hwm_write",
+                                         high_water_mark_, occupancy,
+                                         std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Attempts to move the oldest value into `*out`. Returns false when the
+  // deque is empty. Current consumer (token holder) only. The top_ read is
+  // a modeled acquire, not an owner self-read: successive token holders
+  // are different threads, and the token handoff is what makes the newest
+  // published top_ visible here.
+  bool TryPopFront(T* out) STATESLICE_REQUIRES(consumer_role_) {
+    const uint64_t top = STATESLICE_ATOMIC_LOAD("sdq.pop.top_read", top_,
+                                                std::memory_order_acquire);
+    if (top == bottom_cache_) {
+      bottom_cache_ = STATESLICE_ATOMIC_LOAD("sdq.pop.bottom_refresh", bottom_,
+                                             std::memory_order_acquire);
+      if (top == bottom_cache_) return false;
+    }
+    STATESLICE_SYNC_PLAIN_READ("sdq.pop.slot", &slots_[top & mask_]);
+    *out = std::move(slots_[top & mask_]);
+    STATESLICE_ATOMIC_STORE("sdq.pop.top_publish", top_, top + 1,
+                            steal_internal::kTopPublishOrder);
+    return true;
+  }
+
+  // Producer-side emptiness check for the router's spill discipline: may
+  // report non-empty for a just-drained deque (top_cache_ lags), never
+  // empty for a non-empty one (bottom_ is producer-owned, top_ only
+  // advances). Producer thread only.
+  bool ProducerEmpty() STATESLICE_REQUIRES(producer_role_) {
+    // lint: allow(atomic-memory-order) -- producer-owned index, self-read
+    const uint64_t bottom = STATESLICE_ATOMIC_LOAD_OWNER(
+        "sdq.empty.bottom_read", bottom_, std::memory_order_relaxed);
+    if (bottom == top_cache_) return true;
+    top_cache_ = STATESLICE_ATOMIC_LOAD("sdq.empty.top_refresh", top_,
+                                        std::memory_order_acquire);
+    return bottom == top_cache_;
+  }
+
+  // Snapshot emptiness / occupancy (any thread; may be stale).
+  bool empty() const { return size() == 0; }
+  size_t size() const {
+    const uint64_t bottom = STATESLICE_ATOMIC_LOAD(
+        "sdq.size.bottom", bottom_, std::memory_order_acquire);
+    const uint64_t top = STATESLICE_ATOMIC_LOAD("sdq.size.top", top_,
+                                                std::memory_order_acquire);
+    return bottom >= top ? static_cast<size_t>(bottom - top) : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Largest producer-observed occupancy (may over-estimate by the
+  // consumer's lag, never exceeds capacity).
+  size_t high_water_mark() const {
+    // lint: allow(atomic-memory-order) -- stale-snapshot accounting read
+    return STATESLICE_ATOMIC_ACCOUNTING_LOAD("sdq.hwm", high_water_mark_,
+                                             std::memory_order_relaxed);
+  }
+
+  // Total number of values ever pushed.
+  uint64_t total_pushed() const {
+    // lint: allow(atomic-memory-order) -- stale-snapshot accounting read
+    return STATESLICE_ATOMIC_ACCOUNTING_LOAD("sdq.total", total_pushed_,
+                                             std::memory_order_relaxed);
+  }
+
+ private:
+  // Cache-line layout mirrors SpscQueue: one line per shared index, one
+  // line of producer-written state, one of consumer-written state.
+  alignas(64) std::atomic<uint64_t> top_{0};     // next slot to pop (oldest)
+  alignas(64) std::atomic<uint64_t> bottom_{0};  // next slot to fill
+  // -- producer-written --
+  // producer's view of top_
+  alignas(64) uint64_t top_cache_ STATESLICE_GUARDED_BY(producer_role_) = 0;
+  std::atomic<uint64_t> high_water_mark_{0};
+  std::atomic<uint64_t> total_pushed_{0};
+  // -- consumer-written (handed between token holders) --
+  // consumer's view of bottom_
+  alignas(64) uint64_t bottom_cache_ STATESLICE_GUARDED_BY(consumer_role_) = 0;
+  // -- immutable after construction --
+  alignas(64) std::vector<T> slots_;
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  // The producer/consumer role capabilities (empty tags; see file comment).
+  ThreadRole producer_role_;
+  ThreadRole consumer_role_;
+};
+
+}  // namespace stateslice
+
+#endif  // STATESLICE_RUNTIME_STEAL_DEQUE_H_

@@ -83,6 +83,18 @@ class SchedHooks {
   virtual void AtomicStore(const char* tag, void* var,
                            std::memory_order order, uint64_t value,
                            uint64_t initial) = 0;
+  // Modeled compare-and-swap. A CAS is an atomic read-modify-write: it
+  // always observes the *newest* store in the variable's modification
+  // order (never a stale value), so unlike AtomicLoad the explorer has no
+  // value choice to branch on — only the schedule around the operation
+  // varies. Returns the observed value; the CAS succeeded iff it equals
+  // `expected`. On success the hook records a store of `desired` whose
+  // release-ness follows `success_order`; the acquire-ness of the read
+  // follows `success_order` on success and `failure_order` on failure.
+  virtual uint64_t AtomicCas(const char* tag, void* var, uint64_t expected,
+                             uint64_t desired, std::memory_order success_order,
+                             std::memory_order failure_order,
+                             uint64_t initial) = 0;
 
   // Non-atomic access to shared payload (ring slots). Race-checked against
   // the happens-before relation implied by the modeled atomics.
@@ -126,6 +138,40 @@ inline void ModelStore(const char* tag, std::atomic<T>& a, V value,
   a.store(static_cast<T>(value), order);
 }
 
+template <typename T, typename V>
+inline bool ModelCas(const char* tag, std::atomic<T>& a, T& expected,
+                     V desired, std::memory_order success_order,
+                     std::memory_order failure_order) {
+  if (SchedHooks* h = Hooks()) {
+    uint64_t observed = h->AtomicCas(
+        tag, &a, static_cast<uint64_t>(expected),
+        static_cast<uint64_t>(desired), success_order, failure_order,
+        static_cast<uint64_t>(a.load(std::memory_order_relaxed)));
+    bool success = observed == static_cast<uint64_t>(expected);
+    if (success) {
+      // Mirror the model's newest store onto the real atomic so
+      // passthrough readers (unregistered threads, free-run recovery)
+      // stay coherent. The cooperative scheduler serializes modeled
+      // operations, so a plain store cannot lose a concurrent update.
+      // The CAS success order may carry an acquire half that is invalid
+      // on a plain store — keep only the release half for the mirror.
+      const std::memory_order mirror_order =
+          success_order == std::memory_order_release ||
+                  success_order == std::memory_order_acq_rel
+              ? std::memory_order_release
+              : success_order == std::memory_order_seq_cst
+                    ? std::memory_order_seq_cst
+                    : std::memory_order_relaxed;
+      a.store(static_cast<T>(desired), mirror_order);
+    } else {
+      expected = static_cast<T>(observed);
+    }
+    return success;
+  }
+  return a.compare_exchange_strong(expected, static_cast<T>(desired),
+                                   success_order, failure_order);
+}
+
 inline void ModelSyncPoint(const char* tag) {
   if (SchedHooks* h = Hooks()) h->SyncPoint(tag);
 }
@@ -162,6 +208,9 @@ inline void ModelUnpark() {
   ::stateslice::schedtest::ModelLoad((tag), (a), (order))
 #define STATESLICE_ATOMIC_STORE(tag, a, value, order) \
   ::stateslice::schedtest::ModelStore((tag), (a), (value), (order))
+#define STATESLICE_ATOMIC_CAS(tag, a, expected, desired, succ, fail) \
+  ::stateslice::schedtest::ModelCas((tag), (a), (expected), (desired), (succ), \
+                                    (fail))
 // Single-writer self-reads and accounting counters are excluded from the
 // interleaving model (see macro table): raw operations even under test.
 #define STATESLICE_ATOMIC_LOAD_OWNER(tag, a, order) (a).load(order)
@@ -191,6 +240,8 @@ inline void ModelUnpark() {
 #define STATESLICE_ATOMIC_LOAD(tag, a, order) (a).load(order)
 #define STATESLICE_ATOMIC_STORE(tag, a, value, order) \
   (a).store((value), (order))
+#define STATESLICE_ATOMIC_CAS(tag, a, expected, desired, succ, fail) \
+  (a).compare_exchange_strong((expected), (desired), (succ), (fail))
 #define STATESLICE_ATOMIC_LOAD_OWNER(tag, a, order) (a).load(order)
 #define STATESLICE_ATOMIC_ACCOUNTING_LOAD(tag, a, order) (a).load(order)
 #define STATESLICE_ATOMIC_ACCOUNTING_STORE(tag, a, value, order) \

@@ -57,6 +57,7 @@ RunOutput RunEngine(const std::vector<ContinuousQuery>& queries,
   eopt.mode = config.mode;
   eopt.run_length = config.run_length;
   if (config.mode == ExecutionMode::kParallel) eopt.worker_threads = 3;
+  if (config.mode == ExecutionMode::kSharded) eopt.shard_count = 3;
   Engine engine(eopt);
 
   RunOutput out;
@@ -174,6 +175,21 @@ void CheckMatrix(const std::vector<ContinuousQuery>& queries,
                 AsMultiset(oracle.sequences[q]))
           << "parallel query " << q;
     }
+
+    // Sharded: key partitioning needs an equi-key predicate, so the arm
+    // runs only on rekeyed matrices. Same multiset claim as parallel
+    // (delivery order across shards depends on merge timing).
+    if (condition.kind == JoinCondition::Kind::kEquiKey) {
+      const RunOutput sharded =
+          RunEngine(queries, condition, merged,
+                    {ExecutionMode::kSharded, run_length, IngestMode::kSpans});
+      EXPECT_EQ(sharded.collected, oracle.collected);
+      for (size_t q = 0; q < oracle.sequences.size(); ++q) {
+        EXPECT_EQ(AsMultiset(sharded.sequences[q]),
+                  AsMultiset(oracle.sequences[q]))
+            << "sharded query " << q;
+      }
+    }
   }
 }
 
@@ -190,6 +206,45 @@ TEST(BatchEquivalenceTest, BinaryChainMatrix) {
   queries[1].name = "Q2";
   queries[1].window = WindowSpec::TimeSeconds(5);
   queries[1].selection_a = Predicate::WithSelectivity(0.7);
+
+  CheckMatrix(queries, workload.condition, MergedArrivals(workload));
+}
+
+// Equi-key rekeys of both matrices: identical claims, plus the sharded
+// arm (key partitioning requires equi-key). Zipf skew on the binary one
+// pushes the hot shard through its overflow/steal machinery.
+TEST(BatchEquivalenceTest, BinaryChainEquiKeyMatrix) {
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = 40;
+  spec.duration_s = 14;
+  spec.join_selectivity = 0.1;
+  Workload workload = GenerateWorkload(spec);
+  RekeyForEquiJoinZipf(&workload, 12, 1.1, 99);
+
+  std::vector<ContinuousQuery> queries(2);
+  queries[0].name = "Q1";
+  queries[0].window = WindowSpec::TimeSeconds(2);
+  queries[1].name = "Q2";
+  queries[1].window = WindowSpec::TimeSeconds(5);
+  queries[1].selection_a = Predicate::WithSelectivity(0.7);
+
+  CheckMatrix(queries, workload.condition, MergedArrivals(workload));
+}
+
+TEST(BatchEquivalenceTest, ThreeWayTreeEquiKeyMatrix) {
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = 22;
+  spec.duration_s = 8;
+  spec.join_selectivity = 0.25;
+  MultiWorkload workload = GenerateMultiWorkload(spec, 3);
+  RekeyForEquiJoin(&workload, 6, 42);
+
+  std::vector<ContinuousQuery> queries(2);
+  queries[0].name = "Q1";
+  queries[0].window = WindowSpec::TimeSeconds(2);
+  queries[1].name = "Q2";
+  queries[1].window = WindowSpec::TimeSeconds(4);
+  queries[1].stream_names = {"A", "B", "C"};
 
   CheckMatrix(queries, workload.condition, MergedArrivals(workload));
 }

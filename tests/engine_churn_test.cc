@@ -84,7 +84,16 @@ void RunChurnFuzz(uint64_t seed, ExecutionMode mode) {
   wspec.duration_s = 10;
   wspec.join_selectivity = 0.1;
   wspec.seed = rng.NextU64();
-  const Workload workload = GenerateWorkload(wspec);
+  Workload workload = GenerateWorkload(wspec);
+  if (mode == ExecutionMode::kSharded) {
+    // Key partitioning needs an equi-key predicate; alternate uniform and
+    // Zipf-skewed key draws so shard churn also runs under imbalance.
+    if (seed % 2 == 0) {
+      RekeyForEquiJoin(&workload, 10, seed * 17);
+    } else {
+      RekeyForEquiJoinZipf(&workload, 10, 1.1, seed * 17);
+    }
+  }
   const std::vector<Tuple> merged = MergedArrivals(workload);
 
   Engine::Options options;
@@ -95,11 +104,15 @@ void RunChurnFuzz(uint64_t seed, ExecutionMode mode) {
   options.condition = workload.condition;
   options.mode = mode;
   options.worker_threads = 3;
+  options.shard_count = 1 + static_cast<int>(seed % 3);
   Engine engine(options);
 
   SCOPED_TRACE("seed=" + std::to_string(seed) + " " +
                config.DebugString() + " mode=" +
-               (mode == ExecutionMode::kParallel ? "parallel" : "determ."));
+               (mode == ExecutionMode::kParallel
+                    ? "parallel"
+                    : (mode == ExecutionMode::kSharded ? "sharded"
+                                                       : "determ.")));
 
   std::vector<TrackedQuery> tracked;
   int serial = 0;
@@ -194,6 +207,16 @@ TEST(EngineChurnFuzzTest, Deterministic) {
 TEST(EngineChurnFuzzTest, Parallel) {
   for (uint64_t seed = 101; seed <= 108; ++seed) {
     RunChurnFuzz(seed, ExecutionMode::kParallel);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Sharded churn always takes the drain-rebuild path (ChainMigrator would
+// have to mutate every replica in lock-step), so every register and
+// unregister exercises shard teardown + rebuild + restart.
+TEST(EngineChurnFuzzTest, Sharded) {
+  for (uint64_t seed = 201; seed <= 208; ++seed) {
+    RunChurnFuzz(seed, ExecutionMode::kSharded);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

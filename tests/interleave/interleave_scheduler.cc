@@ -296,6 +296,60 @@ void InterleaveScheduler::AtomicStore(const char* tag, void* var,
   }
 }
 
+uint64_t InterleaveScheduler::AtomicCas(const char* tag, void* var,
+                                        uint64_t expected, uint64_t desired,
+                                        std::memory_order success_order,
+                                        std::memory_order failure_order,
+                                        uint64_t initial) {
+  if (tls_tid < 0) return initial;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_) return initial;
+  const Tid tid = tls_tid;
+  YieldLocked(lk, tid);
+  if (free_run_) return initial;
+
+  AtomicVar& av = GetAtomicLocked(var, initial);
+  ThreadRec& tr = threads_[tid];
+  // A CAS is an atomic read-modify-write: per [atomics.order] it reads the
+  // *newest* store in the modification order, so — unlike AtomicLoad —
+  // there is no value choice to delegate to the strategy and the decision
+  // tree's shape is unchanged by instrumenting a site with CAS.
+  const size_t newest = av.history.size() - 1;
+  const StoreRecord observed = av.history[newest];
+  av.floor[tid] = newest;
+  const bool success = observed.value == expected;
+  const std::memory_order read_order = success ? success_order : failure_order;
+  if (IsAcquire(read_order) && observed.release) tr.clock.Join(observed.clock);
+  if (success) {
+    StoreRecord sr;
+    sr.value = desired;
+    sr.tid = tid;
+    sr.tid_clock = ++tr.clock.c[tid];
+    sr.clock = tr.clock;
+    sr.release = IsRelease(success_order);
+    sr.tag = tag;
+    av.history.push_back(sr);
+    av.floor[tid] = av.history.size() - 1;
+    TraceLocked(tid, std::string("cas ") + tag + " " +
+                         std::to_string(expected) + "->" +
+                         std::to_string(desired) +
+                         (sr.release ? " ok (release)" : " ok (relaxed)"));
+    // New information: futile threads get another chance, and pinned loads
+    // resume branching.
+    for (auto& [t, rec] : threads_) {
+      rec.force_latest = false;
+      if (rec.state == TState::kFutile) rec.state = TState::kAtPoint;
+      (void)t;
+    }
+  } else {
+    ++tr.clock.c[tid];
+    TraceLocked(tid, std::string("cas ") + tag + " failed: expected " +
+                         std::to_string(expected) + ", saw " +
+                         std::to_string(observed.value));
+  }
+  return observed.value;
+}
+
 void InterleaveScheduler::PlainWrite(const char* tag, const void* addr) {
   if (tls_tid < 0) return;
   std::lock_guard<std::mutex> lk(mu_);

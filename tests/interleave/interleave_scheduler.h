@@ -123,6 +123,10 @@ class InterleaveScheduler final : public schedtest::SchedHooks {
                       std::memory_order order, uint64_t initial) override;
   void AtomicStore(const char* tag, void* var, std::memory_order order,
                    uint64_t value, uint64_t initial) override;
+  uint64_t AtomicCas(const char* tag, void* var, uint64_t expected,
+                     uint64_t desired, std::memory_order success_order,
+                     std::memory_order failure_order,
+                     uint64_t initial) override;
   void PlainWrite(const char* tag, const void* addr) override;
   void PlainRead(const char* tag, const void* addr) override;
   void ThreadSpawn() override;

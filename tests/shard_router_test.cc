@@ -1,0 +1,164 @@
+// ShardRouter: key-affinity routing, punctuation broadcast, the
+// ring-then-overflow FIFO spill discipline, the execution token, and the
+// close protocol of the sharded execution mode.
+#include "src/runtime/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/tuple.h"
+
+namespace stateslice {
+namespace {
+
+Tuple KeyedTuple(int64_t key, TimePoint ts) {
+  Tuple t;
+  t.key = key;
+  t.timestamp = ts;
+  return t;
+}
+
+// Drains one shard ring-first-then-overflow-head — the consumer
+// discipline every worker follows — returning the event timestamps.
+std::vector<TimePoint> DrainShard(ShardRouter* router, int shard) {
+  ShardCell& cell = router->cell(shard);
+  std::vector<TimePoint> times;
+  cell.ring.AssertConsumer();      // single-threaded test: sole consumer
+  cell.overflow.AssertConsumer();  // ... and (modeled) token holder
+  Event event;
+  while (cell.ring.TryPop(&event)) times.push_back(EventTime(event));
+  EventRun run;
+  while (cell.overflow.TryPopFront(&run)) {
+    for (Event& e : run) times.push_back(EventTime(e));
+  }
+  return times;
+}
+
+TEST(ShardRouterTest, KeyAffinityAndCounts) {
+  ShardRouterOptions options;
+  options.num_shards = 4;
+  ShardRouter router(options);
+  router.AssertFeeder();  // single-threaded test: trivially the feeder
+
+  // Same key must always land on the same shard.
+  for (int64_t key = 0; key < 64; ++key) {
+    const int shard = router.ShardOf(key);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    EXPECT_EQ(router.ShardOf(key), shard);
+  }
+
+  for (TimePoint t = 0; t < 100; ++t) {
+    router.Route(Event(KeyedTuple(t % 16, t)));
+  }
+  router.FlushPending();
+  uint64_t routed = 0;
+  for (int s = 0; s < 4; ++s) routed += router.routed(s);
+  EXPECT_EQ(routed, 100u);
+
+  // Every shard's drain is timestamp-ordered and the union is complete.
+  size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    const std::vector<TimePoint> times = DrainShard(&router, s);
+    total += times.size();
+    for (size_t i = 1; i < times.size(); ++i) {
+      ASSERT_LE(times[i - 1], times[i]) << "shard " << s;
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ShardRouterTest, PunctuationsBroadcastToEveryShard) {
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  ShardRouter router(options);
+  router.AssertFeeder();
+
+  router.Route(Event(KeyedTuple(7, 1)));
+  router.Route(Event(Punctuation{.watermark = 5}));
+  router.FlushPending();
+
+  int punctuations = 0;
+  for (int s = 0; s < 3; ++s) {
+    ShardCell& cell = router.cell(s);
+    cell.ring.AssertConsumer();
+    Event event;
+    while (cell.ring.TryPop(&event)) {
+      if (IsPunctuation(event)) ++punctuations;
+    }
+  }
+  EXPECT_EQ(punctuations, 3);
+}
+
+TEST(ShardRouterTest, SpillKeepsFifoAcrossRingAndOverflow) {
+  // One shard, a 4-event ring, 2-event spill runs: events 0..3 fill the
+  // ring, 4.. spill. The drain discipline must see 0,1,2,...,N-1 exactly.
+  ShardRouterOptions options;
+  options.num_shards = 1;
+  options.ring_capacity = 4;
+  options.overflow_capacity = 16;
+  options.spill_run_length = 2;
+  ShardRouter router(options);
+  router.AssertFeeder();
+
+  constexpr TimePoint kEvents = 20;
+  for (TimePoint t = 0; t < kEvents; ++t) {
+    router.Route(Event(KeyedTuple(0, t)));
+  }
+  router.FlushPending();
+  EXPECT_GT(router.spilled_runs(), 0u);
+
+  const std::vector<TimePoint> times = DrainShard(&router, 0);
+  ASSERT_EQ(times.size(), static_cast<size_t>(kEvents));
+  for (TimePoint t = 0; t < kEvents; ++t) {
+    EXPECT_EQ(times[static_cast<size_t>(t)], t);
+  }
+
+  // Once the overflow drained, routing returns to the ring lane.
+  router.Route(Event(KeyedTuple(0, kEvents)));
+  router.FlushPending();
+  ShardCell& cell = router.cell(0);
+  EXPECT_EQ(cell.ring.size(), 1u);
+  EXPECT_TRUE(cell.overflow.empty());
+}
+
+TEST(ShardRouterTest, ExecutionTokenSerializesHolders) {
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  ShardRouter router(options);
+
+  EXPECT_TRUE(router.TryAcquireToken(0, /*worker=*/0));
+  EXPECT_FALSE(router.TryAcquireToken(0, /*worker=*/1));  // held
+  EXPECT_TRUE(router.TryAcquireToken(1, /*worker=*/1));   // other shard free
+  router.ReleaseToken(0);
+  EXPECT_TRUE(router.TryAcquireToken(0, /*worker=*/1));  // released
+  router.ReleaseToken(0);
+  router.ReleaseToken(1);
+}
+
+TEST(ShardRouterTest, CloseAllFlushesAndCloses) {
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  options.ring_capacity = 2;
+  options.spill_run_length = 8;
+  ShardRouter router(options);
+  router.AssertFeeder();
+
+  // Leave a partial staged run behind, then close: the close must flush it.
+  for (TimePoint t = 0; t < 5; ++t) {
+    router.Route(Event(KeyedTuple(router.ShardOf(0) == 0 ? 0 : 1, t)));
+  }
+  EXPECT_FALSE(router.IsClosed(0));
+  EXPECT_FALSE(router.IsClosed(1));
+  router.CloseAll();
+  EXPECT_TRUE(router.IsClosed(0));
+  EXPECT_TRUE(router.IsClosed(1));
+
+  size_t drained = 0;
+  for (int s = 0; s < 2; ++s) drained += DrainShard(&router, s).size();
+  EXPECT_EQ(drained, 5u);
+}
+
+}  // namespace
+}  // namespace stateslice

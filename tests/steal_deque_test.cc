@@ -1,0 +1,129 @@
+// StealDeque: the bounded FIFO of spilled EventRuns behind the sharded
+// runtime's work-stealing. Single-threaded contract checks plus a
+// producer/consumer stress and a serialized consumer-handoff sequence
+// (the token discipline, modeled sequentially).
+#include "src/runtime/steal_deque.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace stateslice {
+namespace {
+
+TEST(StealDequeTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(StealDeque<int>(1).capacity(), 2u);
+  EXPECT_EQ(StealDeque<int>(2).capacity(), 2u);
+  EXPECT_EQ(StealDeque<int>(3).capacity(), 4u);
+  EXPECT_EQ(StealDeque<int>(64).capacity(), 64u);
+  EXPECT_EQ(StealDeque<int>(65).capacity(), 128u);
+}
+
+TEST(StealDequeTest, FifoOrderAndBoundedness) {
+  StealDeque<int> deque(4);
+  deque.AssertProducer();  // single-threaded test: trivially the producer
+  deque.AssertConsumer();  // ... and the sole (token-holding) consumer
+  EXPECT_TRUE(deque.empty());
+  EXPECT_TRUE(deque.ProducerEmpty());
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(deque.TryPushBack(int{i})) << i;
+  }
+  int rejected = 99;
+  EXPECT_FALSE(deque.TryPushBack(std::move(rejected)));
+  EXPECT_EQ(rejected, 99);  // full push leaves the value untouched
+  EXPECT_EQ(deque.size(), 4u);
+  EXPECT_EQ(deque.high_water_mark(), 4u);
+
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(deque.TryPopFront(&out));
+    EXPECT_EQ(out, i);  // oldest first: stealing never reorders
+  }
+  EXPECT_FALSE(deque.TryPopFront(&out));
+  EXPECT_TRUE(deque.ProducerEmpty());
+  EXPECT_EQ(deque.total_pushed(), 4u);
+
+  // Wrap-around keeps FIFO order.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(deque.TryPushBack(10 + round));
+    EXPECT_TRUE(deque.TryPushBack(20 + round));
+    ASSERT_TRUE(deque.TryPopFront(&out));
+    EXPECT_EQ(out, 10 + round);
+    ASSERT_TRUE(deque.TryPopFront(&out));
+    EXPECT_EQ(out, 20 + round);
+  }
+}
+
+TEST(StealDequeTest, SerializedConsumerHandoffPreservesOrder) {
+  // The sharded runtime hands the consumer side between token holders.
+  // Model the handoff sequentially: thread A pops a prefix, exits (its
+  // join is the release/acquire edge the token provides), thread B pops
+  // the rest. Order must be seamless across the handoff.
+  StealDeque<int> deque(8);
+  deque.AssertProducer();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(deque.TryPushBack(int{i}));
+  }
+
+  std::vector<int> seen;
+  std::thread holder_a([&] {
+    deque.AssertConsumer();  // holds the (modeled) token
+    int out;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(deque.TryPopFront(&out));
+      seen.push_back(out);
+    }
+  });
+  holder_a.join();
+  std::thread holder_b([&] {
+    deque.AssertConsumer();  // next token holder, after the handoff
+    int out;
+    while (deque.TryPopFront(&out)) seen.push_back(out);
+  });
+  holder_b.join();
+
+  ASSERT_EQ(seen.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(StealDequeTest, ConcurrentProducerConsumerStress) {
+  constexpr int kTotal = 20000;
+  StealDeque<int> deque(16);
+  std::thread producer([&] {
+    deque.AssertProducer();
+    for (int i = 0; i < kTotal;) {
+      if (deque.TryPushBack(int{i})) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::vector<int> seen;
+  seen.reserve(kTotal);
+  std::thread consumer([&] {
+    deque.AssertConsumer();
+    int out;
+    while (static_cast<int>(seen.size()) < kTotal) {
+      if (deque.TryPopFront(&out)) {
+        seen.push_back(out);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kTotal));
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(seen[static_cast<size_t>(i)], i);
+  }
+  EXPECT_EQ(deque.total_pushed(), static_cast<uint64_t>(kTotal));
+  EXPECT_LE(deque.high_water_mark(), deque.capacity());
+}
+
+}  // namespace
+}  // namespace stateslice

@@ -24,6 +24,11 @@ LOCKFREE_FILES = {
     "src/runtime/spsc_queue.h",
     "src/runtime/parallel_scheduler.h",
     "src/runtime/parallel_scheduler.cc",
+    "src/runtime/steal_deque.h",
+    "src/runtime/shard_router.h",
+    "src/runtime/shard_router.cc",
+    "src/runtime/sharded_scheduler.h",
+    "src/runtime/sharded_scheduler.cc",
 }
 
 _ATOMIC_OP_RE = re.compile(

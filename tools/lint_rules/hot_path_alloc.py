@@ -29,6 +29,10 @@ HOT_FILES = {
     "src/runtime/scheduler.cc",
     "src/runtime/parallel_scheduler.cc",
     "src/runtime/spsc_queue.h",
+    "src/runtime/steal_deque.h",
+    "src/runtime/shard_router.h",
+    "src/runtime/shard_router.cc",
+    "src/runtime/sharded_scheduler.cc",
     "src/operators/sliced_window_join.cc",
     "src/operators/sliding_window_join.cc",
 }
