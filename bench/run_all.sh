@@ -53,6 +53,7 @@ figure_benches=(
   bench_fig19_memopt_cpuopt
   bench_batch_throughput
   bench_chain_scaling
+  bench_checkpoint
   bench_cost_model_validation
   bench_engine_churn
   bench_lineage_ablation

@@ -1,10 +1,12 @@
 #include "src/api/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/fault_point.h"
 #include "src/query/parser.h"
 
 namespace stateslice {
@@ -67,6 +69,10 @@ bool Engine::ValidateNewQuery(const ContinuousQuery& query,
                               std::string* error) const {
   if (finished_) {
     *error = "engine already finished";
+    return false;
+  }
+  if (poisoned_) {
+    *error = "engine poisoned by a failed Restore";
     return false;
   }
   if (query.window.extent <= 0) {
@@ -212,6 +218,7 @@ QueryHandle Engine::RegisterQuery(const ContinuousQuery& query) {
   }
 
   QuiesceForSurgery();
+  STATESLICE_FAULT_POINT("engine.migrate_add");
   if (CanMigrateAdd(rec.query)) {
     // In-place registration (Section 5.3): the shared slice states keep
     // serving the existing queries; a ResultTimeGate gives the newcomer
@@ -252,6 +259,10 @@ QueryHandle Engine::RegisterQuery(std::string_view cql) {
 }
 
 bool Engine::UnregisterQuery(QueryHandle handle) {
+  if (poisoned_) {
+    last_error_ = "engine poisoned by a failed Restore";
+    return false;
+  }
   QueryRecord* rec = FindRecord(handle.token);
   if (rec == nullptr || !rec->active) {
     last_error_ = "unknown or inactive query handle";
@@ -262,6 +273,7 @@ bool Engine::UnregisterQuery(QueryHandle handle) {
     --active_count_;
   } else {
     QuiesceForSurgery();
+    STATESLICE_FAULT_POINT("engine.migrate_remove");
     if (active_queries() == 1) {
       // Last query out: flush and idle the engine.
       TearDownPlan();
@@ -633,15 +645,57 @@ void Engine::Push(StreamId stream, const Tuple& tuple) {
   Push(stream, Tuple(tuple));
 }
 
+void Engine::RejectPush(StreamId stream, uint64_t count,
+                        std::string reason) {
+  rejected_tuples_ += count;
+  if (stream >= 0 && stream < static_cast<StreamId>(kMaxStreams)) {
+    rejected_by_stream_[stream] += count;
+  }
+  last_error_ = std::move(reason);
+}
+
 void Engine::Push(StreamId stream, Tuple&& tuple) {
   SLICE_CHECK(!finished_);
-  SLICE_CHECK_GE(stream, 0);
+  STATESLICE_FAULT_POINT("engine.push");
+  if (poisoned_) {
+    RejectPush(stream, 1, "push rejected: engine poisoned by failed Restore");
+    return;
+  }
+  if (stream < 0) {
+    RejectPush(stream, 1,
+               "push rejected: negative stream id " + std::to_string(stream));
+    return;
+  }
+  if (std::isnan(tuple.value)) {
+    RejectPush(stream, 1,
+               "push rejected: NaN value on stream " + std::to_string(stream));
+    return;
+  }
+  // The paper's Section 2 assumption: globally ordered arrivals. Sentinel
+  // times are reserved (kMinTime parks restored union buffers, kMaxTime is
+  // the end-of-stream punctuation).
+  if (tuple.timestamp <= kMinTime || tuple.timestamp >= kMaxTime ||
+      tuple.timestamp < watermark_) {
+    RejectPush(stream, 1,
+               "push rejected: out-of-order or out-of-range timestamp " +
+                   std::to_string(tuple.timestamp) + " on stream " +
+                   std::to_string(stream) + " (watermark " +
+                   std::to_string(watermark_) + ")");
+    return;
+  }
   tuple.side = stream;
-  // The paper's Section 2 assumption: globally ordered arrivals.
-  SLICE_CHECK_GE(tuple.timestamp, watermark_);
-  if (active_queries() == 0 || stream >= max_streams_) {
-    // No query registered, or no active query reads this stream id.
+  if (active_queries() == 0) {
+    // Well-formed arrival with nobody registered: a drop, not a reject.
     ++dropped_tuples_;
+    watermark_ = tuple.timestamp;
+    return;
+  }
+  if (stream >= max_streams_) {
+    // The arrival is real (watermark advances) but no active query reads
+    // this stream id, so its payload is unreadable.
+    RejectPush(stream, 1,
+               "push rejected: stream " + std::to_string(stream) +
+                   " is not read by any active query");
     watermark_ = tuple.timestamp;
     return;
   }
@@ -671,19 +725,53 @@ void Engine::Push(StreamId stream, Tuple&& tuple) {
 
 void Engine::PushBatch(StreamId stream, std::span<const Tuple> tuples) {
   SLICE_CHECK(!finished_);
-  SLICE_CHECK_GE(stream, 0);
+  STATESLICE_FAULT_POINT("engine.push_batch");
   if (tuples.empty()) return;
-  // Validate the whole batch up front (ordered within the batch, first at
-  // or beyond the session watermark) so a CHECK failure never leaves a
-  // half-ingested batch behind.
+  if (poisoned_) {
+    RejectPush(stream, tuples.size(),
+               "batch rejected: engine poisoned by failed Restore");
+    return;
+  }
+  if (stream < 0) {
+    RejectPush(stream, tuples.size(),
+               "batch rejected: negative stream id " +
+                   std::to_string(stream));
+    return;
+  }
+  // Validate the whole batch up front (well-formed values, ordered within
+  // the batch, first at or beyond the session watermark) so a rejection
+  // never leaves a half-ingested batch behind: the batch bounces as a
+  // unit, naming the first offending index.
   TimePoint prev = watermark_;
-  for (const Tuple& t : tuples) {
-    SLICE_CHECK_GE(t.timestamp, prev);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const Tuple& t = tuples[i];
+    if (std::isnan(t.value)) {
+      RejectPush(stream, tuples.size(),
+                 "batch rejected: NaN value at index " + std::to_string(i) +
+                     " on stream " + std::to_string(stream));
+      return;
+    }
+    if (t.timestamp <= kMinTime || t.timestamp >= kMaxTime ||
+        t.timestamp < prev) {
+      RejectPush(stream, tuples.size(),
+                 "batch rejected: out-of-order or out-of-range timestamp " +
+                     std::to_string(t.timestamp) + " at index " +
+                     std::to_string(i) + " on stream " +
+                     std::to_string(stream));
+      return;
+    }
     prev = t.timestamp;
   }
   const TimePoint last = tuples.back().timestamp;
-  if (active_queries() == 0 || stream >= max_streams_) {
+  if (active_queries() == 0) {
     dropped_tuples_ += tuples.size();
+    watermark_ = last;
+    return;
+  }
+  if (stream >= max_streams_) {
+    RejectPush(stream, tuples.size(),
+               "batch rejected: stream " + std::to_string(stream) +
+                   " is not read by any active query");
     watermark_ = last;
     return;
   }
@@ -988,6 +1076,8 @@ RunStats Engine::Snapshot() {
   surgery_cap_.Assert();
 
   stats.input_tuples = input_tuples_;
+  stats.rejected_tuples = rejected_tuples_;
+  stats.rejected_by_stream = rejected_by_stream_;
   stats.events_processed = events_accum_;
   if (det_scheduler_ != nullptr) {
     stats.events_processed += det_scheduler_->total_processed();

@@ -182,13 +182,19 @@ class Engine {
 
   // --- ingestion --------------------------------------------------------
   // Pushes one tuple into `stream`. Tuples must arrive in global
-  // non-decreasing timestamp order (the paper's Section 2 assumption;
-  // CHECK-enforced against watermark()). Note that churn operations
-  // advance the watermark one tick past the last arrival, so a tuple
-  // pushed after a registration must not tie with pre-registration
-  // arrivals. Tuples pushed while no query is registered, or into a
-  // stream id no active query reads, are dropped (counted in
-  // dropped_tuples). Must not be called after Finish.
+  // non-decreasing timestamp order (the paper's Section 2 assumption).
+  // A malformed arrival — negative stream id, NaN value, a timestamp
+  // before watermark() or outside [kMinTime+1, kMaxTime) — is rejected,
+  // not ingested: it is counted in rejected_tuples(), a one-line reason
+  // lands in last_error(), and the watermark does not advance. Note that
+  // churn operations advance the watermark one tick past the last
+  // arrival, so a tuple pushed after a registration must not tie with
+  // pre-registration arrivals. A well-formed tuple pushed while no query
+  // is registered is dropped (counted in dropped_tuples); one pushed into
+  // a stream id no active query reads is rejected, with the watermark
+  // advancing in both cases (the arrival is real — only its payload is
+  // unreadable). Must not be called after Finish (CHECK) or on a
+  // poisoned() engine (rejected).
   void Push(StreamId stream, const Tuple& tuple);
   // Move spelling. Tuple is trivially copyable today, so this costs the
   // same as the const& overload; it exists so call sites that hand over
@@ -260,6 +266,42 @@ class Engine {
   // Returns the number of merges performed (0 when not applicable).
   int CompactChain();
 
+  // --- fault tolerance (checkpoint/restore) -----------------------------
+  // Serializes the engine's complete logical state — registered queries,
+  // the live chain/tree structure (including migration-created boundaries),
+  // every slice's join-state contents, buffered union events, watermarks,
+  // and accumulated counters — into a versioned, checksummed binary
+  // snapshot. The engine is quiesced first (in-flight events are drained;
+  // this only advances work an uninterrupted run performs anyway) and
+  // keeps running afterwards. Returns false with last_error() when the
+  // state is not serializable (a selection outside the CQL dialect, a
+  // poisoned engine). A torn write is detectable: Restore verifies a
+  // trailing CRC-32 over the whole snapshot.
+  bool Checkpoint(std::string* out);
+
+  // Rebuilds the serialized engine into *this*, which must be freshly
+  // constructed with the same Options (a fingerprint in the snapshot is
+  // verified field by field). Query handles from the checkpointed engine
+  // remain valid against the restored one; subscriptions are not part of
+  // the snapshot and must be re-established with Subscribe. After a
+  // successful restore, subsequent pushes yield results byte-identical to
+  // an uninterrupted run. On any failure — bad magic, version or options
+  // mismatch, checksum mismatch, truncation, structural inconsistency —
+  // the engine reports a diagnostic through last_error(), never crashes,
+  // and becomes poisoned(): ingestion and churn are rejected, while
+  // Snapshot/Finish/Drain/Poll stay safe and idempotent.
+  bool Restore(std::string_view snapshot);
+
+  // True after a failed Restore: the engine holds no usable state and
+  // rejects ingestion/churn, but introspection stays available.
+  bool poisoned() const { return poisoned_; }
+
+  // Asserts (CHECK-fails on violation) the structural invariants of the
+  // current plan: chain spec/partition/slice consistency and per-state
+  // key-index consistency, on every shard replica in sharded mode. No-op
+  // for non-chain strategies or an idle engine. Briefly pauses workers.
+  void CheckPlanInvariants();
+
   // --- introspection ----------------------------------------------------
   // Unified run metrics across all plan epochs: volumes, cost counters,
   // memory samples, wall/virtual time. Briefly pauses the pipeline in
@@ -286,6 +328,14 @@ class Engine {
   bool finished() const { return finished_; }
   uint64_t input_tuples() const { return input_tuples_; }
   uint64_t dropped_tuples() const { return dropped_tuples_; }
+  // Arrivals bounced at ingestion with a one-line reason in last_error():
+  // NaN values, out-of-order or out-of-range timestamps, streams no active
+  // query reads (see Push). Per-stream counts index by stream id; pushes
+  // with an invalid id count in the total only.
+  uint64_t rejected_tuples() const { return rejected_tuples_; }
+  const std::vector<uint64_t>& rejected_by_stream() const {
+    return rejected_by_stream_;
+  }
   // Churn operations served in place by ChainMigrator — registrations,
   // removals, and CompactChain passes — without a plan rebuild.
   uint64_t migrations() const { return migrations_; }
@@ -318,6 +368,10 @@ class Engine {
   bool ValidateNewQuery(const ContinuousQuery& query, std::string* error)
       const;
   void RecomputeMaxStreams();
+
+  // Bounces `count` arrivals attributed to `stream` (invalid ids count in
+  // the total only) and records `reason` in last_error_.
+  void RejectPush(StreamId stream, uint64_t count, std::string reason);
 
   // Plan-surgery exclusion (checked under Clang -Wthread-safety): the
   // methods below mutate plan structure or the fold-in metric accumulators,
@@ -393,8 +447,14 @@ class Engine {
   uint64_t poll_segment_reported_ = 0;
   TimePoint next_sample_ = 0;
   bool finished_ = false;
+  // Set when a Restore failed partway: the engine rejects ingestion and
+  // registration but keeps answering snapshots (see poisoned()).
+  bool poisoned_ = false;
   uint64_t input_tuples_ = 0;
   uint64_t dropped_tuples_ = 0;
+  uint64_t rejected_tuples_ = 0;
+  std::vector<uint64_t> rejected_by_stream_ =
+      std::vector<uint64_t>(kMaxStreams, 0);
   uint64_t migrations_ = 0;
   uint64_t rebuilds_ = 0;
   std::vector<TimePoint> rebuild_cutoffs_;

@@ -1,0 +1,22 @@
+#include "src/common/fault_point.h"
+
+#if defined(STATESLICE_FAULT_TEST)
+
+namespace stateslice::faulttest {
+namespace {
+
+// Plain pointer, not atomic: tests install the injector before starting
+// the engine's worker threads and uninstall after quiescing them, so
+// every access from an instrumented thread is ordered by the spawn/join
+// edges (same reasoning as sync_point.cc).
+FaultInjector* g_injector = nullptr;
+
+}  // namespace
+
+FaultInjector* Injector() { return g_injector; }
+
+void InstallInjector(FaultInjector* injector) { g_injector = injector; }
+
+}  // namespace stateslice::faulttest
+
+#endif  // STATESLICE_FAULT_TEST

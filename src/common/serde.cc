@@ -1,0 +1,57 @@
+#include "src/common/serde.h"
+
+namespace stateslice {
+
+void StateWriter::AppendLe(const void* src, size_t n) {
+  // Serialize byte-by-byte from the least-significant end so the wire
+  // format is little-endian regardless of host order.
+  uint64_t v = 0;
+  std::memcpy(&v, src, n);
+  for (size_t i = 0; i < n; ++i) {
+    data_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+bool StateReader::ReadLe(void* dst, size_t n) {
+  if (!Require(n)) return false;
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<uint8_t>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += n;
+  std::memcpy(dst, &v, n);
+  return true;
+}
+
+namespace {
+
+// Table-driven reflected CRC-32; the table is built once on first use.
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  const uint32_t* table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace stateslice

@@ -70,6 +70,11 @@ class SlidingWindowJoin : public Operator {
   const JoinState& state_a() const { return state_a_; }
   const JoinState& state_b() const { return state_b_; }
 
+  // Checkpoint support (Engine::Restore): mutable state access so a
+  // restored plan can be re-seeded with serialized window contents.
+  JoinState* mutable_state_a() { return &state_a_; }
+  JoinState* mutable_state_b() { return &state_b_; }
+
  private:
   void ProcessTuple(const Tuple& t);
 

@@ -95,6 +95,24 @@ void UnionMerge::Finish() {
   SLICE_CHECK(buffer_.empty());
 }
 
+std::vector<Event> UnionMerge::PendingSnapshot() const {
+  // std::priority_queue hides its container; popping a copy yields the
+  // exact (time, arrival) release order. Checkpoints run quiesced, so the
+  // copy's cost is off any hot path.
+  std::vector<Event> events;
+  events.reserve(buffer_.size());
+  auto heap = buffer_;
+  while (!heap.empty()) {
+    events.push_back(heap.top().event);
+    heap.pop();
+  }
+  return events;
+}
+
+void UnionMerge::RestorePending(Event event) {
+  buffer_.push(Pending{EventTime(event), ++arrivals_, std::move(event)});
+}
+
 void UnionMerge::OnRun(EventRun& run, int input_port) {
   for (Event& event : run) UnionMerge::Process(std::move(event), input_port);
 }

@@ -49,6 +49,18 @@ class UnionMerge : public Operator {
   // Number of buffered (not yet releasable) events.
   size_t buffered() const { return buffer_.size(); }
 
+  // Checkpoint support (Engine::Checkpoint): the buffered events in
+  // release order — (time, arrival) heap order, i.e. exactly the order
+  // Drain() would emit them once every watermark passes.
+  std::vector<Event> PendingSnapshot() const;
+
+  // Checkpoint support (Engine::Restore): re-buffers one snapshotted event
+  // into a fresh union. Call in snapshot order before any live input so
+  // the re-assigned arrival tie-breaks preserve the release order. Input
+  // watermarks stay at their initial kMinTime: the events park in the
+  // buffer until post-restore punctuations release them.
+  void RestorePending(Event event);
+
   // StateSize intentionally excludes the merge buffer: the paper counts
   // join states only. Buffer occupancy is reported via buffered().
   size_t StateSize() const override { return 0; }

@@ -46,6 +46,7 @@ std::string RunStats::DebugString() const {
       << " workers=" << worker_threads << " inputs=" << input_tuples
       << " events=" << events_processed
       << " results=" << results_delivered
+      << " rejected=" << rejected_tuples
       << " wall_s=" << wall_seconds
       << " avg_state=" << AvgStateTuples()
       << " max_state=" << MaxStateTuples() << " cost{" << cost.DebugString()

@@ -42,6 +42,14 @@ struct RunStats {
   uint64_t input_tuples = 0;    // tuples fed from all sources
   uint64_t events_processed = 0;  // scheduler event count (incl. internal)
   uint64_t results_delivered = 0;  // JoinResults received by all sinks
+  // Malformed or unreadable arrivals bounced at ingestion (NaN values,
+  // out-of-order or out-of-range timestamps, streams no active query
+  // reads); rejected_by_stream[s] attributes them to stream s (pushes with
+  // an invalid stream id count in the total only). Distinct from
+  // dropped_tuples-style drops: a drop is a well-formed tuple arriving
+  // while no query is registered.
+  uint64_t rejected_tuples = 0;
+  std::vector<uint64_t> rejected_by_stream;
   // kParallel only: events relayed over cross-stage SPSC rings, and the
   // largest ring occupancy observed (queue-memory analogue). kSharded
   // reuses both for its ingress + result rings.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/fault_point.h"
 #include "src/runtime/backoff.h"
 #include "src/runtime/sync_point.h"
 
@@ -166,6 +167,9 @@ void ParallelScheduler::Start() {
 void ParallelScheduler::PushEntry(EventQueue* entry, Event event) {
   // The feeder is the owning caller thread (single-caller contract).
   caller_role_.Assert();
+  // Crash seam: fires before any state mutates, so an injected failure
+  // models the feeder dying between batches (fault_point.h).
+  STATESLICE_FAULT_POINT("psched.push_entry");
   SLICE_CHECK(started_);
   SLICE_CHECK(!input_finished_);
   CrossEdge* edge = nullptr;
@@ -185,6 +189,8 @@ void ParallelScheduler::PushEntry(EventQueue* entry, Event event) {
 void ParallelScheduler::PushEntryRun(EventQueue* entry, EventRun* run) {
   // The feeder is the owning caller thread (single-caller contract).
   caller_role_.Assert();
+  // Crash seam: fires before any state mutates (see PushEntry).
+  STATESLICE_FAULT_POINT("psched.push_entry");
   SLICE_CHECK(started_);
   SLICE_CHECK(!input_finished_);
   CrossEdge* edge = nullptr;
@@ -249,6 +255,9 @@ void ParallelScheduler::BlockingPush(CrossEdge* edge, Event event) {
   // a producer core and oversubscribed machines still make progress.
   SpinBackoff backoff;
   while (!edge->ring.TryPush(std::move(event))) {
+    // Observation seam: backpressure iterations are countable under fault
+    // testing (worker threads may reach this — count-only, never throws).
+    STATESLICE_FAULT_POINT("psched.ring_full");
     // Futile until the consumer pops: no store of ours can unblock us.
     STATESLICE_SYNC_FUTILE("psched.push_backpressure");
     backoff.Pause();
@@ -265,6 +274,8 @@ void ParallelScheduler::BlockingPushRun(CrossEdge* edge, EventRun* run) {
     const size_t n = edge->ring.TryPushRun(run, pushed);
     pushed += n;
     if (n == 0) {
+      // Observation seam: see BlockingPush (count-only, never throws).
+      STATESLICE_FAULT_POINT("psched.ring_full");
       // Futile until the consumer pops: no store of ours can unblock us.
       STATESLICE_SYNC_FUTILE("psched.push_run_backpressure");
       backoff.Pause();

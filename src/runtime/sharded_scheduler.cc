@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/fault_point.h"
 #include "src/runtime/backoff.h"
 #include "src/runtime/execution_mode.h"
 
@@ -85,6 +86,9 @@ void ShardedScheduler::Start() {
 
 void ShardedScheduler::PushEntry(Event event) {
   caller_role_.Assert();  // feeder == owning caller (single-caller contract)
+  // Crash seam: fires before any state mutates, so an injected failure
+  // models the feeder dying between batches (fault_point.h).
+  STATESLICE_FAULT_POINT("shard.push_entry");
   SLICE_CHECK(started_);
   SLICE_CHECK(!input_finished_);
   // The owning caller thread is the router's single feeder.
@@ -94,6 +98,8 @@ void ShardedScheduler::PushEntry(Event event) {
 
 void ShardedScheduler::PushEntryRun(EventRun* run) {
   caller_role_.Assert();  // feeder == owning caller (single-caller contract)
+  // Crash seam: fires before any state mutates (see PushEntry).
+  STATESLICE_FAULT_POINT("shard.push_entry");
   SLICE_CHECK(started_);
   SLICE_CHECK(!input_finished_);
   // The owning caller thread is the router's single feeder.
@@ -156,6 +162,9 @@ bool ShardedScheduler::TryProcessShard(int shard, int worker) {
   if (!router_->TryAcquireToken(shard, static_cast<uint32_t>(worker))) {
     return false;
   }
+  // Observation seam: token handoffs are countable under fault testing
+  // (worker threads reach this — count-only, never throws).
+  STATESLICE_FAULT_POINT("shard.token_handoff");
   ShardExec& ex = *execs_[static_cast<size_t>(shard)];
   // Winning the token CAS makes this thread the shard's sole executor
   // until ReleaseToken below; its acquire half synchronizes with the

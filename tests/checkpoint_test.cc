@@ -1,0 +1,545 @@
+// Engine::Checkpoint / Engine::Restore: snapshot round-trips across
+// execution modes, window kinds and churn histories, and the rejection
+// surface for torn/truncated/mismatched snapshots (which must poison the
+// engine with a diagnostic, never crash or half-restore).
+//
+// The core equivalence harness exploits that Checkpoint keeps the source
+// engine running: push a prefix, snapshot, restore into a fresh engine,
+// then feed BOTH engines the identical tail and compare their delivered
+// results — the original engine doubles as the uninterrupted oracle.
+#include "src/api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/stateslice.h"
+#include "tests/test_util.h"
+
+namespace stateslice {
+namespace {
+
+using ::stateslice::testing::StrictIncreaseAt;
+
+Workload SmallWorkload(uint64_t seed = 5, double duration_s = 12) {
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = 25;
+  spec.duration_s = duration_s;
+  spec.seed = seed;
+  return GenerateWorkload(spec);
+}
+
+Engine::Options BaseOptions(const Workload& workload) {
+  Engine::Options options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  return options;
+}
+
+ContinuousQuery PlainQuery(double window_s, const std::string& name = "") {
+  ContinuousQuery q;
+  q.name = name;
+  q.window = WindowSpec::TimeSeconds(window_s);
+  return q;
+}
+
+void PushRange(Engine* engine, const std::vector<Tuple>& merged, size_t from,
+               size_t to) {
+  for (size_t i = from; i < to && i < merged.size(); ++i) {
+    engine->Push(merged[i].side, merged[i]);
+  }
+}
+
+// Re-seals a tampered snapshot body with a fresh CRC so the corruption
+// under test is the one the decoder sees (not just "checksum mismatch").
+std::string Resealed(std::string body) {
+  StateWriter w;
+  w.U32(Crc32(body));
+  return body + w.data();
+}
+
+// Full equality of the externally observable per-query surface plus the
+// session counters both engines agree on deterministically.
+void ExpectSameResults(Engine* restored, Engine* oracle,
+                       const std::vector<QueryHandle>& handles) {
+  for (const QueryHandle h : handles) {
+    EXPECT_EQ(restored->IsActive(h), oracle->IsActive(h));
+    EXPECT_EQ(restored->ResultsFrom(h), oracle->ResultsFrom(h));
+    EXPECT_EQ(restored->ResultCount(h), oracle->ResultCount(h));
+    EXPECT_EQ(restored->CollectedResults(h), oracle->CollectedResults(h));
+  }
+  EXPECT_EQ(restored->watermark(), oracle->watermark());
+  EXPECT_EQ(restored->input_tuples(), oracle->input_tuples());
+  EXPECT_EQ(restored->dropped_tuples(), oracle->dropped_tuples());
+  EXPECT_EQ(restored->rejected_tuples(), oracle->rejected_tuples());
+  const RunStats rs = restored->Snapshot();
+  const RunStats os = oracle->Snapshot();
+  EXPECT_EQ(rs.input_tuples, os.input_tuples);
+  EXPECT_EQ(rs.results_delivered, os.results_delivered);
+}
+
+// Prefix / snapshot / tail-into-both harness shared by the mode and
+// window-kind round-trip tests.
+void RoundTrip(Engine::Options options, std::vector<ContinuousQuery> queries,
+               const std::vector<Tuple>& merged, bool strict_order) {
+  Engine original(options);
+  std::vector<QueryHandle> handles;
+  for (const ContinuousQuery& q : queries) {
+    const QueryHandle h = original.RegisterQuery(q);
+    ASSERT_TRUE(h.valid()) << original.last_error();
+    handles.push_back(h);
+  }
+  const size_t split = StrictIncreaseAt(merged, merged.size() / 2);
+  PushRange(&original, merged, 0, split);
+
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot)) << original.last_error();
+  EXPECT_FALSE(original.finished());  // checkpoint keeps the engine live
+
+  Engine restored(options);
+  ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+  EXPECT_FALSE(restored.poisoned());
+  EXPECT_EQ(restored.watermark(), original.watermark());
+  EXPECT_EQ(restored.active_queries(), original.active_queries());
+
+  // Deterministic mode delivers an identical result *sequence*; record it
+  // via subscriptions on both engines (not part of the snapshot, so both
+  // attach fresh ones here).
+  std::vector<std::string> restored_seq, original_seq;
+  if (strict_order) {
+    for (const QueryHandle h : handles) {
+      ASSERT_TRUE(restored
+                      .Subscribe(h,
+                                 [&restored_seq](const JoinResult& r) {
+                                   restored_seq.push_back(JoinPairKey(r));
+                                 })
+                      .valid());
+      ASSERT_TRUE(original
+                      .Subscribe(h,
+                                 [&original_seq](const JoinResult& r) {
+                                   original_seq.push_back(JoinPairKey(r));
+                                 })
+                      .valid());
+    }
+  }
+
+  PushRange(&restored, merged, split, merged.size());
+  PushRange(&original, merged, split, merged.size());
+  restored.Finish();
+  original.Finish();
+
+  if (strict_order) {
+    EXPECT_EQ(restored_seq, original_seq);
+  }
+  ExpectSameResults(&restored, &original, handles);
+  EXPECT_TRUE(restored.finished());
+}
+
+TEST(CheckpointTest, RoundTripDeterministicMidStream) {
+  const Workload workload = SmallWorkload(5);
+  RoundTrip(BaseOptions(workload),
+            {PlainQuery(2, "Q1"), PlainQuery(4, "Q2"), PlainQuery(6, "Q3")},
+            MergedArrivals(workload), /*strict_order=*/true);
+}
+
+TEST(CheckpointTest, RoundTripCpuOptChain) {
+  const Workload workload = SmallWorkload(7);
+  Engine::Options options = BaseOptions(workload);
+  options.objective = ChainObjective::kCpuOpt;
+  RoundTrip(options, {PlainQuery(2, "Q1"), PlainQuery(5, "Q2")},
+            MergedArrivals(workload), /*strict_order=*/true);
+}
+
+TEST(CheckpointTest, RoundTripWithLineage) {
+  const Workload workload = SmallWorkload(9);
+  Engine::Options options = BaseOptions(workload);
+  options.use_lineage = true;
+  std::vector<ContinuousQuery> queries = {PlainQuery(2, "Q1"),
+                                          PlainQuery(4, "Q2")};
+  queries[1].selection_a = Predicate::GreaterThan(0.3);
+  RoundTrip(options, std::move(queries), MergedArrivals(workload),
+            /*strict_order=*/true);
+}
+
+TEST(CheckpointTest, RoundTripCountWindows) {
+  const Workload workload = SmallWorkload(11);
+  std::vector<ContinuousQuery> queries(2);
+  queries[0].name = "C1";
+  queries[0].window = WindowSpec::Count(40);
+  queries[1].name = "C2";
+  queries[1].window = WindowSpec::Count(90);
+  RoundTrip(BaseOptions(workload), std::move(queries),
+            MergedArrivals(workload), /*strict_order=*/true);
+}
+
+TEST(CheckpointTest, RoundTripParallel) {
+  const Workload workload = SmallWorkload(13);
+  Engine::Options options = BaseOptions(workload);
+  options.mode = ExecutionMode::kParallel;
+  options.worker_threads = 2;
+  // Parallel delivery interleaves across queries but each query's own
+  // stream stays ordered; the multiset/count comparison is the invariant.
+  RoundTrip(options, {PlainQuery(2, "Q1"), PlainQuery(4, "Q2")},
+            MergedArrivals(workload), /*strict_order=*/false);
+}
+
+TEST(CheckpointTest, RoundTripSharded) {
+  // Sharded mode serves equi-key time-window workloads only.
+  Workload workload = SmallWorkload(17);
+  RekeyForEquiJoin(&workload, /*key_domain=*/16, /*seed=*/17 * 31 + 7);
+  Engine::Options options = BaseOptions(workload);
+  options.mode = ExecutionMode::kSharded;
+  options.shard_count = 2;
+  RoundTrip(options, {PlainQuery(2, "Q1"), PlainQuery(4, "Q2")},
+            MergedArrivals(workload), /*strict_order=*/false);
+}
+
+TEST(CheckpointTest, RoundTripNonStateSliceStrategies) {
+  const Workload workload = SmallWorkload(19, 8);
+  for (const SharingStrategy strategy :
+       {SharingStrategy::kPullUp, SharingStrategy::kPushDown,
+        SharingStrategy::kUnshared}) {
+    Engine::Options options = BaseOptions(workload);
+    options.strategy = strategy;
+    std::vector<ContinuousQuery> queries = {PlainQuery(2, "Q1"),
+                                            PlainQuery(4, "Q2")};
+    if (strategy == SharingStrategy::kPushDown) {
+      // Push-down wants a shared selection to push below the join.
+      queries[0].selection_a = Predicate::GreaterThan(0.2);
+      queries[1].selection_a = Predicate::GreaterThan(0.2);
+    }
+    RoundTrip(options, std::move(queries), MergedArrivals(workload),
+              /*strict_order=*/true);
+  }
+}
+
+TEST(CheckpointTest, RoundTripMultiwayTree) {
+  // Three-stream left-deep tree (num_levels > 1): the snapshot carries no
+  // chain section and the restore recomputes the tree.
+  WorkloadSpec spec;
+  spec.rate_a = spec.rate_b = 20;
+  spec.duration_s = 8;
+  spec.seed = 23;
+  const MultiWorkload workload = GenerateMultiWorkload(spec, 3);
+  Engine::Options options;
+  options.condition = workload.condition;
+  options.collect_results = true;
+  ContinuousQuery q;
+  q.name = "M1";
+  q.window = WindowSpec::TimeSeconds(2);
+  q.stream_names = {"S0", "S1", "S2"};
+  RoundTrip(options, {q}, MergedArrivals(workload), /*strict_order=*/true);
+}
+
+TEST(CheckpointTest, RoundTripAfterChurnKeepsGatesAndTotals) {
+  // Mid-stream registration (migration installs a fresh-start gate),
+  // removal (inactive record keeps its totals) and compaction all survive
+  // the snapshot.
+  const Workload workload = SmallWorkload(29);
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  Engine::Options options = BaseOptions(workload);
+  Engine original(options);
+  const QueryHandle h1 = original.RegisterQuery(PlainQuery(2, "Q1"));
+  const QueryHandle h2 = original.RegisterQuery(PlainQuery(6, "Q2"));
+  ASSERT_TRUE(h1.valid() && h2.valid());
+
+  const size_t third = StrictIncreaseAt(merged, merged.size() / 3);
+  PushRange(&original, merged, 0, third);
+  const QueryHandle h3 = original.RegisterQuery(PlainQuery(4, "Q3"));
+  ASSERT_TRUE(h3.valid()) << original.last_error();
+  EXPECT_GT(original.ResultsFrom(h3), 0);
+
+  const size_t half = StrictIncreaseAt(merged, merged.size() / 2);
+  PushRange(&original, merged, third, half);
+  ASSERT_TRUE(original.UnregisterQuery(h1));
+  original.CompactChain();
+  const uint64_t q1_final = original.ResultCount(h1);
+  EXPECT_GT(q1_final, 0u);
+
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot)) << original.last_error();
+
+  Engine restored(options);
+  ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+  // The removed query's totals survive as an inactive record.
+  EXPECT_FALSE(restored.IsActive(h1));
+  EXPECT_EQ(restored.ResultCount(h1), q1_final);
+  EXPECT_EQ(restored.CollectedResults(h1), original.CollectedResults(h1));
+  EXPECT_EQ(restored.migrations(), original.migrations());
+  EXPECT_EQ(restored.rebuilds(), original.rebuilds());
+  EXPECT_EQ(restored.rebuild_cutoffs(), original.rebuild_cutoffs());
+  restored.CheckPlanInvariants();
+
+  PushRange(&restored, merged, half, merged.size());
+  PushRange(&original, merged, half, merged.size());
+  restored.Finish();
+  original.Finish();
+  ExpectSameResults(&restored, &original, {h1, h2, h3});
+}
+
+TEST(CheckpointTest, RestoredChainMatchesOriginalStructure) {
+  const Workload workload = SmallWorkload(31);
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  Engine::Options options = BaseOptions(workload);
+  Engine original(options);
+  ASSERT_TRUE(original.RegisterQuery(PlainQuery(2, "Q1")).valid());
+  ASSERT_TRUE(original.RegisterQuery(PlainQuery(5, "Q2")).valid());
+  const size_t split = StrictIncreaseAt(merged, merged.size() / 2);
+  PushRange(&original, merged, 0, split);
+  // Mid-stream registration leaves a migration-split boundary behind.
+  ASSERT_TRUE(original.RegisterQuery(PlainQuery(3, "Q3")).valid());
+
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot)) << original.last_error();
+  Engine restored(options);
+  ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+
+  const std::vector<Engine::SliceInfo> original_slices =
+      original.ChainSlices();
+  const std::vector<Engine::SliceInfo> restored_slices =
+      restored.ChainSlices();
+  ASSERT_EQ(original_slices.size(), restored_slices.size());
+  for (size_t i = 0; i < original_slices.size(); ++i) {
+    EXPECT_TRUE(original_slices[i].range == restored_slices[i].range);
+    EXPECT_EQ(original_slices[i].state_tuples,
+              restored_slices[i].state_tuples);
+  }
+  restored.CheckPlanInvariants();
+}
+
+TEST(CheckpointTest, IdleAndFinishedEnginesRoundTrip) {
+  // Empty engine.
+  {
+    Engine original;
+    std::string snapshot;
+    ASSERT_TRUE(original.Checkpoint(&snapshot));
+    Engine restored;
+    ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+    EXPECT_EQ(restored.active_queries(), 0u);
+    EXPECT_FALSE(restored.running());
+  }
+  // Registered but never pushed: no plan section; the restored engine
+  // builds lazily on first push, exactly like the original would.
+  {
+    Engine original;
+    const QueryHandle h = original.RegisterQuery(PlainQuery(2, "Q1"));
+    ASSERT_TRUE(h.valid());
+    std::string snapshot;
+    ASSERT_TRUE(original.Checkpoint(&snapshot));
+    Engine restored;
+    ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+    EXPECT_TRUE(restored.IsActive(h));
+    EXPECT_FALSE(restored.running());
+    Tuple t;
+    t.timestamp = SecondsToTicks(1.0);
+    restored.Push(StreamSide::kA, t);
+    EXPECT_EQ(restored.input_tuples(), 1u);
+  }
+  // Finished engine: terminal state round-trips, counts stay readable.
+  {
+    const Workload workload = SmallWorkload(37, 6);
+    Engine original(BaseOptions(workload));
+    const QueryHandle h = original.RegisterQuery(PlainQuery(2, "Q1"));
+    ASSERT_TRUE(h.valid());
+    const std::vector<Tuple> merged = MergedArrivals(workload);
+    PushRange(&original, merged, 0, merged.size());
+    original.Finish();
+    std::string snapshot;
+    ASSERT_TRUE(original.Checkpoint(&snapshot)) << original.last_error();
+    Engine restored(BaseOptions(workload));
+    ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+    EXPECT_TRUE(restored.finished());
+    EXPECT_EQ(restored.ResultCount(h), original.ResultCount(h));
+    EXPECT_EQ(restored.CollectedResults(h), original.CollectedResults(h));
+    restored.Finish();  // idempotent on a restored-finished engine
+  }
+}
+
+TEST(CheckpointTest, CorruptSnapshotsRejectWithDiagnosticsAndPoison) {
+  const Workload workload = SmallWorkload(41, 6);
+  Engine original(BaseOptions(workload));
+  ASSERT_TRUE(original.RegisterQuery(PlainQuery(2, "Q1")).valid());
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  PushRange(&original, merged, 0, merged.size() / 2);
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot));
+  const std::string body = snapshot.substr(0, snapshot.size() - 4);
+
+  struct Case {
+    std::string name;
+    std::string bytes;
+    std::string diagnostic;
+  };
+  std::string flipped_magic = body;
+  flipped_magic[0] = 'X';
+  std::string flipped_version = body;
+  flipped_version[5] = '\x7f';
+  std::string bitflip = snapshot;
+  bitflip[snapshot.size() / 2] =
+      static_cast<char>(bitflip[snapshot.size() / 2] ^ 0x40);
+  const std::vector<Case> cases = {
+      {"empty", "", "shorter"},
+      {"truncated", snapshot.substr(0, snapshot.size() - 10), "checksum"},
+      {"torn-tail", snapshot.substr(0, snapshot.size() / 3), "checksum"},
+      {"bitflip", bitflip, "checksum"},
+      {"bad-magic", Resealed(flipped_magic), "magic"},
+      {"bad-version", Resealed(flipped_version), "version"},
+      {"trailing-garbage", Resealed(body + std::string(8, '\0')),
+       "trailing garbage"},
+  };
+  for (const Case& c : cases) {
+    Engine restored(BaseOptions(workload));
+    EXPECT_FALSE(restored.Restore(c.bytes)) << c.name;
+    EXPECT_TRUE(restored.poisoned()) << c.name;
+    EXPECT_NE(restored.last_error().find(c.diagnostic), std::string::npos)
+        << c.name << ": " << restored.last_error();
+    // A poisoned engine rejects ingestion and churn but keeps answering.
+    Tuple t;
+    t.timestamp = SecondsToTicks(1.0);
+    restored.Push(StreamSide::kA, t);
+    EXPECT_EQ(restored.input_tuples(), 0u) << c.name;
+    EXPECT_EQ(restored.rejected_tuples(), 1u) << c.name;
+    EXPECT_FALSE(restored.RegisterQuery(PlainQuery(2)).valid()) << c.name;
+    std::string out;
+    EXPECT_FALSE(restored.Checkpoint(&out)) << c.name;
+    const RunStats stats = restored.Snapshot();
+    EXPECT_EQ(stats.input_tuples, 0u) << c.name;
+    // Poll/Drain/Finish are safe and idempotent on the poisoned shell.
+    EXPECT_EQ(restored.Poll(), 0u) << c.name;
+    restored.Drain();
+    restored.Finish();
+    restored.Finish();
+  }
+}
+
+TEST(CheckpointTest, OptionsFingerprintMismatchIsNamed) {
+  const Workload workload = SmallWorkload(43, 6);
+  Engine original(BaseOptions(workload));
+  ASSERT_TRUE(original.RegisterQuery(PlainQuery(2, "Q1")).valid());
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot));
+
+  Engine::Options wrong_objective = BaseOptions(workload);
+  wrong_objective.objective = ChainObjective::kCpuOpt;
+  Engine e1(wrong_objective);
+  EXPECT_FALSE(e1.Restore(snapshot));
+  EXPECT_NE(e1.last_error().find("objective"), std::string::npos)
+      << e1.last_error();
+
+  Engine::Options wrong_mode = BaseOptions(workload);
+  wrong_mode.mode = ExecutionMode::kParallel;
+  wrong_mode.worker_threads = 2;
+  Engine e2(wrong_mode);
+  EXPECT_FALSE(e2.Restore(snapshot));
+  EXPECT_NE(e2.last_error().find("mode"), std::string::npos)
+      << e2.last_error();
+
+  Engine::Options wrong_condition = BaseOptions(workload);
+  wrong_condition.condition = JoinCondition::ModSum(97, 13);
+  Engine e3(wrong_condition);
+  EXPECT_FALSE(e3.Restore(snapshot));
+  EXPECT_NE(e3.last_error().find("condition"), std::string::npos)
+      << e3.last_error();
+}
+
+TEST(CheckpointTest, RestoreRequiresFreshEngineWithoutPoisoning) {
+  const Workload workload = SmallWorkload(47, 6);
+  Engine original(BaseOptions(workload));
+  const QueryHandle h = original.RegisterQuery(PlainQuery(2, "Q1"));
+  ASSERT_TRUE(h.valid());
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot));
+
+  // The original engine itself is no longer fresh: Restore refuses but
+  // does NOT poison — the engine keeps serving.
+  EXPECT_FALSE(original.Restore(snapshot));
+  EXPECT_FALSE(original.poisoned());
+  EXPECT_NE(original.last_error().find("freshly constructed"),
+            std::string::npos);
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  PushRange(&original, merged, 0, merged.size());
+  original.Finish();
+  EXPECT_GT(original.ResultCount(h), 0u);
+}
+
+TEST(CheckpointTest, HandlesFromTheCheckpointedEngineStayValid) {
+  const Workload workload = SmallWorkload(53, 8);
+  Engine original(BaseOptions(workload));
+  const QueryHandle h1 = original.RegisterQuery(PlainQuery(2, "Q1"));
+  const QueryHandle h2 = original.RegisterQuery(PlainQuery(4, "Q2"));
+  ASSERT_TRUE(h1.valid() && h2.valid());
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  const size_t split = StrictIncreaseAt(merged, merged.size() / 2);
+  PushRange(&original, merged, 0, split);
+  std::string snapshot;
+  ASSERT_TRUE(original.Checkpoint(&snapshot));
+
+  Engine restored(BaseOptions(workload));
+  ASSERT_TRUE(restored.Restore(snapshot)) << restored.last_error();
+  // Handles minted by the original resolve identically in the restored
+  // engine: churn through them works.
+  EXPECT_TRUE(restored.IsActive(h1));
+  uint64_t tail_results = 0;
+  ASSERT_TRUE(restored
+                  .Subscribe(h2,
+                             [&tail_results](const JoinResult&) {
+                               ++tail_results;
+                             })
+                  .valid());
+  ASSERT_TRUE(restored.UnregisterQuery(h1));
+  EXPECT_FALSE(restored.IsActive(h1));
+  PushRange(&restored, merged, split, merged.size());
+  restored.Finish();
+  EXPECT_GT(tail_results, 0u);
+  EXPECT_EQ(restored.ResultCount(h2), tail_results + [&] {
+    // Results delivered before the snapshot were folded into the record.
+    Engine replay(BaseOptions(workload));
+    const QueryHandle rh1 = replay.RegisterQuery(PlainQuery(2, "Q1"));
+    const QueryHandle rh2 = replay.RegisterQuery(PlainQuery(4, "Q2"));
+    EXPECT_EQ(rh1, h1);
+    EXPECT_EQ(rh2, h2);
+    PushRange(&replay, merged, 0, split);
+    return replay.ResultCount(h2);
+  }());
+}
+
+TEST(CheckpointTest, CheckpointingAPoisonedEngineFails) {
+  Engine engine;
+  EXPECT_FALSE(engine.Restore("garbage-that-is-not-a-snapshot"));
+  ASSERT_TRUE(engine.poisoned());
+  std::string out = "sentinel";
+  EXPECT_FALSE(engine.Checkpoint(&out));
+  EXPECT_EQ(out, "sentinel");  // failed checkpoint writes nothing
+  EXPECT_NE(engine.last_error().find("poisoned"), std::string::npos);
+}
+
+TEST(CheckpointTest, DoubleFinishIsIdempotent) {
+  const Workload workload = SmallWorkload(59, 6);
+  Engine engine(BaseOptions(workload));
+  const QueryHandle h = engine.RegisterQuery(PlainQuery(2, "Q1"));
+  ASSERT_TRUE(h.valid());
+  const std::vector<Tuple> merged = MergedArrivals(workload);
+  PushRange(&engine, merged, 0, merged.size());
+  engine.Finish();
+  const uint64_t delivered = engine.ResultCount(h);
+  engine.Finish();  // second Finish is a no-op
+  engine.Drain();
+  EXPECT_EQ(engine.Poll(), 0u);
+  EXPECT_EQ(engine.ResultCount(h), delivered);
+}
+
+TEST(CheckpointDeathTest, PushAfterFinishDies) {
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterQuery(PlainQuery(2, "Q1")).valid());
+  engine.Finish();
+  Tuple t;
+  t.timestamp = SecondsToTicks(1.0);
+  EXPECT_DEATH(engine.Push(StreamSide::kA, t), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace stateslice

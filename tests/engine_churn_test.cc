@@ -2,10 +2,18 @@
 // operations mid-stream, across sharing strategies and execution modes,
 // with every query's cumulative delivery checked against a fresh oracle
 // over its post-registration suffix (segmented by rebuild cutoffs).
+//
+// Roughly half the churn points additionally checkpoint the engine and
+// swap in a freshly-restored replacement, so both churn paths (in-place
+// migration and drain-rebuild) are exercised on plans that have crossed a
+// serialization boundary; CheckPlanInvariants() pins chain-spec and
+// key-index consistency on every restored plan.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/api/engine.h"
@@ -105,7 +113,7 @@ void RunChurnFuzz(uint64_t seed, ExecutionMode mode) {
   options.mode = mode;
   options.worker_threads = 3;
   options.shard_count = 1 + static_cast<int>(seed % 3);
-  Engine engine(options);
+  auto engine = std::make_unique<Engine>(options);
 
   SCOPED_TRACE("seed=" + std::to_string(seed) + " " +
                config.DebugString() + " mode=" +
@@ -120,8 +128,8 @@ void RunChurnFuzz(uint64_t seed, ExecutionMode mode) {
   for (int i = 0; i < initial; ++i) {
     TrackedQuery t;
     t.query = DrawQuery(&rng, config, ++serial);
-    t.handle = engine.RegisterQuery(t.query);
-    ASSERT_TRUE(t.handle.valid()) << engine.last_error();
+    t.handle = engine->RegisterQuery(t.query);
+    ASSERT_TRUE(t.handle.valid()) << engine->last_error();
     tracked.push_back(t);
   }
 
@@ -136,44 +144,59 @@ void RunChurnFuzz(uint64_t seed, ExecutionMode mode) {
   size_t fed = 0;
   for (const size_t pos : positions) {
     for (; fed < pos && fed < merged.size(); ++fed) {
-      engine.Push(merged[fed].side, merged[fed]);
+      engine->Push(merged[fed].side, merged[fed]);
     }
     if (pos >= merged.size()) break;
     size_t live = 0;
     for (const TrackedQuery& t : tracked) {
-      live += engine.IsActive(t.handle) ? 1 : 0;
+      live += engine->IsActive(t.handle) ? 1 : 0;
     }
     const bool unregister = live >= 2 && rng.NextBounded(3) == 0;
     if (unregister) {
       // Remove a random live query; its delivery freezes at the cutoff.
       size_t pick = rng.NextBounded(live);
       for (TrackedQuery& t : tracked) {
-        if (!engine.IsActive(t.handle)) continue;
+        if (!engine->IsActive(t.handle)) continue;
         if (pick-- > 0) continue;
-        ASSERT_TRUE(engine.UnregisterQuery(t.handle))
-            << engine.last_error();
+        ASSERT_TRUE(engine->UnregisterQuery(t.handle))
+            << engine->last_error();
         t.removed_before = merged[pos].timestamp;
         break;
       }
     } else {
       TrackedQuery t;
       t.query = DrawQuery(&rng, config, ++serial);
-      t.handle = engine.RegisterQuery(t.query);
-      ASSERT_TRUE(t.handle.valid()) << engine.last_error();
+      t.handle = engine->RegisterQuery(t.query);
+      ASSERT_TRUE(t.handle.valid()) << engine->last_error();
       // The cutoff falls in the tuple-free gap before merged[pos].
-      EXPECT_GT(engine.ResultsFrom(t.handle), merged[pos - 1].timestamp);
-      EXPECT_LE(engine.ResultsFrom(t.handle), merged[pos].timestamp);
+      EXPECT_GT(engine->ResultsFrom(t.handle), merged[pos - 1].timestamp);
+      EXPECT_LE(engine->ResultsFrom(t.handle), merged[pos].timestamp);
       tracked.push_back(t);
+    }
+    // Half the churn points round-trip the engine through a checkpoint:
+    // the restored replacement (same handles — tokens survive restore)
+    // carries the rest of the run, so churned plans must serialize,
+    // deserialize, and keep their structural invariants.
+    if (rng.NextBounded(2) == 0) {
+      std::string snapshot;
+      ASSERT_TRUE(engine->Checkpoint(&snapshot)) << engine->last_error();
+      auto restored = std::make_unique<Engine>(options);
+      ASSERT_TRUE(restored->Restore(snapshot)) << restored->last_error();
+      restored->CheckPlanInvariants();
+      ASSERT_EQ(restored->input_tuples(), engine->input_tuples());
+      ASSERT_EQ(restored->watermark(), engine->watermark());
+      ASSERT_EQ(restored->rebuild_cutoffs(), engine->rebuild_cutoffs());
+      engine = std::move(restored);
     }
   }
   for (; fed < merged.size(); ++fed) {
-    engine.Push(merged[fed].side, merged[fed]);
+    engine->Push(merged[fed].side, merged[fed]);
   }
-  engine.Finish();
+  engine->Finish();
 
   // Every query — live or removed — delivered exactly its oracle suffix,
   // segmented by the rebuild cutoffs and truncated at its removal.
-  const std::vector<TimePoint>& cutoffs = engine.rebuild_cutoffs();
+  const std::vector<TimePoint>& cutoffs = engine->rebuild_cutoffs();
   for (const TrackedQuery& t : tracked) {
     auto until = [&](const std::vector<Tuple>& stream) {
       std::vector<Tuple> head;
@@ -184,17 +207,17 @@ void RunChurnFuzz(uint64_t seed, ExecutionMode mode) {
     };
     const auto expected = SegmentedOracle(
         until(workload.stream_a), until(workload.stream_b),
-        workload.condition, t.query, engine.ResultsFrom(t.handle), cutoffs);
-    EXPECT_EQ(engine.CollectedResults(t.handle), expected)
+        workload.condition, t.query, engine->ResultsFrom(t.handle), cutoffs);
+    EXPECT_EQ(engine->CollectedResults(t.handle), expected)
         << t.query.DebugString() << " results_from="
-        << engine.ResultsFrom(t.handle);
+        << engine->ResultsFrom(t.handle);
     uint64_t total = 0;
     for (const auto& [key, count] : expected) total += count;
-    EXPECT_EQ(engine.ResultCount(t.handle), total);
+    EXPECT_EQ(engine->ResultCount(t.handle), total);
   }
 
-  const RunStats stats = engine.Snapshot();
-  EXPECT_EQ(stats.input_tuples + engine.dropped_tuples(), merged.size());
+  const RunStats stats = engine->Snapshot();
+  EXPECT_EQ(stats.input_tuples + engine->dropped_tuples(), merged.size());
 }
 
 TEST(EngineChurnFuzzTest, Deterministic) {

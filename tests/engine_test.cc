@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 namespace stateslice {
 namespace {
 
+using ::stateslice::testing::A;
 using ::stateslice::testing::OracleJoin;
 using ::stateslice::testing::SegmentedOracle;
 using ::stateslice::testing::StrictIncreaseAt;
@@ -325,6 +327,71 @@ TEST(EngineTest, TuplesBeforeFirstQueryAreDropped) {
                             engine.rebuild_cutoffs()));
 }
 
+TEST(EngineTest, MalformedArrivalsAreRejectedWithReasons) {
+  // Ingestion-hardening pins: NaN values, out-of-range or out-of-order
+  // timestamps, and negative stream ids bounce with a counted rejection
+  // and a one-line reason — never ingested, never a crash, watermark
+  // unmoved.
+  Engine::Options options;
+  options.collect_results = true;
+  Engine engine(options);
+  ASSERT_TRUE(engine.RegisterQuery(PlainQuery(2, "Q1")).valid());
+
+  Tuple ok = A(0, 1.0);
+  engine.Push(StreamSide::kA, ok);
+  ASSERT_EQ(engine.input_tuples(), 1u);
+  const TimePoint at = engine.watermark();
+
+  Tuple nan = A(1, 2.0);
+  nan.value = std::numeric_limits<double>::quiet_NaN();
+  engine.Push(StreamSide::kA, nan);
+  EXPECT_EQ(engine.rejected_tuples(), 1u);
+  EXPECT_NE(engine.last_error().find("NaN"), std::string::npos);
+
+  Tuple sentinel = A(2, 2.0);
+  sentinel.timestamp = kMaxTime;
+  engine.Push(StreamSide::kA, sentinel);
+  EXPECT_EQ(engine.rejected_tuples(), 2u);
+  EXPECT_NE(engine.last_error().find("out-of-order or out-of-range"),
+            std::string::npos);
+
+  Tuple negative = A(3, 2.0);
+  engine.Push(/*stream=*/-3, negative);
+  EXPECT_EQ(engine.rejected_tuples(), 3u);
+  EXPECT_NE(engine.last_error().find("negative stream id"),
+            std::string::npos);
+
+  // Per-stream counts index by stream id; the negative id counted only in
+  // the total.
+  EXPECT_EQ(engine.rejected_by_stream()[static_cast<size_t>(StreamSide::kA)],
+            2u);
+  EXPECT_EQ(engine.watermark(), at);
+  EXPECT_EQ(engine.input_tuples(), 1u);
+
+  // Rejections feed the unified metrics.
+  const RunStats stats = engine.Snapshot();
+  EXPECT_EQ(stats.rejected_tuples, 3u);
+  EXPECT_NE(stats.DebugString().find("rejected=3"), std::string::npos);
+}
+
+TEST(EngineTest, MalformedBatchBouncesAsAUnit) {
+  // A batch with one bad tuple is rejected whole — no half-ingested
+  // prefix — naming the first offending index.
+  Engine engine;
+  ASSERT_TRUE(engine.RegisterQuery(PlainQuery(2, "Q1")).valid());
+  std::vector<Tuple> batch = {A(0, 1.0), A(1, 2.0), A(2, 1.5)};  // disorder
+  engine.PushBatch(StreamSide::kA, batch);
+  EXPECT_EQ(engine.input_tuples(), 0u);
+  EXPECT_EQ(engine.rejected_tuples(), batch.size());
+  EXPECT_NE(engine.last_error().find("index 2"), std::string::npos);
+  EXPECT_EQ(engine.watermark(), 0);
+
+  batch[2].timestamp = batch[1].timestamp;  // repaired: ties are fine
+  engine.PushBatch(StreamSide::kA, batch);
+  EXPECT_EQ(engine.input_tuples(), batch.size());
+  EXPECT_EQ(engine.rejected_tuples(), 3u);
+}
+
 TEST(EngineTest, SubscriptionsDeliverEveryResultAcrossChurn) {
   const Workload workload = SmallWorkload(41);
   Engine engine(BaseOptions(workload));
@@ -473,10 +540,17 @@ TEST(EngineTest, RegistrationAdvancesWatermarkPastTies) {
   ASSERT_TRUE(h2.valid());
   EXPECT_EQ(engine.watermark(), before + 1);
   EXPECT_EQ(engine.ResultsFrom(h2), engine.watermark());
-  // A tuple tying with the pre-registration arrival is now out of order.
+  // A tuple tying with the pre-registration arrival is now out of order:
+  // rejected (counted, reasoned), never ingested, watermark unmoved.
   Tuple b = workload.stream_b.front();
   b.timestamp = before;
-  EXPECT_DEATH(engine.Push(StreamSide::kB, b), "CHECK failed");
+  const TimePoint at = engine.watermark();
+  engine.Push(StreamSide::kB, b);
+  EXPECT_EQ(engine.rejected_tuples(), 1u);
+  EXPECT_EQ(engine.rejected_by_stream()[static_cast<size_t>(StreamSide::kB)],
+            1u);
+  EXPECT_NE(engine.last_error().find("out-of-order"), std::string::npos);
+  EXPECT_EQ(engine.watermark(), at);
 }
 
 TEST(EngineTest, LazyBuildDoesNotFakeACutoff) {

@@ -278,9 +278,10 @@ TEST(MultiwayEquivalence, EngineRejectsUnsupportedMultiwaySpecs) {
   }
 }
 
-// Tuples pushed into streams no active query reads are dropped, not
+// Tuples pushed into streams no active query reads are rejected with a
+// reason (the arrival is real, so the watermark still advances), not
 // crashed on.
-TEST(MultiwayEquivalence, PushIntoUnreadStreamDrops) {
+TEST(MultiwayEquivalence, PushIntoUnreadStreamIsRejected) {
   Engine engine;
   ContinuousQuery q;
   q.window = WindowSpec::TimeSeconds(2);
@@ -288,8 +289,13 @@ TEST(MultiwayEquivalence, PushIntoUnreadStreamDrops) {
   Tuple t;
   t.timestamp = SecondsToTicks(1.0);
   engine.Push(/*stream=*/5, t);  // binary workload: streams 0 and 1 only
-  EXPECT_EQ(engine.dropped_tuples(), 1u);
+  EXPECT_EQ(engine.rejected_tuples(), 1u);
+  EXPECT_EQ(engine.rejected_by_stream()[5], 1u);
+  EXPECT_EQ(engine.dropped_tuples(), 0u);
   EXPECT_EQ(engine.input_tuples(), 0u);
+  EXPECT_NE(engine.last_error().find("not read by any active query"),
+            std::string::npos);
+  EXPECT_EQ(engine.watermark(), t.timestamp);
 }
 
 }  // namespace

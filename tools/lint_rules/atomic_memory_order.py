@@ -21,6 +21,7 @@ NAME = "atomic-memory-order"
 FIXTURE_RELPATH = "src/runtime/spsc_queue.h"
 
 LOCKFREE_FILES = {
+    "src/common/fault_point.h",
     "src/runtime/spsc_queue.h",
     "src/runtime/parallel_scheduler.h",
     "src/runtime/parallel_scheduler.cc",
